@@ -1,0 +1,72 @@
+"""§II's analytical-model lineage on ray-tracing workloads.
+
+The paper motivates Zatel by recounting how GPU analytical models evolved
+(GPUMech -> MDM -> GCoM) and why even the newest generation struggles on
+ray tracing (LumiBench "show[s] that current analytical models were not
+able to capture the complexity of ray tracing workloads").
+
+This bench evaluates reduced-form reconstructions of the three
+generations plus Zatel on the saturated scenes and reports cycle errors.
+
+Expected shapes: mean cycle error improves (or at worst holds) across the
+generations, and Zatel beats the whole lineage — the paper's core claim.
+"""
+
+from repro.gpu import MOBILE_SOC
+from repro.harness import format_table, percent_error, save_result
+from repro.models import ANALYTICAL_LINEAGE
+
+from common import workload_for
+
+SCENES = ("PARK", "BUNNY", "BATH", "CHSNT")
+
+
+def test_analytical_lineage(benchmark, runner):
+    def experiment():
+        models = [cls(MOBILE_SOC) for cls in ANALYTICAL_LINEAGE]
+        rows = []
+        mean_errors = {model.name: 0.0 for model in models}
+        zatel_mean = 0.0
+        for scene_name in SCENES:
+            workload = workload_for(scene_name)
+            scene = runner.scene(scene_name)
+            frame = runner.frame(workload)
+            full = runner.full_sim(workload, MOBILE_SOC)
+            row = [scene_name]
+            for model in models:
+                prediction = model.predict(scene, frame)
+                err = percent_error(prediction.cycles, full.cycles)
+                mean_errors[model.name] += err / len(SCENES)
+                row.append(err)
+            zatel = runner.zatel(workload, MOBILE_SOC)
+            zatel_err = percent_error(zatel.metrics["cycles"], full.cycles)
+            zatel_mean += zatel_err / len(SCENES)
+            row.append(zatel_err)
+            rows.append(row)
+        rows.append(
+            ["MEAN"] + [mean_errors[m.name] for m in models] + [zatel_mean]
+        )
+        table = format_table(
+            ["scene"] + [m.name for m in models] + ["Zatel"],
+            rows,
+            title=(
+                "Analytical lineage: cycle error (%) per model generation "
+                "vs Zatel (Mobile SoC)"
+            ),
+            precision=1,
+        )
+        return table, mean_errors, zatel_mean
+
+    report, mean_errors, zatel_mean = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    save_result("analytical_lineage", report)
+    print("\n" + report)
+
+    # Shape 1: the divergence-aware generations beat divergence-blind
+    # GPUMech on ray tracing (§II's critique of GPUMech).
+    assert mean_errors["MDM-style"] <= mean_errors["GPUMech-style"]
+    assert mean_errors["GCoM-style"] <= mean_errors["GPUMech-style"]
+    # Shape 2: Zatel beats the entire analytical lineage (the paper's
+    # headline comparison: 4.5% vs GCoM's 26.7%).
+    assert zatel_mean < min(mean_errors.values())

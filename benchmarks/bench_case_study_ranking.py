@@ -1,0 +1,97 @@
+"""Case study — does Zatel rank early-stage design points correctly?
+
+The paper's motivating workflow (§I, §IV-B): an architect proposes several
+hardware variants and needs to "quickly evaluate different hardware ideas
+and choose the most optimal subset to investigate further".  What matters
+is not absolute cycle counts but the *ranking* (and rough spacing) of the
+design points.
+
+This bench builds a four-point design space around the Mobile SoC —
+halved RT-unit capacity, the baseline, doubled RT warps, and doubled RT
+warps + doubled MSHR — evaluates every point with both the full simulator
+and Zatel on PARK, and checks that Zatel preserves the full simulator's
+cycle-count ranking.  Zatel needs *zero* code changes per design point:
+the variants differ only in their ``GPUConfig`` (contribution 2 of the
+paper).
+"""
+
+import dataclasses
+
+from repro.gpu import MOBILE_SOC, CycleSimulator, compile_kernel
+from repro.harness import format_table, save_result
+
+from common import workload_for
+
+DESIGN_SPACE = {
+    "rt-starved": dataclasses.replace(
+        MOBILE_SOC, name="MobileSoC-rt1", rt_max_warps=1
+    ),
+    "baseline": MOBILE_SOC,
+    "lrr-scheduler": dataclasses.replace(
+        MOBILE_SOC, name="MobileSoC-lrr", warp_scheduler="lrr"
+    ),
+    "rt-x2": dataclasses.replace(
+        MOBILE_SOC, name="MobileSoC-rt8", rt_max_warps=8
+    ),
+    "rt-x2+mshr-x2": dataclasses.replace(
+        MOBILE_SOC, name="MobileSoC-rt8m128", rt_max_warps=8, rt_mshr_size=128
+    ),
+}
+
+
+def test_case_study_design_point_ranking(benchmark, runner):
+    workload = workload_for("PARK")
+
+    def experiment():
+        scene = runner.scene("PARK")
+        frame = runner.frame(workload)
+        pixels = workload.settings().all_pixels()
+        warps = compile_kernel(frame, pixels, scene.addresses)
+
+        rows = []
+        full_cycles = {}
+        zatel_cycles = {}
+        speedups = {}
+        for label, gpu in DESIGN_SPACE.items():
+            full = CycleSimulator(gpu, scene.addresses).run(warps)
+            prediction = runner.zatel(workload, gpu)
+            full_cycles[label] = full.cycles
+            zatel_cycles[label] = prediction.metrics["cycles"]
+            speedups[label] = prediction.speedup_vs(full)
+            rows.append(
+                [label, full.cycles, prediction.metrics["cycles"],
+                 speedups[label]]
+            )
+        table = format_table(
+            ["design point", "full-sim cycles", "Zatel cycles", "speedup x"],
+            rows,
+            title=(
+                "Case study: ranking four Mobile SoC RT-unit variants on "
+                "PARK — full simulation vs Zatel"
+            ),
+            precision=0,
+        )
+        full_rank = sorted(full_cycles, key=full_cycles.get)
+        zatel_rank = sorted(zatel_cycles, key=zatel_cycles.get)
+        note = (
+            f"\nfull-sim ranking : {' < '.join(full_rank)}"
+            f"\nZatel ranking    : {' < '.join(zatel_rank)}"
+        )
+        return table + note, full_cycles, zatel_cycles, speedups
+
+    report, full_cycles, zatel_cycles, speedups = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    save_result("case_study_ranking", report)
+    print("\n" + report)
+
+    # The decisions an architect would take must match:
+    # 1. the starved design is identified as the worst by both;
+    worst_full = max(full_cycles, key=full_cycles.get)
+    worst_zatel = max(zatel_cycles, key=zatel_cycles.get)
+    assert worst_full == worst_zatel == "rt-starved"
+    # 2. both agree that adding RT capacity over the baseline helps;
+    assert full_cycles["rt-x2"] <= full_cycles["baseline"]
+    assert zatel_cycles["rt-x2"] <= zatel_cycles["baseline"] * 1.05
+    # 3. each Zatel evaluation is several times cheaper than the full run.
+    assert min(speedups.values()) > 2.0

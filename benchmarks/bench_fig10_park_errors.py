@@ -1,0 +1,87 @@
+"""Fig. 10 + §IV-B headline — fully optimized Zatel on PARK.
+
+Reproduces, for both Table II configurations:
+
+* the per-metric absolute error of the fully optimized pipeline on PARK
+  (paper: Mobile SoC 0.7% cycles error / 4.5% MAE at ~9.2x; RTX 2060
+  15.1% MAE at ~11.6x);
+* the "trace only up to 10% of pixels" variant (paper: ~50x speedup at
+  5.2% MAE on the Mobile SoC);
+* the GCoM comparison row (paper quotes 26.7% MAE at 7.6x for a single
+  design point) using our analytical baseline.
+
+Expected shapes: cycles error small on the Mobile SoC and larger on the
+RTX 2060; both configurations around an order of magnitude faster than the
+full simulation; the analytical model cheaper but far less accurate.
+"""
+
+from repro.core import ZatelConfig
+from repro.gpu import METRICS, MOBILE_SOC, RTX_2060
+from repro.harness import format_table, mae, metric_errors, save_result
+from repro.models import AnalyticalModel
+
+from common import workload_for
+
+
+def test_fig10_fully_optimized_park(benchmark, runner):
+    workload = workload_for("PARK")
+
+    def experiment():
+        lines = []
+        rows = []
+        for gpu in (MOBILE_SOC, RTX_2060):
+            full = runner.full_sim(workload, gpu)
+            result = runner.zatel(workload, gpu)
+            errors = metric_errors(result.metrics, full)
+            rows.extend(
+                [gpu.name, name, full.metric(name), result.metrics[name],
+                 errors[name]]
+                for name in METRICS
+            )
+            lines.append(
+                f"{gpu.name}: K={result.downscale_factor}, "
+                f"mean traced fraction {result.mean_fraction():.2f}, "
+                f"MAE {mae(errors):.1f}%, "
+                f"speedup {result.speedup_vs(full):.1f}x "
+                f"(paper: {'4.5% MAE, ~9.2x' if gpu is MOBILE_SOC else '15.1% MAE, ~11.6x'})"
+            )
+
+        # The 10%-cap variant on the Mobile SoC (paper: 50x, 5.2% MAE).
+        full = runner.full_sim(workload, MOBILE_SOC)
+        capped = runner.zatel(
+            workload, MOBILE_SOC, ZatelConfig(fraction_override=0.10)
+        )
+        capped_errors = metric_errors(capped.metrics, full)
+        lines.append(
+            f"MobileSoC @ 10% cap: MAE {mae(capped_errors):.1f}%, "
+            f"speedup {capped.speedup_vs(full):.1f}x (paper: 5.2% MAE, ~50x)"
+        )
+
+        # GCoM-style analytical comparison (paper: 26.7% MAE, 7.6x).
+        scene = runner.scene("PARK")
+        frame = runner.frame(workload)
+        analytical = AnalyticalModel(MOBILE_SOC).predict(scene, frame)
+        analytical_errors = metric_errors(analytical.metrics, full)
+        lines.append(
+            f"Analytical (GCoM-style) on MobileSoC: MAE "
+            f"{mae(analytical_errors):.1f}% (paper quotes GCoM at 26.7%)"
+        )
+
+        table = format_table(
+            ["config", "metric", "full sim", "Zatel", "abs err %"],
+            rows,
+            title="Fig 10: fully optimized Zatel errors on PARK",
+        )
+        return table + "\n\n" + "\n".join(lines)
+
+    report = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    save_result("fig10_park_errors", report)
+    print("\n" + report)
+
+    # Shape assertions: the headline metric (cycles) stays tight on the
+    # Mobile SoC and Zatel is substantially faster than full simulation.
+    full = runner.full_sim(workload, MOBILE_SOC)
+    result = runner.zatel(workload, MOBILE_SOC)
+    cycles_err = metric_errors(result.metrics, full)["cycles"]
+    assert cycles_err < 15.0
+    assert result.speedup_vs(full) > 2.0

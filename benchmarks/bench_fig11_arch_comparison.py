@@ -1,0 +1,67 @@
+"""Fig. 11 — RTX 2060 performance improvement over the Mobile SoC.
+
+For every metric, the paper normalizes the RTX 2060 value to the Mobile
+SoC baseline twice — once from full Vulkan-Sim runs and once from Zatel's
+predictions — and shows the two bars track each other (max divergence
+37.6% for L2 miss rate, min 0.6% for L1D).  The design-space use case:
+Zatel preserves *relative* trends across architectures.
+
+Expected shape: the Zatel-predicted ratio and the full-simulation ratio
+agree in direction for the headline metrics (cycles drop on RTX 2060, IPC
+rises).
+"""
+
+from repro.gpu import METRICS, MOBILE_SOC, RTX_2060
+from repro.harness import format_table, percent_error, save_result
+
+from common import workload_for
+
+
+def test_fig11_rtx_over_mobile(benchmark, runner):
+    workload = workload_for("PARK")
+
+    def experiment():
+        full_mobile = runner.full_sim(workload, MOBILE_SOC)
+        full_rtx = runner.full_sim(workload, RTX_2060)
+        zatel_mobile = runner.zatel(workload, MOBILE_SOC)
+        zatel_rtx = runner.zatel(workload, RTX_2060)
+
+        rows = []
+        for name in METRICS:
+            sim_ratio = _ratio(full_rtx.metric(name), full_mobile.metric(name))
+            zatel_ratio = _ratio(
+                zatel_rtx.metrics[name], zatel_mobile.metrics[name]
+            )
+            rows.append(
+                [name, sim_ratio, zatel_ratio,
+                 percent_error(zatel_ratio, sim_ratio)]
+            )
+        return format_table(
+            ["metric", "sim RTX/Mobile", "Zatel RTX/Mobile", "divergence %"],
+            rows,
+            title=(
+                "Fig 11: RTX 2060 normalized to Mobile SoC on PARK — "
+                "full simulation vs Zatel prediction"
+            ),
+        )
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    save_result("fig11_arch_comparison", table)
+    print("\n" + table)
+
+    # Direction-preservation shape: both the simulator and Zatel agree the
+    # RTX 2060 finishes PARK in fewer cycles with higher aggregate IPC.
+    full_mobile = runner.full_sim(workload, MOBILE_SOC)
+    full_rtx = runner.full_sim(workload, RTX_2060)
+    zatel_mobile = runner.zatel(workload, MOBILE_SOC)
+    zatel_rtx = runner.zatel(workload, RTX_2060)
+    assert full_rtx.cycles < full_mobile.cycles
+    assert zatel_rtx.metrics["cycles"] < zatel_mobile.metrics["cycles"]
+    assert full_rtx.ipc > full_mobile.ipc
+    assert zatel_rtx.metrics["ipc"] > zatel_mobile.metrics["ipc"]
+
+
+def _ratio(rtx_value: float, mobile_value: float) -> float:
+    if mobile_value == 0.0:
+        return float("inf") if rtx_value else 1.0
+    return rtx_value / mobile_value

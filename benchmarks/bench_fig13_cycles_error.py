@@ -1,0 +1,84 @@
+"""Fig. 13 — simulation-cycles error vs. percentage of pixels traced.
+
+For each scene, the sampling-only model (no downscaling) runs at
+{10%..90%} of pixels on the RTX 2060 and the absolute error of the
+linearly extrapolated cycle count is reported.
+
+Expected shapes (paper): errors decay roughly exponentially as the traced
+percentage grows; errors vary widely across scenes at 10%; SPRNG is the
+pathological outlier (its rays terminate early, the GPU never saturates,
+so linear extrapolation grossly over-predicts — ">100% absolute error").
+"""
+
+from repro.harness import format_table, save_result
+from repro.scene import SCENE_NAMES
+
+from common import PERCENTAGES
+
+
+def test_fig13_cycles_error_per_scene(benchmark, sampling_sweeps):
+    sweep = sampling_sweeps["RTX2060"]
+    mobile_sweep = sampling_sweeps["MobileSoC"]
+
+    def cycles_errors(s):
+        errors = {}
+        for scene_name in SCENE_NAMES:
+            full_cycles = s.full[scene_name].cycles
+            for perc in PERCENTAGES:
+                prediction = s.points[scene_name][perc]
+                errors[(scene_name, perc)] = (
+                    abs(prediction.metrics["cycles"] - full_cycles)
+                    / full_cycles
+                    * 100.0
+                )
+        return errors
+
+    def render(errors, title):
+        rows = [
+            [scene_name] + [errors[(scene_name, p)] for p in PERCENTAGES]
+            for scene_name in SCENE_NAMES
+        ]
+        return format_table(
+            ["scene"] + [f"{p}%" for p in PERCENTAGES],
+            rows,
+            title=title,
+            precision=1,
+        )
+
+    def experiment():
+        from repro.viz import line_chart
+
+        errors = cycles_errors(sweep)
+        report = render(
+            errors,
+            "Fig 13: simulation cycles absolute error (%) per scene vs "
+            "pixels traced (RTX 2060, no downscaling)",
+        )
+        report += "\n\n" + line_chart(
+            list(PERCENTAGES),
+            {
+                scene: [max(errors[(scene, p)], 0.1) for p in PERCENTAGES]
+                for scene in ("SPRNG", "BUNNY", "BATH")
+            },
+            log_y=True,
+            title="error decay (log scale), selected scenes",
+        )
+        # The paper also quotes Mobile SoC numbers in prose; print both.
+        report += "\n\n" + render(
+            cycles_errors(mobile_sweep),
+            "Fig 13 companion: same experiment on the Mobile SoC",
+        )
+        return report, errors
+
+    report, errors = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    save_result("fig13_cycles_error", report)
+    print("\n" + report)
+
+    # Shape 1: for every scene the error at 90% is below the error at 10%.
+    for scene_name in SCENE_NAMES:
+        assert errors[(scene_name, 90)] <= errors[(scene_name, 10)]
+    # Shape 2: SPRNG at 10% shows a large error (paper: >100%), and it is
+    # among the worst scenes because the GPU never saturates.
+    assert errors[("SPRNG", 10)] > 50.0
+    # Shape 3: by 90% traced, every scene is within a tight band.
+    assert max(errors[(s, 90)] for s in SCENE_NAMES) < 30.0

@@ -1,0 +1,67 @@
+"""Fig. 14 — Zatel's running time vs. percentage of pixels traced.
+
+The paper plots wall-clock hours per scene (BATH the longest-running by a
+margin, with its slope quoted per percentage point).  Our deterministic
+equivalent is simulator work units (events processed), reported per scene
+and percentage, plus the measured host seconds for reference.
+
+Expected shapes: running time grows ~linearly with the traced percentage;
+BATH is the most expensive scene; the cheap under-saturating scenes
+(SPRNG, SHIP) cost an order of magnitude less.
+"""
+
+import numpy as np
+
+from repro.harness import format_table, save_result
+from repro.scene import SCENE_NAMES
+
+from common import PERCENTAGES
+
+
+def test_fig14_running_time_per_scene(benchmark, sampling_sweeps):
+    sweep = sampling_sweeps["RTX2060"]
+
+    def experiment():
+        rows = []
+        work = {}
+        for scene_name in SCENE_NAMES:
+            row = [scene_name]
+            for perc in PERCENTAGES:
+                prediction = sweep.points[scene_name][perc]
+                work[(scene_name, perc)] = prediction.stats.work_units
+                row.append(prediction.stats.work_units / 1000.0)
+            host = sum(
+                sweep.points[scene_name][p].stats.host_seconds
+                for p in PERCENTAGES
+            )
+            row.append(host)
+            rows.append(row)
+        return (
+            format_table(
+                ["scene"] + [f"{p}%" for p in PERCENTAGES] + ["host s (sum)"],
+                rows,
+                title=(
+                    "Fig 14: running time (kilo work-units) per scene vs "
+                    "pixels traced (RTX 2060)"
+                ),
+                precision=1,
+            ),
+            work,
+        )
+
+    report, work = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    save_result("fig14_running_time", report)
+    print("\n" + report)
+
+    # Shape 1: work grows monotonically (within noise) with the percentage.
+    for scene_name in SCENE_NAMES:
+        series = [work[(scene_name, p)] for p in PERCENTAGES]
+        assert series[-1] > series[0]
+        # Roughly linear: correlation with the percentages is strong.
+        corr = np.corrcoef(PERCENTAGES, series)[0, 1]
+        assert corr > 0.95
+    # Shape 2: BATH is the most expensive scene at full load (paper: the
+    # longest-running scene "by a high margin").
+    at_90 = {s: work[(s, 90)] for s in SCENE_NAMES}
+    assert at_90["BATH"] == max(at_90.values())
+    assert at_90["BATH"] > 4 * at_90["SPRNG"]

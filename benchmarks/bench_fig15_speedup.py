@@ -1,0 +1,71 @@
+"""Fig. 15 + equation (4) — running-time speedup vs. pixels traced.
+
+Each scene's speedup over the full simulation is reported per percentage;
+all scenes share similar speedups at a given percentage and converge
+towards 1x at 100%.  The paper fits the power law
+``speedup(perc) = 181 * perc**-1.15`` (eq. 4); we fit the same
+two-parameter model to our measurements and print both.
+
+Expected shapes: speedup decreases monotonically with percentage; a power
+law with negative exponent fits well; scenes cluster (low spread).
+"""
+
+import numpy as np
+
+from repro.core import fit_power_law, power_law
+from repro.harness import format_table, save_result
+from repro.scene import SCENE_NAMES
+
+from common import PERCENTAGES
+
+
+def test_fig15_speedup_per_scene(benchmark, sampling_sweeps):
+    sweep = sampling_sweeps["RTX2060"]
+
+    def experiment():
+        rows = []
+        speedups = {}
+        for scene_name in SCENE_NAMES:
+            full = sweep.full[scene_name]
+            row = [scene_name]
+            for perc in PERCENTAGES:
+                s = sweep.points[scene_name][perc].speedup_vs(full)
+                speedups[(scene_name, perc)] = s
+                row.append(s)
+            rows.append(row)
+
+        # Fit eq.(4)'s model over every (perc, speedup) sample.
+        xs = np.array([p for (_, p) in speedups], dtype=float)
+        ys = np.array(list(speedups.values()), dtype=float)
+        a, b = fit_power_law(xs, ys)
+        fit_row = ["fit a*perc^b"] + [
+            float(power_law(np.array([p]), a, b)[0]) for p in PERCENTAGES
+        ]
+        rows.append(fit_row)
+
+        table = format_table(
+            ["scene"] + [f"{p}%" for p in PERCENTAGES],
+            rows,
+            title="Fig 15: running-time speedup per scene (RTX 2060)",
+            precision=2,
+        )
+        note = (
+            f"\nfitted speedup(perc) = {a:.1f} * perc^{b:.2f}   "
+            "(paper eq. 4: 181 * perc^-1.15)"
+        )
+        return table + note, speedups, (a, b)
+
+    report, speedups, (a, b) = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    save_result("fig15_speedup", report)
+    print("\n" + report)
+
+    # Shape 1: decreasing in percentage for every scene.
+    for scene_name in SCENE_NAMES:
+        series = [speedups[(scene_name, p)] for p in PERCENTAGES]
+        assert series[0] > series[-1]
+    # Shape 2: converges towards ~1x at high percentages.
+    assert 0.7 < np.mean([speedups[(s, 90)] for s in SCENE_NAMES]) < 2.0
+    # Shape 3: the fitted exponent is negative (power-law decay, eq. 4).
+    assert b < -0.5

@@ -1,0 +1,59 @@
+"""Fig. 16 — mean absolute error per metric over all scenes vs. pixels
+traced, with min/max error bars.
+
+Expected shapes (paper): every metric's MAE decays as more pixels are
+traced; the quickly-saturating cache metrics (L1D/L2 miss rates) carry the
+smallest errors; going from 10% to 30% cuts the worst errors several-fold.
+"""
+
+from repro.gpu import METRICS
+from repro.harness import format_table, metric_errors, save_result
+from repro.scene import SCENE_NAMES
+
+from common import PERCENTAGES
+
+
+def test_fig16_metric_mae_over_scenes(benchmark, sampling_sweeps):
+    sweep = sampling_sweeps["RTX2060"]
+
+    def experiment():
+        # mae_by[(metric, perc)] plus min/max over scenes.
+        rows = []
+        summary = {}
+        for name in METRICS:
+            row = [name]
+            for perc in PERCENTAGES:
+                per_scene = []
+                for scene_name in SCENE_NAMES:
+                    errors = metric_errors(
+                        sweep.points[scene_name][perc].metrics,
+                        sweep.full[scene_name],
+                    )
+                    per_scene.append(errors[name])
+                mean = sum(per_scene) / len(per_scene)
+                summary[(name, perc)] = (mean, min(per_scene), max(per_scene))
+                row.append(f"{mean:.0f} [{min(per_scene):.0f},{max(per_scene):.0f}]")
+            rows.append(row)
+        return (
+            format_table(
+                ["metric"] + [f"{p}%" for p in PERCENTAGES],
+                rows,
+                title=(
+                    "Fig 16: MAE per metric over all scenes, with [min,max] "
+                    "error bars (RTX 2060)"
+                ),
+            ),
+            summary,
+        )
+
+    report, summary = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    save_result("fig16_metric_mae", report)
+    print("\n" + report)
+
+    # Shape 1: every metric improves from 10% to 90% traced.
+    for name in METRICS:
+        assert summary[(name, 90)][0] <= summary[(name, 10)][0]
+    # Shape 2: the cache miss-rate metrics saturate quickest — their MAE at
+    # 50% is below the throughput metrics' (paper's observation).
+    cache_mae = max(summary[("l1d_miss_rate", 50)][0], summary[("l2_miss_rate", 50)][0])
+    assert cache_mae <= summary[("cycles", 10)][0]

@@ -1,0 +1,56 @@
+"""Fig. 18 — metric error vs. downscaling factor, all used scenes.
+
+Extending Fig. 17's sweep from the representative subset to every scene
+raises the IPC / simulation-cycles errors: scenes like SPRNG "do not
+adequately stress the downscaled GPU, leading to higher errors".
+
+Expected shapes: mean errors on the full scene set are at least as high as
+on the representative subset; fine-grained remains the more stable
+division method.
+"""
+
+from repro.harness import save_result
+from repro.scene import REPRESENTATIVE_SUBSET, SCENE_NAMES
+
+from bench_fig17_downscale_error_subset import render, summarize
+
+
+def test_fig18_downscale_error_all_scenes(
+    benchmark, downscale_sweeps_subset, downscale_sweeps_all
+):
+    sweep_all = downscale_sweeps_all["RTX2060"]
+    sweep_subset = downscale_sweeps_subset["RTX2060"]
+
+    def experiment():
+        table_all = summarize(sweep_all, SCENE_NAMES)
+        table_subset = summarize(sweep_subset, REPRESENTATIVE_SUBSET)
+        report = render(
+            table_all,
+            sweep_all,
+            "Fig 18: metric error (%) per downscaling factor, all scenes "
+            "(RTX 2060, all group pixels traced)",
+        )
+        return report, table_all, table_subset
+
+    report, table_all, table_subset = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    save_result("fig18_downscale_error_all", report)
+    print("\n" + report)
+
+    largest_k = max(sweep_all.factors)
+    # Shape 1: including the under-saturating scenes raises the cycles
+    # error relative to the representative subset (paper's observation).
+    assert (
+        table_all[("fine", largest_k)]["cycles"]
+        >= table_subset[("fine", largest_k)]["cycles"] * 0.8
+    )
+    # Shape 2: fine-grained division is at least as accurate as coarse on
+    # the headline cycles metric when averaged over the sweep.
+    fine_mean = sum(
+        table_all[("fine", k)]["cycles"] for k in sweep_all.factors
+    )
+    coarse_mean = sum(
+        table_all[("coarse", k)]["cycles"] for k in sweep_all.factors
+    )
+    assert fine_mean <= coarse_mean * 1.2

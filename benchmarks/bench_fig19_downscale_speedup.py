@@ -1,0 +1,60 @@
+"""Fig. 19 — running-time speedup gained from GPU downscaling.
+
+Each group simulates 1/K of the pixels on a 1/K GPU; with the K instances
+running in parallel (the paper's deployment), the speedup is the full
+simulation's cost over the slowest group's.
+
+Expected shapes (paper): speedup grows with K, roughly tracking the
+pixel-reduction speedup of Fig. 15 at the equivalent percentage (1/K of
+pixels), i.e. "downscaling the GPU configuration does not significantly
+reduce the execution time of Zatel" beyond the workload split itself.
+"""
+
+from repro.harness import format_table, save_result
+from repro.scene import SCENE_NAMES
+
+
+def test_fig19_downscale_speedup(benchmark, downscale_sweeps_all):
+    sweep = downscale_sweeps_all["RTX2060"]
+
+    def experiment():
+        rows = []
+        speedups = {}
+        for scene_name in SCENE_NAMES:
+            full = sweep.full[scene_name]
+            row = [scene_name]
+            for k in sweep.factors:
+                result = sweep.results[(scene_name, "fine", k)]
+                s = result.speedup_vs(full)
+                speedups[(scene_name, k)] = s
+                row.append(s)
+            rows.append(row)
+        return (
+            format_table(
+                ["scene"] + [f"K={k}" for k in sweep.factors],
+                rows,
+                title=(
+                    "Fig 19: speedup from GPU downscaling (fine-grained, "
+                    "groups in parallel, RTX 2060)"
+                ),
+                precision=2,
+            ),
+            speedups,
+        )
+
+    report, speedups = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    save_result("fig19_downscale_speedup", report)
+    print("\n" + report)
+
+    factors = sweep.factors
+    # Shape 1: larger K never slows Zatel down (parallel groups shrink).
+    for scene_name in SCENE_NAMES:
+        assert speedups[(scene_name, max(factors))] >= speedups[
+            (scene_name, min(factors))
+        ] * 0.9
+    # Shape 2: the speedup at the largest K is in the neighbourhood of K
+    # (each instance handles ~1/K of the work).
+    mean_speedup = sum(
+        speedups[(s, max(factors))] for s in SCENE_NAMES
+    ) / len(SCENE_NAMES)
+    assert max(factors) * 0.4 < mean_speedup < max(factors) * 3.0

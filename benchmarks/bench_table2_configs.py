@@ -1,0 +1,51 @@
+"""Table II — the GPU configurations for evaluation.
+
+Prints both Table II configurations side by side together with the
+downscaled forms Zatel derives from them (Mobile SoC / K4, RTX 2060 / K6),
+demonstrating §III-C's automatic shared-resource scaling.
+"""
+
+from repro.core import choose_downscale_factor
+from repro.gpu import MOBILE_SOC, RTX_2060
+from repro.harness import format_table, save_result
+
+
+def test_table2_gpu_configurations(benchmark):
+    def experiment():
+        rows = []
+        for gpu in (MOBILE_SOC, RTX_2060):
+            k = choose_downscale_factor(gpu)
+            small = gpu.downscale(k)
+            for label, cfg in ((gpu.name, gpu), (small.name, small)):
+                rows.append(
+                    [
+                        label,
+                        cfg.num_sms,
+                        cfg.num_mem_partitions,
+                        cfg.registers_per_sm,
+                        cfg.resident_warps_per_sm,
+                        cfg.rt_max_warps,
+                        cfg.l1d.size_bytes // 1024,
+                        cfg.l2_total_bytes // 1024,
+                        cfg.num_mem_partitions
+                        * cfg.dram_bytes_per_cycle_per_channel,
+                    ]
+                )
+        return format_table(
+            [
+                "config", "SMs", "mem parts", "regs/SM", "res.warps",
+                "RT warps", "L1D KB", "L2 KB total", "DRAM B/cyc",
+            ],
+            rows,
+            title=(
+                "Table II: GPU configurations (plus Zatel's downscaled "
+                "derivations; L2 and DRAM bandwidth shrink automatically)"
+            ),
+        )
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    save_result("table2_configs", table)
+    print("\n" + table)
+    # The downscaled Mobile SoC must have 2 SMs / 1 partition (8/4 by K=4).
+    assert "MobileSoC/K4" in table
+    assert "RTX2060/K6" in table

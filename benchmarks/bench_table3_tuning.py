@@ -1,0 +1,117 @@
+"""Table III — tuning the distribution method and section-block size.
+
+The paper tests four block sizes (32x1, 32x2, 32x16, 32x32) and three
+distributions (uniform, lintmp, exptmp) on the SHIP / WKND / BUNNY
+temperature triplet (Fig. 12), tracing only 2-4% of pixels and averaging
+five runs.  For every metric it reports the best-performing combination
+and its MAE, concluding that block size has negligible impact, uniform is
+the overall pick and exptmp helps RT metrics.
+
+Expected shapes: scene MAEs ordered SHIP (coldest, worst) > WKND > BUNNY
+(warmest, best); no block size dominating.
+"""
+
+import itertools
+
+from repro.gpu import METRICS, MOBILE_SOC
+from repro.harness import format_table, mae, metric_errors, save_result
+from repro.models import SamplingPredictor
+from repro.scene import TUNING_SCENES
+
+from common import workload_for
+
+BLOCK_SIZES = ((32, 1), (32, 2), (32, 16), (32, 32))
+DISTRIBUTIONS = ("uniform", "lintmp", "exptmp")
+RUNS = 5
+#: The paper traces 2-4% of 512x512 pixels (~5-10k pixels).  At this
+#: repository's 128x128 experiment plane the same *fraction* would be a few
+#: hundred pixels — far too few warps to exercise the GPU at all — so the
+#: fraction is scale-adjusted to keep the absolute sample in the same
+#: saturation regime (see EXPERIMENTS.md).
+FRACTION = 0.10
+
+
+def test_table3_distribution_and_block_tuning(benchmark, runner):
+    def experiment():
+        scene_rows = []
+        scene_maes = {}
+        rt_errors = {}
+        cycles_errors = {}
+        for scene_name in TUNING_SCENES:
+            workload = workload_for(scene_name)
+            scene = runner.scene(scene_name)
+            frame = runner.frame(workload)
+            full = runner.full_sim(workload, MOBILE_SOC)
+
+            # errors[(distribution, block)][metric] = mean over RUNS seeds
+            combo_errors = {}
+            for distribution, block in itertools.product(
+                DISTRIBUTIONS, BLOCK_SIZES
+            ):
+                accumulated = {name: 0.0 for name in METRICS}
+                for seed in range(RUNS):
+                    predictor = SamplingPredictor(
+                        MOBILE_SOC,
+                        distribution=distribution,
+                        block_width=block[0],
+                        block_height=block[1],
+                        seed=seed,
+                    )
+                    prediction = predictor.predict(scene, frame, FRACTION)
+                    errors = metric_errors(prediction.metrics, full)
+                    for name in METRICS:
+                        accumulated[name] += errors[name] / RUNS
+                combo_errors[(distribution, block)] = accumulated
+
+            best_per_metric = {}
+            for name in METRICS:
+                best = min(combo_errors, key=lambda c: combo_errors[c][name])
+                values = sorted(combo_errors[c][name] for c in combo_errors)
+                # "any" when the top options are within 10% of each other.
+                spread_small = values[-1] <= values[0] * 1.10 + 1.0
+                best_dist = "any" if spread_small else best[0]
+                best_block = "any" if spread_small else f"{best[1][0]}x{best[1][1]}"
+                best_per_metric[name] = (
+                    best_dist, best_block, combo_errors[best][name]
+                )
+                scene_rows.append(
+                    [scene_name, name, best_dist, best_block,
+                     combo_errors[best][name]]
+                )
+            scene_maes[scene_name] = mae(
+                {name: best_per_metric[name][2] for name in METRICS}
+            )
+            rt_errors[scene_name] = best_per_metric["rt_efficiency"][2]
+            cycles_errors[scene_name] = best_per_metric["cycles"][2]
+
+        table = format_table(
+            ["scene", "metric", "best dist", "best section", "MAE %"],
+            scene_rows,
+            title=(
+                "Table III: best distribution and section size per metric "
+                f"({int(FRACTION * 100)}% pixels, {RUNS} runs averaged, Mobile SoC)"
+            ),
+        )
+        summary = "\n".join(
+            f"{scene}: best-combo MAE {value:.1f}%"
+            for scene, value in scene_maes.items()
+        )
+        summary += (
+            "\n(paper: SHIP 21.0%, WKND 13.9%, BUNNY 8.5% — warmer scenes "
+            "predict better)"
+        )
+        return table + "\n\n" + summary, scene_maes, rt_errors, cycles_errors
+
+    (report, scene_maes, rt_errors, cycles_errors) = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    save_result("table3_tuning", report)
+    print("\n" + report)
+
+    # Shapes: the warmer the scene, the better its RT-unit efficiency is
+    # predicted (paper: SHIP 19.9% > BUNNY 8.1% > WKND 3.9%, with warm
+    # scenes clearly beating SHIP), and BUNNY's simulation cycles predict
+    # far better than the cold SHIP's (paper: 13.6% vs 73.1%).
+    assert rt_errors["BUNNY"] <= rt_errors["SHIP"]
+    assert rt_errors["WKND"] <= rt_errors["SHIP"]
+    assert cycles_errors["BUNNY"] <= cycles_errors["SHIP"]

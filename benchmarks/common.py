@@ -1,0 +1,118 @@
+"""Shared experiment drivers for the benchmark suite.
+
+Each ``bench_*`` module reproduces one table or figure from the paper's
+evaluation (Section IV); the sweeps several figures share are computed here
+once per session (see ``conftest.py``).  All speedups are reported from the
+simulator's deterministic ``work_units`` (see DESIGN.md's substitution
+table); host seconds are tracked alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import Zatel, ZatelConfig
+from repro.gpu import MOBILE_SOC, RTX_2060, GPUConfig, SimulationStats
+from repro.harness import Runner, Workload
+from repro.models import SamplingPredictor
+from repro.scene import SCENE_NAMES
+
+__all__ = [
+    "CONFIGS",
+    "PERCENTAGES",
+    "SamplingSweep",
+    "DownscaleSweep",
+    "run_sampling_sweep",
+    "run_downscale_sweep",
+    "workload_for",
+]
+
+#: The two Table II configurations every experiment runs on.
+CONFIGS: tuple[GPUConfig, ...] = (MOBILE_SOC, RTX_2060)
+
+#: Section IV-D's sweep: {10%, 20%, ..., 90%} of pixels traced.
+PERCENTAGES: tuple[int, ...] = tuple(range(10, 100, 10))
+
+
+def workload_for(scene_name: str) -> Workload:
+    """The canonical benchmark workload for a scene."""
+    return Workload(scene_name)
+
+
+@dataclass
+class SamplingSweep:
+    """Results of the pixel-fraction sweep for one GPU configuration.
+
+    ``points[scene][perc]`` holds the sampling-only prediction at ``perc``
+    percent of pixels; ``full[scene]`` the ground truth.
+    """
+
+    gpu: GPUConfig
+    points: dict[str, dict[int, object]]
+    full: dict[str, SimulationStats]
+
+
+def run_sampling_sweep(
+    runner: Runner,
+    gpu: GPUConfig,
+    scenes: tuple[str, ...] = SCENE_NAMES,
+    percentages: tuple[int, ...] = PERCENTAGES,
+    seed: int = 0,
+) -> SamplingSweep:
+    """Section IV-D's experiment: sample without downscaling, extrapolate."""
+    points: dict[str, dict[int, object]] = {}
+    full: dict[str, SimulationStats] = {}
+    for scene_name in scenes:
+        workload = workload_for(scene_name)
+        scene = runner.scene(scene_name)
+        frame = runner.frame(workload)
+        full[scene_name] = runner.full_sim(workload, gpu)
+        predictor = SamplingPredictor(gpu, seed=seed)
+        points[scene_name] = {
+            perc: predictor.predict(scene, frame, perc / 100.0)
+            for perc in percentages
+        }
+    return SamplingSweep(gpu=gpu, points=points, full=full)
+
+
+@dataclass
+class DownscaleSweep:
+    """Results of the downscale-factor sweep for one GPU configuration.
+
+    ``results[(scene, division, k)]`` holds the Zatel result with *all*
+    pixels of each group traced (isolating the downscaling optimization,
+    Section IV-E); ``full[scene]`` the ground truth.
+    """
+
+    gpu: GPUConfig
+    results: dict[tuple[str, str, int], object]
+    full: dict[str, SimulationStats]
+    factors: tuple[int, ...]
+
+
+def run_downscale_sweep(
+    runner: Runner,
+    gpu: GPUConfig,
+    scenes: tuple[str, ...],
+    divisions: tuple[str, ...] = ("fine", "coarse"),
+) -> DownscaleSweep:
+    """Section IV-E's experiment: groups on downscaled GPUs, no sampling."""
+    from repro.core import valid_factors
+
+    factors = tuple(k for k in valid_factors(gpu) if k > 1)
+    results: dict[tuple[str, str, int], object] = {}
+    full: dict[str, SimulationStats] = {}
+    for scene_name in scenes:
+        workload = workload_for(scene_name)
+        full[scene_name] = runner.full_sim(workload, gpu)
+        for division in divisions:
+            for k in factors:
+                config = ZatelConfig(
+                    division=division,
+                    fraction_override=1.0,  # trace every pixel of each group
+                    downscale_factor=k,
+                )
+                results[(scene_name, division, k)] = runner.zatel(
+                    workload, gpu, config
+                )
+    return DownscaleSweep(gpu=gpu, results=results, full=full, factors=factors)

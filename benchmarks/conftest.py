@@ -1,0 +1,48 @@
+"""Session-scoped fixtures shared by the benchmark suite.
+
+The pixel-fraction sweep feeds Figs. 13-16 and the downscale sweep feeds
+Figs. 17-19, so both are computed once per session and handed to every
+benchmark that needs them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import shared_runner
+from repro.scene import REPRESENTATIVE_SUBSET, SCENE_NAMES
+
+from repro.gpu import RTX_2060
+
+from common import (
+    CONFIGS,
+    run_downscale_sweep,
+    run_sampling_sweep,
+)
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return shared_runner()
+
+
+@pytest.fixture(scope="session")
+def sampling_sweeps(runner):
+    """Section IV-D sweep on both GPU configurations."""
+    return {gpu.name: run_sampling_sweep(runner, gpu) for gpu in CONFIGS}
+
+
+@pytest.fixture(scope="session")
+def downscale_sweeps_subset(runner):
+    """Section IV-E sweep on LumiBench's representative subset (Fig. 17).
+
+    Computed for the RTX 2060 only — the figures report that configuration
+    and the sweep is the suite's most expensive fixture.
+    """
+    return {RTX_2060.name: run_downscale_sweep(runner, RTX_2060, REPRESENTATIVE_SUBSET)}
+
+
+@pytest.fixture(scope="session")
+def downscale_sweeps_all(runner):
+    """Section IV-E sweep on all used scenes (Fig. 18), RTX 2060 only."""
+    return {RTX_2060.name: run_downscale_sweep(runner, RTX_2060, SCENE_NAMES)}

@@ -1,0 +1,94 @@
+"""Design-space exploration: compare GPU architectures with Zatel.
+
+The paper's motivating use case (Fig. 11): an architect wants to know how
+a new configuration performs on a ray-tracing workload *without* waiting
+for full cycle-level simulations.  This example evaluates three designs —
+the Mobile SoC, the RTX 2060, and a hypothetical "RT-heavy" variant with
+doubled RT-unit warp capacity — on the PARK scene, using Zatel for every
+design point and validating two of them against full simulations.
+
+Usage::
+
+    python examples/architecture_comparison.py [--size 96]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from repro import (
+    METRICS,
+    MOBILE_SOC,
+    RTX_2060,
+    CycleSimulator,
+    RenderSettings,
+    Zatel,
+    compile_kernel,
+    make_scene,
+    trace_frame,
+)
+
+#: A design-space candidate: Mobile SoC with beefier RT units.  Zatel needs
+#: no changes to evaluate it — the simulator captures the difference.
+RT_HEAVY = dataclasses.replace(
+    MOBILE_SOC, name="MobileSoC-RTx2", rt_max_warps=8, rt_mshr_size=128
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=96)
+    args = parser.parse_args()
+
+    scene = make_scene("PARK")
+    settings = RenderSettings(width=args.size, height=args.size)
+    print(f"tracing {scene.name} at {args.size}x{args.size}...")
+    frame = trace_frame(scene, settings)
+
+    designs = (MOBILE_SOC, RT_HEAVY, RTX_2060)
+    predictions = {}
+    for gpu in designs:
+        print(f"Zatel predicting {gpu.name}...")
+        predictions[gpu.name] = Zatel(gpu).predict(scene, frame)
+
+    # Validate the two Table II designs against ground truth.
+    print("validating against full simulations (Mobile SoC, RTX 2060)...\n")
+    warps = compile_kernel(frame, settings.all_pixels(), scene.addresses)
+    truth = {
+        gpu.name: CycleSimulator(gpu, scene.addresses).run(warps)
+        for gpu in (MOBILE_SOC, RTX_2060)
+    }
+
+    baseline = predictions[MOBILE_SOC.name].metrics
+    print(f"{'design':<16} {'pred cycles':>12} {'vs Mobile':>10} {'full-sim cycles':>16}")
+    print("-" * 58)
+    for gpu in designs:
+        predicted = predictions[gpu.name].metrics
+        actual = truth[gpu.name].cycles if gpu.name in truth else None
+        print(
+            f"{gpu.name:<16} {predicted['cycles']:>12.0f} "
+            f"{baseline['cycles'] / predicted['cycles']:>9.2f}x "
+            f"{actual if actual is not None else '(not simulated)':>16}"
+        )
+
+    print("\nper-metric predictions:")
+    header = f"{'metric':<16}" + "".join(f"{g.name:>16}" for g in designs)
+    print(header)
+    print("-" * len(header))
+    for name in METRICS:
+        row = f"{name:<16}"
+        for gpu in designs:
+            row += f"{predictions[gpu.name].metrics[name]:>16.3f}"
+        print(row)
+
+    speedup = predictions[MOBILE_SOC.name].speedup_vs(truth[MOBILE_SOC.name])
+    print(
+        f"\neach Zatel design point cost ~{1 / speedup:.0%} of a full "
+        f"simulation ({speedup:.1f}x faster), so the RT-heavy variant was "
+        "evaluated without any full run at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Heatmap gallery: renders, heatmaps, quantization and division overlays.
+
+Reproduces the paper's visualization figures as PPM images:
+
+* Fig. 4 — a raw execution-time heatmap and its K-Means quantization;
+* Fig. 7 — the pixels of fine-grained group 0 at two chunk heights;
+* Fig. 9 — per-scene heatmaps across the library;
+* Fig. 12 — SHIP / WKND / BUNNY under one shared temperature scale.
+
+Writes ``examples/out/*.ppm`` (viewable with any image tool; PPM needs no
+third-party encoder).
+
+Usage::
+
+    python examples/heatmap_visualization.py [--size 96]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from repro import Heatmap, RenderSettings, make_scene, quantize_heatmap, trace_frame
+from repro.core import fine_partition
+from repro.scene import TUNING_SCENES
+
+
+def write_ppm(path: Path, image: np.ndarray) -> None:
+    """Write an (H, W, 3) float image in [0, 1] as a binary PPM."""
+    data = (np.clip(image, 0.0, 1.0) * 255).astype(np.uint8)
+    height, width, _ = data.shape
+    with path.open("wb") as f:
+        f.write(f"P6 {width} {height} 255\n".encode())
+        f.write(data.tobytes())
+
+
+def group_overlay(heatmap: Heatmap, k: int, chunk_height: int) -> np.ndarray:
+    """Fig. 7: show only group 0's pixels of a fine-grained division."""
+    groups = fine_partition(
+        heatmap.width, heatmap.height, k, chunk_width=32, chunk_height=chunk_height
+    )
+    image = np.zeros((heatmap.height, heatmap.width, 3))
+    colors = heatmap.to_colors()
+    for px, py in groups[0]:
+        image[py, px] = colors[py, px]
+    return image
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=96)
+    args = parser.parse_args()
+    out = Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    settings = RenderSettings(width=args.size, height=args.size)
+
+    # Fig. 9: all scenes' heatmaps (self-normalized, as the paper shows).
+    frames = {}
+    for name in ("SPNZA", "BUNNY", "CHSNT", "SPRNG", "PARK", "BATH", "SHIP", "WKND"):
+        scene = make_scene(name)
+        print(f"tracing {name}...")
+        frame = trace_frame(scene, settings)
+        frames[name] = frame
+        heatmap = Heatmap.from_frame(frame)
+        write_ppm(out / f"fig9_heatmap_{name}.ppm", heatmap.to_colors())
+
+    # Fig. 4: PARK raw heatmap vs its quantized version.
+    park = Heatmap.from_frame(frames["PARK"])
+    write_ppm(out / "fig4_raw.ppm", park.to_colors())
+    quantized = quantize_heatmap(park, num_colors=6, seed=0)
+    write_ppm(out / "fig4_quantized.ppm", quantized.to_colors())
+    print(
+        "fig4: quantized PARK to "
+        f"{quantized.num_colors} colors; coolness values "
+        f"{np.round(quantized.coolness, 2).tolist()}"
+    )
+
+    # Fig. 7: fine-grained group 0 at chunk heights 2 and 8.
+    write_ppm(out / "fig7_group0_h2.ppm", group_overlay(park, k=4, chunk_height=2))
+    write_ppm(out / "fig7_group0_h8.ppm", group_overlay(park, k=4, chunk_height=8))
+
+    # Fig. 12: the tuning triplet under one shared scale ("generated
+    # relative to each other by using the same scaling value").
+    shared_peak = max(
+        float(np.percentile(frames[name].cost_map(), 99.5))
+        for name in TUNING_SCENES
+    )
+    for name in TUNING_SCENES:
+        costs = frames[name].cost_map()
+        shared = Heatmap(
+            temperatures=np.clip(costs / shared_peak, 0.0, 1.0), raw_costs=costs
+        )
+        write_ppm(out / f"fig12_shared_{name}.ppm", shared.to_colors())
+        print(
+            f"fig12 {name}: shared-scale mean temperature "
+            f"{shared.mean_temperature():.3f}"
+        )
+
+    print(f"\nwrote {len(list(out.glob('*.ppm')))} images to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: predict a GPU's ray-tracing performance with Zatel.
+
+Runs the full seven-step pipeline on the PARK scene (the paper's hardest
+workload) for the Mobile SoC configuration, then compares the prediction
+against a ground-truth cycle-level simulation of every pixel.
+
+Usage::
+
+    python examples/quickstart.py [--scene PARK] [--size 96]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    METRICS,
+    MOBILE_SOC,
+    CycleSimulator,
+    RenderSettings,
+    Zatel,
+    compile_kernel,
+    make_scene,
+    trace_frame,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scene", default="PARK", help="library scene name")
+    parser.add_argument("--size", type=int, default=96, help="plane side length")
+    args = parser.parse_args()
+
+    # 1. Build the workload: a scene and a functional trace of its frame.
+    scene = make_scene(args.scene)
+    print(scene.describe())
+    settings = RenderSettings(width=args.size, height=args.size)
+    print(f"tracing {settings.pixel_count()} pixels (functional mode)...")
+    frame = trace_frame(scene, settings)
+
+    # 2. Ground truth: the full cycle-level simulation (what Zatel avoids).
+    print("running the full cycle-level simulation (ground truth)...")
+    warps = compile_kernel(frame, settings.all_pixels(), scene.addresses)
+    full = CycleSimulator(MOBILE_SOC, scene.addresses).run(warps)
+
+    # 3. Zatel's prediction from downscaled, pixel-sampled instances.
+    print("running Zatel (downscale + representative pixels)...\n")
+    result = Zatel(MOBILE_SOC).predict(scene, frame)
+
+    print(
+        f"Zatel on {scene.name} / {MOBILE_SOC.name}: "
+        f"K={result.downscale_factor} groups, "
+        f"mean traced fraction {result.mean_fraction():.0%}, "
+        f"simulation speedup {result.speedup_vs(full):.1f}x "
+        "(groups in parallel)\n"
+    )
+    from repro.harness import RATE_METRICS, metric_errors
+
+    errors = metric_errors(result.metrics, full)
+    header = f"{'metric':<16} {'full sim':>12} {'Zatel':>12} {'error':>9}"
+    print(header)
+    print("-" * len(header))
+    for name in METRICS:
+        unit = "pp" if name in RATE_METRICS else "%"
+        print(
+            f"{name:<16} {full.metric(name):>12.3f} "
+            f"{result.metrics[name]:>12.3f} {errors[name]:>7.1f}{unit}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Accuracy/speedup trade-off study for representative-pixel sampling.
+
+Sweeps the traced-pixel percentage on one scene (Section IV-D style, Figs.
+13/15 in miniature) and prints the error and speedup at each point plus
+the fitted power-law speedup curve (equation 4), helping a user pick the
+Zatel operating point for their study.
+
+Usage::
+
+    python examples/sampling_study.py [--scene BUNNY] [--size 96]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    MOBILE_SOC,
+    CycleSimulator,
+    RenderSettings,
+    SamplingPredictor,
+    compile_kernel,
+    make_scene,
+    trace_frame,
+)
+from repro.core import fit_power_law
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scene", default="BUNNY")
+    parser.add_argument("--size", type=int, default=96)
+    args = parser.parse_args()
+
+    scene = make_scene(args.scene)
+    settings = RenderSettings(width=args.size, height=args.size)
+    print(f"tracing {scene.name} at {args.size}x{args.size}...")
+    frame = trace_frame(scene, settings)
+
+    print("full simulation for ground truth...")
+    warps = compile_kernel(frame, settings.all_pixels(), scene.addresses)
+    full = CycleSimulator(MOBILE_SOC, scene.addresses).run(warps)
+
+    predictor = SamplingPredictor(MOBILE_SOC)
+    percentages = list(range(10, 100, 10))
+    speedups = []
+    print(f"\n{'traced':>7} {'cycles err':>11} {'IPC err':>8} {'speedup':>8}")
+    print("-" * 38)
+    for perc in percentages:
+        prediction = predictor.predict(scene, frame, perc / 100.0)
+        cycles_err = (
+            abs(prediction.metrics["cycles"] - full.cycles) / full.cycles * 100
+        )
+        ipc_err = abs(prediction.metrics["ipc"] - full.ipc) / full.ipc * 100
+        speedup = prediction.speedup_vs(full)
+        speedups.append(speedup)
+        print(f"{perc:>6}% {cycles_err:>10.1f}% {ipc_err:>7.1f}% {speedup:>7.1f}x")
+
+    a, b = fit_power_law(np.array(percentages, float), np.array(speedups))
+    print(
+        f"\nfitted speedup(perc) = {a:.1f} * perc^{b:.2f}"
+        "  (paper eq. 4: 181 * perc^-1.15)"
+    )
+    print(
+        "pick the lowest percentage whose error is tolerable for your "
+        "study; the paper's equation (1) automates this per group from "
+        "the heatmap."
+    )
+
+
+if __name__ == "__main__":
+    main()

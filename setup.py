@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so ``pip install -e .`` works on
+environments that lack the ``wheel`` package (legacy editable installs via
+``--no-use-pep517`` need a ``setup.py``).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""Zatel: sample complexity-aware scale-model simulation for ray tracing.
+
+A reproduction of Grigoryan, Chou and Aamodt (ISPASS 2024).  The package
+splits into:
+
+* :mod:`repro.scene`  — geometry, BVH, materials and the LumiBench-like
+  procedural scene library;
+* :mod:`repro.tracer` — the functional ray tracer producing per-pixel
+  traces (heatmap profiling + workload definition);
+* :mod:`repro.gpu`    — the cycle-level GPU timing simulator (the
+  Vulkan-Sim stand-in) with Table II's Mobile SoC / RTX 2060 presets;
+* :mod:`repro.core`   — the Zatel methodology itself (Fig. 3's seven
+  steps);
+* :mod:`repro.models` — baselines (sampling-only, analytical, PKA-style);
+* :mod:`repro.harness`— cached experiment runner and reporting.
+
+Quickstart::
+
+    from repro import (
+        MOBILE_SOC, RenderSettings, Zatel, make_scene, trace_frame,
+    )
+
+    scene = make_scene("PARK")
+    frame = trace_frame(scene, RenderSettings(width=128, height=128))
+    result = Zatel(MOBILE_SOC).predict(scene, frame)
+    print(result.metrics)
+"""
+
+from .core import (
+    Heatmap,
+    Zatel,
+    ZatelConfig,
+    ZatelResult,
+    quantize_heatmap,
+)
+from .gpu import (
+    METRICS,
+    MOBILE_SOC,
+    RTX_2060,
+    CycleSimulator,
+    GPUConfig,
+    SimulationStats,
+    compile_kernel,
+)
+from .harness import Runner, Workload, shared_runner
+from .models import AnalyticalModel, PKAProjection, SamplingPredictor
+from .scene import (
+    REPRESENTATIVE_SUBSET,
+    SCENE_NAMES,
+    TUNING_SCENES,
+    Scene,
+    build_scene,
+    make_scene,
+)
+from .tracer import FrameTrace, FunctionalTracer, RenderSettings, trace_frame
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticalModel",
+    "CycleSimulator",
+    "FrameTrace",
+    "FunctionalTracer",
+    "GPUConfig",
+    "Heatmap",
+    "METRICS",
+    "MOBILE_SOC",
+    "PKAProjection",
+    "REPRESENTATIVE_SUBSET",
+    "RTX_2060",
+    "Runner",
+    "SCENE_NAMES",
+    "SamplingPredictor",
+    "Scene",
+    "SimulationStats",
+    "TUNING_SCENES",
+    "Workload",
+    "Zatel",
+    "ZatelConfig",
+    "ZatelResult",
+    "build_scene",
+    "compile_kernel",
+    "make_scene",
+    "quantize_heatmap",
+    "shared_runner",
+    "trace_frame",
+    "__version__",
+]

@@ -1,0 +1,247 @@
+"""Implementations of the CLI subcommands.
+
+Each command takes the parsed ``argparse`` namespace and returns an exit
+code.  Output goes to stdout; images to the path given (or a default under
+the working directory).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core import AdaptiveZatel, Heatmap, Zatel, ZatelConfig, quantize_heatmap
+from ..core.extrapolate import fit_power_law
+from ..gpu import METRICS, compile_kernel
+from ..gpu.configfile import resolve_gpu
+from ..gpu.simulator import CycleSimulator
+from ..harness import Workload, format_table, metric_errors, shared_runner
+from ..models import SamplingPredictor
+from ..scene import SCENE_NAMES, make_scene
+from ..scene.library import EXTRA_SCENES
+from ..tracer import FunctionalTracer
+from ..viz import write_ppm
+
+__all__ = [
+    "cmd_scenes",
+    "cmd_configs",
+    "cmd_render",
+    "cmd_heatmap",
+    "cmd_simulate",
+    "cmd_predict",
+    "cmd_sweep",
+]
+
+
+def _workload(args) -> Workload:
+    name = args.scene.upper()
+    if name not in SCENE_NAMES + EXTRA_SCENES:
+        raise ValueError(
+            f"unknown scene {args.scene!r}; available: "
+            f"{', '.join(SCENE_NAMES + EXTRA_SCENES)}"
+        )
+    return Workload(
+        name, width=args.size, height=args.size,
+        samples_per_pixel=args.spp, seed=args.seed,
+    )
+
+
+def cmd_scenes(args) -> int:  # noqa: ARG001 - uniform command signature
+    """List the scene library with geometry statistics."""
+    rows = []
+    for name in SCENE_NAMES + EXTRA_SCENES:
+        scene = make_scene(name)
+        rows.append(
+            [
+                name + ("*" if name in EXTRA_SCENES else ""),
+                scene.triangle_count(),
+                scene.node_count(),
+                scene.bvh.depth(),
+                len(scene.lights),
+                scene.max_bounces,
+            ]
+        )
+    print(
+        format_table(
+            ["scene", "triangles", "BVH nodes", "depth", "lights", "bounces"],
+            rows,
+            title="Scene library (LumiBench stand-ins; see DESIGN.md)",
+        )
+    )
+    print("* extra scene, outside the paper's evaluated set")
+    return 0
+
+
+def cmd_configs(args) -> int:  # noqa: ARG001
+    """Show the Table II GPU presets and their downscaled derivations."""
+    from ..gpu.config import preset
+
+    for key in ("mobile", "rtx2060"):
+        gpu = preset(key)
+        print(gpu.describe())
+        k = gpu.downscale_factor()
+        print(f"  downscale factor K = {k} -> {gpu.downscale(k).name}")
+        print()
+    return 0
+
+
+def cmd_render(args) -> int:
+    """Render the scene's radiance image to PPM."""
+    workload = _workload(args)
+    scene = make_scene(workload.scene_name)
+    image = FunctionalTracer(scene, workload.settings()).render_image()
+    out = Path(args.out or f"{workload.scene_name.lower()}_{args.size}.ppm")
+    write_ppm(out, image)
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_heatmap(args) -> int:
+    """Write the execution-time heatmap (optionally quantized)."""
+    workload = _workload(args)
+    runner = shared_runner()
+    frame = runner.frame(workload)
+    heatmap = Heatmap.from_frame(frame)
+    if args.quantize > 0:
+        quantized = quantize_heatmap(heatmap, args.quantize, seed=args.seed)
+        image = quantized.to_colors()
+        print(
+            "quantized to "
+            f"{quantized.num_colors} colors; coolness values "
+            f"{[round(float(c), 2) for c in quantized.coolness]}"
+        )
+    else:
+        image = heatmap.to_colors()
+    out = Path(args.out or f"{workload.scene_name.lower()}_heatmap.ppm")
+    write_ppm(out, image)
+    print(
+        f"wrote {out} (mean temperature {heatmap.mean_temperature():.2f})"
+    )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Run the full cycle-level simulation and print Table I metrics."""
+    workload = _workload(args)
+    gpu = resolve_gpu(args.gpu)
+    runner = shared_runner()
+    stats = runner.full_sim(workload, gpu)
+    print(stats.summary())
+    return 0
+
+
+def cmd_predict(args) -> int:
+    """Run the Zatel pipeline, optionally validating against ground truth."""
+    workload = _workload(args)
+    gpu = resolve_gpu(args.gpu)
+    runner = shared_runner()
+    scene = runner.scene(workload.scene_name)
+    frame = runner.frame(workload)
+    config = ZatelConfig(
+        division=args.division,
+        distribution=args.distribution,
+        fraction_override=args.fraction,
+    )
+    predictor_class = AdaptiveZatel if args.adaptive else Zatel
+    result = predictor_class(gpu, config).predict(
+        scene, frame, workers=args.workers
+    )
+    print(
+        f"Zatel on {workload.scene_name} / {gpu.name}: "
+        f"K={result.downscale_factor}, "
+        f"mean traced fraction {result.mean_fraction():.0%}"
+    )
+    if args.compare:
+        full = runner.full_sim(workload, gpu)
+        errors = metric_errors(result.metrics, full)
+        rows = [
+            [name, full.metric(name), result.metrics[name], errors[name]]
+            for name in METRICS
+        ]
+        print(
+            format_table(
+                ["metric", "full sim", "Zatel", "error"], rows,
+                title=f"prediction vs ground truth "
+                f"(speedup {result.speedup_vs(full):.1f}x)",
+            )
+        )
+    else:
+        for name in METRICS:
+            print(f"  {name:16s} {result.metrics[name]:12.4f}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Export a scene's functional frame trace as a .ztrace file."""
+    from ..tracer import save_frame
+
+    workload = _workload(args)
+    runner = shared_runner()
+    frame = runner.frame(workload)
+    out = Path(
+        args.out
+        or f"{workload.scene_name.lower()}_{args.size}x{args.size}.ztrace"
+    )
+    save_frame(frame, out)
+    size_kb = out.stat().st_size / 1024
+    print(
+        f"wrote {out} ({size_kb:.0f} KB, {len(frame.pixels)} pixels, "
+        f"{sum(t.total_nodes() for t in frame.pixels.values())} node visits)"
+    )
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    """Summarize a .ztrace file without loading the owning scene."""
+    from ..tracer import load_frame
+
+    frame = load_frame(args.file)
+    nodes = sum(t.total_nodes() for t in frame.pixels.values())
+    tris = sum(t.total_tris() for t in frame.pixels.values())
+    instructions = sum(
+        t.total_instructions() for t in frame.pixels.values()
+    )
+    print(
+        f"{args.file}: scene {frame.scene_name}, "
+        f"{frame.width}x{frame.height} @ {frame.samples_per_pixel} spp"
+    )
+    print(f"  pixels traced      {len(frame.pixels)}")
+    print(f"  BVH node visits    {nodes}")
+    print(f"  triangle tests     {tris}")
+    print(f"  shader instructions {instructions}")
+    print(f"  total cost proxy   {frame.total_cost():.0f}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """§IV-D in miniature: error and speedup per traced percentage."""
+    workload = _workload(args)
+    gpu = resolve_gpu(args.gpu)
+    runner = shared_runner()
+    scene = runner.scene(workload.scene_name)
+    frame = runner.frame(workload)
+    full = runner.full_sim(workload, gpu)
+    predictor = SamplingPredictor(gpu, seed=args.seed)
+
+    percentages = [int(p) for p in args.percentages.split(",") if p.strip()]
+    rows = []
+    speedups = []
+    for perc in percentages:
+        prediction = predictor.predict(scene, frame, perc / 100.0)
+        errors = metric_errors(prediction.metrics, full)
+        speedup = prediction.speedup_vs(full)
+        speedups.append(speedup)
+        rows.append([f"{perc}%", errors["cycles"], errors["ipc"], speedup])
+    print(
+        format_table(
+            ["traced", "cycles err %", "ipc err %", "speedup x"], rows,
+            title=f"sampling sweep on {workload.scene_name} / {gpu.name}",
+            precision=1,
+        )
+    )
+    if len(percentages) >= 2:
+        a, b = fit_power_law(
+            [float(p) for p in percentages], speedups
+        )
+        print(f"fitted speedup(perc) = {a:.1f} * perc^{b:.2f} "
+              "(paper eq. 4: 181 * perc^-1.15)")
+    return 0

@@ -1,0 +1,157 @@
+"""``python -m repro`` — the command-line interface.
+
+Subcommands cover the workflows a downstream user runs most:
+
+=============  ==========================================================
+``scenes``     list the scene library with geometry statistics
+``configs``    show the Table II GPU presets (and their downscaled forms)
+``render``     render a scene to a PPM image
+``heatmap``    write a scene's execution-time heatmap (optionally
+               quantized) as a PPM
+``simulate``   run the full cycle-level simulation and print Table I
+``predict``    run the Zatel pipeline (optionally validating against a
+               full simulation)
+``sweep``      the accuracy/speedup trade-off sweep of §IV-D
+``trace``      export a frame trace as a portable ``.ztrace`` file
+``inspect``    summarize a ``.ztrace`` file
+=============  ==========================================================
+
+Every command accepts ``--size`` (plane side length) and caches frame
+traces under ``.cache/`` through the shared harness runner, so repeated
+invocations are fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .commands import (
+    cmd_configs,
+    cmd_heatmap,
+    cmd_inspect,
+    cmd_predict,
+    cmd_render,
+    cmd_scenes,
+    cmd_simulate,
+    cmd_sweep,
+    cmd_trace,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Zatel: sample complexity-aware scale-model simulation for "
+            "ray tracing (ISPASS 2024 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("scenes", help="list the scene library").set_defaults(
+        func=cmd_scenes
+    )
+    subparsers.add_parser(
+        "configs", help="show GPU configuration presets"
+    ).set_defaults(func=cmd_configs)
+
+    def add_workload_args(p: argparse.ArgumentParser, default_size: int = 96):
+        p.add_argument("scene", help="library scene name (see `repro scenes`)")
+        p.add_argument("--size", type=int, default=default_size,
+                       help="image plane side length")
+        p.add_argument("--spp", type=int, default=1, help="samples per pixel")
+        p.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+
+    render = subparsers.add_parser("render", help="render a scene to PPM")
+    add_workload_args(render)
+    render.add_argument("--out", default=None, help="output .ppm path")
+    render.set_defaults(func=cmd_render)
+
+    heatmap = subparsers.add_parser(
+        "heatmap", help="write a scene's execution-time heatmap"
+    )
+    add_workload_args(heatmap)
+    heatmap.add_argument("--out", default=None, help="output .ppm path")
+    heatmap.add_argument(
+        "--quantize", type=int, default=0, metavar="K",
+        help="K-Means quantize to K colors before writing (0 = raw)",
+    )
+    heatmap.set_defaults(func=cmd_heatmap)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="full cycle-level simulation (ground truth)"
+    )
+    add_workload_args(simulate)
+    simulate.add_argument("--gpu", default="mobile",
+                          help="GPU preset: mobile or rtx2060")
+    simulate.set_defaults(func=cmd_simulate)
+
+    predict = subparsers.add_parser("predict", help="run the Zatel pipeline")
+    add_workload_args(predict)
+    predict.add_argument("--gpu", default="mobile")
+    predict.add_argument("--division", choices=("fine", "coarse"), default="fine")
+    predict.add_argument(
+        "--distribution", choices=("uniform", "lintmp", "exptmp"),
+        default="uniform",
+    )
+    predict.add_argument(
+        "--fraction", type=float, default=None,
+        help="pin the traced fraction (default: equation (1))",
+    )
+    predict.add_argument(
+        "--workers", type=int, default=None,
+        help="run the K group simulations on this many CPU cores",
+    )
+    predict.add_argument(
+        "--compare", action="store_true",
+        help="also run the full simulation and print per-metric errors",
+    )
+    predict.add_argument(
+        "--adaptive", action="store_true",
+        help=(
+            "use the adaptive sample-complexity controller instead of the "
+            "paper's fixed equation-(1) fraction (extension)"
+        ),
+    )
+    predict.set_defaults(func=cmd_predict)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="accuracy/speedup sweep over traced fractions (§IV-D)"
+    )
+    add_workload_args(sweep)
+    sweep.add_argument("--gpu", default="mobile")
+    sweep.add_argument(
+        "--percentages", default="10,20,30,40,50,60,70,80,90",
+        help="comma-separated traced percentages",
+    )
+    sweep.set_defaults(func=cmd_sweep)
+
+    trace = subparsers.add_parser(
+        "trace", help="export a frame trace (.ztrace)"
+    )
+    add_workload_args(trace)
+    trace.add_argument("--out", default=None, help="output .ztrace path")
+    trace.set_defaults(func=cmd_trace)
+
+    inspect = subparsers.add_parser(
+        "inspect", help="summarize a .ztrace file"
+    )
+    inspect.add_argument("file", help="path to a .ztrace file")
+    inspect.set_defaults(func=cmd_inspect)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,68 @@
+"""Zatel's core methodology: heatmaps, quantization, downscaling,
+image-plane division, representative-pixel selection, extrapolation,
+combination, and the seven-step pipeline tying them together."""
+
+from .adaptive import AdaptiveConfig, AdaptiveZatel
+from .combine import combine_group_metrics
+from .downscale import choose_downscale_factor, downscale_gpu, valid_factors
+from .extrapolate import (
+    exponential_regression,
+    fit_power_law,
+    linear_extrapolate,
+    power_law,
+)
+from .heatmap import HEAT_GRADIENT, Heatmap, color_to_temperature, temperature_to_color
+from .partition import (
+    coarse_partition,
+    fine_partition,
+    partition_plane,
+    tile_grid_shape,
+)
+from .pipeline import GroupPrediction, Zatel, ZatelConfig, ZatelResult
+from .quantize import QuantizedHeatmap, kmeans, quantize_heatmap
+from .selection import (
+    DISTRIBUTIONS,
+    MAX_FRACTION,
+    MIN_FRACTION,
+    SectionBlock,
+    color_quotas,
+    compute_fraction,
+    make_section_blocks,
+    select_pixels,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveZatel",
+    "DISTRIBUTIONS",
+    "GroupPrediction",
+    "HEAT_GRADIENT",
+    "Heatmap",
+    "MAX_FRACTION",
+    "MIN_FRACTION",
+    "QuantizedHeatmap",
+    "SectionBlock",
+    "Zatel",
+    "ZatelConfig",
+    "ZatelResult",
+    "choose_downscale_factor",
+    "coarse_partition",
+    "color_quotas",
+    "color_to_temperature",
+    "combine_group_metrics",
+    "compute_fraction",
+    "downscale_gpu",
+    "exponential_regression",
+    "fine_partition",
+    "fit_power_law",
+    "kmeans",
+    "linear_extrapolate",
+    "make_section_blocks",
+    "partition_plane",
+    "power_law",
+    "quantize_heatmap",
+    "select_pixels",
+    "temperature_to_color",
+    "tile_grid_shape",
+    "valid_factors",
+]

@@ -1,0 +1,125 @@
+"""Adaptive sample-complexity control — an extension beyond the paper.
+
+Zatel chooses each group's traced fraction *before* simulating, from the
+heatmap alone (equation 1).  That works when the heatmap is a faithful
+saturation proxy, but §IV-D shows the real accuracy driver is whether the
+*extrapolation has converged* — SPRNG's heatmap cannot reveal that linear
+extrapolation will over-predict 10x.
+
+This extension closes the loop: simulate a group at a small pilot
+fraction, escalate geometrically, and stop when two consecutive
+extrapolated cycle estimates agree within a tolerance::
+
+    fraction: p0, p0*g, p0*g^2, ...   until |est_k - est_{k-1}| <= tol * est_{k-1}
+
+Saturated groups converge after one escalation (cheap); pathological
+groups (SPRNG-like) keep disagreeing and escalate to the cap — spending
+the work exactly where the fixed-fraction design wastes accuracy.  The
+cost accounting charges *all* pilot runs, so comparisons against the
+baseline are fair (``benchmarks/bench_extension_adaptive.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.simulator import CycleSimulator
+from ..scene.scene import Scene
+from ..tracer.trace import FrameTrace
+from .extrapolate import linear_extrapolate
+from .pipeline import GroupPrediction, Zatel, ZatelConfig
+from .quantize import QuantizedHeatmap
+
+__all__ = ["AdaptiveConfig", "AdaptiveZatel"]
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Knobs of the adaptive controller.
+
+    Attributes:
+        pilot_fraction: first fraction simulated per group.
+        growth: geometric escalation factor between attempts.
+        tolerance: relative agreement between consecutive extrapolated
+            cycle estimates that counts as converged.
+        max_fraction: escalation cap (1.0 = may fall back to tracing the
+            whole group).
+    """
+
+    pilot_fraction: float = 0.15
+    growth: float = 1.8
+    tolerance: float = 0.10
+    max_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.pilot_fraction <= 1.0:
+            raise ValueError("pilot_fraction must be in (0, 1]")
+        if self.growth <= 1.0:
+            raise ValueError("growth must exceed 1")
+        if self.tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        if not self.pilot_fraction <= self.max_fraction <= 1.0:
+            raise ValueError("max_fraction must be in [pilot_fraction, 1]")
+
+
+class AdaptiveZatel(Zatel):
+    """Zatel with convergence-checked fraction escalation per group."""
+
+    def __init__(
+        self,
+        gpu_config,
+        config: ZatelConfig | None = None,
+        adaptive: AdaptiveConfig | None = None,
+    ) -> None:
+        super().__init__(gpu_config, config)
+        self.adaptive = adaptive if adaptive is not None else AdaptiveConfig()
+
+    def _predict_group(
+        self,
+        index: int,
+        pixels: list[tuple[int, int]],
+        frame: FrameTrace,
+        quantized: QuantizedHeatmap,
+        simulator: CycleSimulator,
+        scene: Scene,
+    ) -> GroupPrediction:
+        """Escalate the traced fraction until the cycle estimate settles."""
+        controller = self.adaptive
+        group_seed = self.config.seed * 10007 + index
+
+        fraction = controller.pilot_fraction
+        work = 0
+        previous_estimate: float | None = None
+        while True:
+            # Same seed across attempts: selections nest (common random
+            # numbers), so consecutive estimates differ from genuine
+            # saturation curvature, not from re-rolled block choices.
+            stats, selected = self._simulate_subset(
+                pixels, fraction, frame, quantized, simulator, scene,
+                group_seed,
+            )
+            work += stats.work_units
+            metrics = linear_extrapolate(stats, fraction)
+            estimate = metrics["cycles"]
+            converged = (
+                previous_estimate is not None
+                and abs(estimate - previous_estimate)
+                <= controller.tolerance * max(previous_estimate, 1e-9)
+            )
+            at_cap = fraction >= controller.max_fraction
+            if converged or at_cap:
+                break
+            previous_estimate = estimate
+            fraction = min(
+                controller.max_fraction, fraction * controller.growth
+            )
+
+        return GroupPrediction(
+            index=index,
+            pixel_count=len(pixels),
+            fraction=fraction,
+            selected_count=selected,
+            stats=stats,
+            metrics=metrics,
+            work_units=work,
+        )

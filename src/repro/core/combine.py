@@ -1,0 +1,36 @@
+"""Combining per-group predictions into one estimate (Zatel step 7).
+
+Section III-H's rules: the groups' GPUs conceptually run *in parallel*, so
+throughput metrics add (the paper's example: group IPCs of 20 and 50 sum to
+70), while encapsulated metrics — cache miss rates, efficiencies, and the
+simulation cycle count each group independently estimates — average.
+"""
+
+from __future__ import annotations
+
+from ..gpu.stats import METRICS, MetricKind
+
+__all__ = ["combine_group_metrics"]
+
+
+def combine_group_metrics(group_metrics: list[dict[str, float]]) -> dict[str, float]:
+    """Fold K groups' extrapolated metrics into the final prediction.
+
+    ``THROUGHPUT`` metrics sum; everything else averages.  With
+    fine-grained division each group homogeneously samples the scene, which
+    is what justifies both rules.
+
+    Raises:
+        ValueError: for an empty group list.
+    """
+    if not group_metrics:
+        raise ValueError("cannot combine zero groups")
+    combined: dict[str, float] = {}
+    k = len(group_metrics)
+    for name in METRICS:
+        values = [metrics[name] for metrics in group_metrics]
+        if MetricKind.BY_METRIC[name] == MetricKind.THROUGHPUT:
+            combined[name] = sum(values)
+        else:
+            combined[name] = sum(values) / k
+    return combined

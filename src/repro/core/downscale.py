@@ -1,0 +1,40 @@
+"""GPU downscaling (Zatel step 3, Section III-C).
+
+Thin policy layer over :meth:`repro.gpu.config.GPUConfig.downscale`: Zatel
+picks ``K = gcd(#SMs, #memory partitions)`` and divides both counts by it;
+every shared resource expressed per-partition (L2 slice, DRAM channel) or
+per-SM (L1D, RT unit) shrinks automatically.
+"""
+
+from __future__ import annotations
+
+from ..gpu.config import GPUConfig
+
+__all__ = ["choose_downscale_factor", "downscale_gpu", "valid_factors"]
+
+
+def choose_downscale_factor(config: GPUConfig) -> int:
+    """The paper's K: gcd of SM count and memory partition count.
+
+    Mobile SoC (8 SMs, 4 partitions) -> 4; RTX 2060 (30, 12) -> 6.
+    """
+    return config.downscale_factor()
+
+
+def valid_factors(config: GPUConfig) -> list[int]:
+    """All K that evenly divide both component counts, ascending.
+
+    These are the factors the paper sweeps in Section IV-E (2..6 where
+    applicable); 1 (no downscaling) is included first.
+    """
+    gcd = config.downscale_factor()
+    return [k for k in range(1, gcd + 1) if gcd % k == 0]
+
+
+def downscale_gpu(config: GPUConfig, k: int | None = None) -> tuple[GPUConfig, int]:
+    """Downscale ``config`` by ``k`` (default: the gcd factor).
+
+    Returns the scaled configuration together with the factor used.
+    """
+    factor = choose_downscale_factor(config) if k is None else k
+    return config.downscale(factor), factor

@@ -1,0 +1,116 @@
+"""Image-plane division into K groups (Zatel step 4, Section III-D).
+
+Two strategies, compared in the paper's Section IV-E:
+
+* **coarse-grained** — split the plane into K contiguous tiles (Fig. 5);
+  emphasizes *ray locality* (neighbouring rays traverse similar BVH paths).
+* **fine-grained** — split the plane into small chunks (32x2 pixels by
+  default, matching the warp width) and deal them round-robin to the K
+  groups (Fig. 6); each group then *homogeneously samples* the whole
+  scene's complexity, at the cost of extra divergence.
+
+Group pixel lists are ordered chunk-row-major so that consecutive runs of
+32 pixels form warps (see :mod:`repro.gpu.frontend`).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "coarse_partition",
+    "fine_partition",
+    "partition_plane",
+    "tile_grid_shape",
+]
+
+Pixel = tuple[int, int]
+
+
+def tile_grid_shape(k: int, width: int, height: int) -> tuple[int, int]:
+    """Choose a (rows, cols) grid with ``rows * cols == k``.
+
+    Picks the factorization closest to the plane's aspect ratio so coarse
+    tiles stay as square as possible (the paper uses 3x2 for K=6).
+    """
+    if k <= 0:
+        raise ValueError("group count must be positive")
+    best = (1, k)
+    best_score = float("inf")
+    for rows in range(1, k + 1):
+        if k % rows:
+            continue
+        cols = k // rows
+        tile_w = width / cols
+        tile_h = height / rows
+        score = abs(math.log(tile_w / tile_h))
+        if score < best_score:
+            best_score = score
+            best = (rows, cols)
+    return best
+
+
+def coarse_partition(width: int, height: int, k: int) -> list[list[Pixel]]:
+    """Split the plane into K contiguous tiles (coarse-grained, Fig. 5).
+
+    Tile boundaries are rounded so every pixel lands in exactly one group;
+    groups may differ by a row/column of pixels when K does not divide the
+    plane evenly.
+    """
+    rows, cols = tile_grid_shape(k, width, height)
+    groups: list[list[Pixel]] = [[] for _ in range(k)]
+    for py in range(height):
+        tile_row = min(rows - 1, py * rows // height)
+        for px in range(width):
+            tile_col = min(cols - 1, px * cols // width)
+            groups[tile_row * cols + tile_col].append((px, py))
+    return groups
+
+
+def fine_partition(
+    width: int,
+    height: int,
+    k: int,
+    chunk_width: int = 32,
+    chunk_height: int = 2,
+) -> list[list[Pixel]]:
+    """Deal 32x2 chunks round-robin to K groups (fine-grained, Figs. 6-7).
+
+    The chunk width defaults to the warp size so each chunk row maps to one
+    warp; the height stays small (2) to keep chunks area-small while
+    "retaining thread divergence characteristics" (Section III-D).
+    """
+    if chunk_width <= 0 or chunk_height <= 0:
+        raise ValueError("chunk dimensions must be positive")
+    groups: list[list[Pixel]] = [[] for _ in range(k)]
+    index = 0
+    for cy in range(0, height, chunk_height):
+        for cx in range(0, width, chunk_width):
+            group = groups[index % k]
+            index += 1
+            for py in range(cy, min(cy + chunk_height, height)):
+                for px in range(cx, min(cx + chunk_width, width)):
+                    group.append((px, py))
+    return groups
+
+
+def partition_plane(
+    width: int,
+    height: int,
+    k: int,
+    method: str = "fine",
+    chunk_width: int = 32,
+    chunk_height: int = 2,
+) -> list[list[Pixel]]:
+    """Partition dispatcher: ``"fine"`` or ``"coarse"``.
+
+    Raises:
+        ValueError: for an unknown method or non-positive K.
+    """
+    if k <= 0:
+        raise ValueError("group count must be positive")
+    if method == "fine":
+        return fine_partition(width, height, k, chunk_width, chunk_height)
+    if method == "coarse":
+        return coarse_partition(width, height, k)
+    raise ValueError(f"unknown division method {method!r}; use 'fine' or 'coarse'")

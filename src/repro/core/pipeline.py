@@ -1,0 +1,356 @@
+"""The Zatel prediction pipeline (the seven steps of Fig. 3).
+
+::
+
+    (1) profile   -> execution-time heatmap
+    (2) quantize  -> K-Means color quantization
+    (3) downscale -> GPU config divided by K = gcd(SMs, memory partitions)
+    (4) divide    -> K image-plane groups (fine- or coarse-grained)
+    (5) select    -> representative pixel subset per group (eq. 1-3)
+    (6) simulate  -> one downscaled cycle-simulation instance per group,
+                     non-selected pixels filtered via filter_shader
+    (7) combine   -> extrapolate per group, then sum/average across groups
+
+Usage::
+
+    frame = trace_frame(scene, RenderSettings(width=128, height=128))
+    result = Zatel(MOBILE_SOC).predict(scene, frame)
+    print(result.metrics["cycles"])
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+from ..gpu.config import GPUConfig
+from ..gpu.frontend import compile_kernel
+from ..gpu.simulator import CycleSimulator
+from ..gpu.stats import SimulationStats
+from ..scene.scene import Scene
+from ..tracer.trace import FrameTrace
+from .combine import combine_group_metrics
+from .downscale import downscale_gpu
+from .extrapolate import exponential_regression, linear_extrapolate
+from .heatmap import Heatmap
+from .partition import partition_plane
+from .quantize import QuantizedHeatmap, quantize_heatmap
+from .selection import (
+    MAX_FRACTION,
+    MIN_FRACTION,
+    compute_fraction,
+    select_pixels,
+)
+
+__all__ = ["ZatelConfig", "GroupPrediction", "ZatelResult", "Zatel"]
+
+
+@dataclass(frozen=True)
+class ZatelConfig:
+    """Tunable knobs of the Zatel methodology.
+
+    Defaults are the paper's final choices (Section IV-C): fine-grained
+    division, uniform distribution, 32x2 section blocks, linear
+    extrapolation, traced fraction from equation (1) clamped to
+    [0.3, 0.6].
+    """
+
+    division: str = "fine"
+    distribution: str = "uniform"
+    quantize_colors: int = 8
+    block_width: int = 32
+    block_height: int = 2
+    min_fraction: float = MIN_FRACTION
+    max_fraction: float = MAX_FRACTION
+    #: Force the traced fraction (bypasses equation (1)) — e.g. the paper's
+    #: "trace only up to 10% of pixels" PARK experiment.
+    fraction_override: float | None = None
+    #: ``"linear"`` (default) or ``"regression"`` (Section IV-F).
+    extrapolation: str = "linear"
+    #: Fractions simulated per group when ``extrapolation="regression"``.
+    regression_fractions: tuple[float, ...] = (0.2, 0.3, 0.4)
+    #: Downscale factor; ``None`` uses the gcd rule.
+    downscale_factor: int | None = None
+    #: Heatmap construction knobs (DESIGN.md §5): normalization percentile
+    #: and SIMT warp-flattening width (0 disables flattening).
+    heatmap_percentile: float = 99.5
+    heatmap_warp_width: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.division not in ("fine", "coarse"):
+            raise ValueError(f"unknown division method {self.division!r}")
+        if self.extrapolation not in ("linear", "regression"):
+            raise ValueError(f"unknown extrapolation {self.extrapolation!r}")
+        if self.fraction_override is not None and not (
+            0.0 < self.fraction_override <= 1.0
+        ):
+            raise ValueError("fraction_override must be in (0, 1]")
+
+
+@dataclass
+class GroupPrediction:
+    """One group's simulation outcome and extrapolated metrics."""
+
+    index: int
+    pixel_count: int
+    fraction: float
+    selected_count: int
+    stats: SimulationStats
+    metrics: dict[str, float]
+    #: Work done by this group's simulation instance(s); regression mode
+    #: accumulates all three runs.
+    work_units: int
+
+
+@dataclass
+class ZatelResult:
+    """Zatel's final prediction plus everything needed to audit it."""
+
+    metrics: dict[str, float]
+    groups: list[GroupPrediction]
+    downscale_factor: int
+    gpu_name: str
+    scaled_gpu_name: str
+    heatmap: Heatmap
+    quantized: QuantizedHeatmap
+    host_seconds: float = 0.0
+    _extra: dict = field(default_factory=dict)
+
+    @property
+    def total_work_units(self) -> int:
+        """Work summed over groups (serial execution cost)."""
+        return sum(g.work_units for g in self.groups)
+
+    @property
+    def max_group_work_units(self) -> int:
+        """Slowest group's work — the cost when groups run in parallel on
+        separate CPU cores, which is how the paper deploys Zatel."""
+        return max(g.work_units for g in self.groups)
+
+    def speedup_vs(self, full: SimulationStats, parallel: bool = True) -> float:
+        """Simulation-time speedup over a full run (work-unit based).
+
+        ``parallel=True`` assumes the K group instances run concurrently
+        (paper's deployment); ``False`` charges their serial sum.
+        """
+        cost = self.max_group_work_units if parallel else self.total_work_units
+        if cost <= 0:
+            return float("inf")
+        return full.work_units / cost
+
+    def mean_fraction(self) -> float:
+        """Average traced fraction across groups."""
+        return sum(g.fraction for g in self.groups) / len(self.groups)
+
+
+class Zatel:
+    """The Zatel predictor for one GPU configuration.
+
+    Args:
+        gpu_config: the *target* (full-size) GPU to predict for.
+        config: methodology knobs; defaults are the paper's final tuning.
+    """
+
+    def __init__(self, gpu_config: GPUConfig, config: ZatelConfig | None = None) -> None:
+        self.gpu_config = gpu_config
+        self.config = config if config is not None else ZatelConfig()
+
+    def predict(
+        self, scene: Scene, frame: FrameTrace, workers: int | None = None
+    ) -> ZatelResult:
+        """Run the full pipeline against a profiled frame.
+
+        ``frame`` must cover the whole image plane: its per-pixel costs are
+        the profiling input (steps 1-2) and its traces are the workload the
+        group simulations replay (step 6).
+
+        ``workers`` runs the K group simulations on separate CPU cores —
+        the paper's actual deployment ("simulating each group
+        simultaneously on different CPU cores").  Requires a platform with
+        ``fork`` (falls back to serial elsewhere); results are identical
+        either way since groups are independent.
+
+        Returns the combined prediction; compare against a full
+        :class:`~repro.gpu.simulator.CycleSimulator` run of the same frame
+        to measure error.
+        """
+        start_time = time.perf_counter()
+        cfg = self.config
+
+        # (1) + (2): profile and quantize.
+        heatmap = Heatmap.from_frame(
+            frame,
+            percentile=cfg.heatmap_percentile,
+            warp_width=cfg.heatmap_warp_width,
+        )
+        quantized = quantize_heatmap(heatmap, cfg.quantize_colors, seed=cfg.seed)
+
+        # (3): downscale the GPU.
+        scaled_gpu, k = downscale_gpu(self.gpu_config, cfg.downscale_factor)
+
+        # (4): divide the image plane.
+        groups = partition_plane(
+            frame.width,
+            frame.height,
+            k,
+            method=cfg.division,
+            chunk_width=cfg.block_width,
+            chunk_height=cfg.block_height,
+        )
+
+        # (5)-(7): select, simulate, extrapolate each group, then combine.
+        simulator = CycleSimulator(scaled_gpu, _addresses_of(scene))
+        predictions = self._run_groups(
+            groups, frame, quantized, simulator, scene, workers
+        )
+        combined = combine_group_metrics([g.metrics for g in predictions])
+        return ZatelResult(
+            metrics=combined,
+            groups=predictions,
+            downscale_factor=k,
+            gpu_name=self.gpu_config.name,
+            scaled_gpu_name=scaled_gpu.name,
+            heatmap=heatmap,
+            quantized=quantized,
+            host_seconds=time.perf_counter() - start_time,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_groups(
+        self,
+        groups: list[list[tuple[int, int]]],
+        frame: FrameTrace,
+        quantized: QuantizedHeatmap,
+        simulator: CycleSimulator,
+        scene: Scene,
+        workers: int | None,
+    ) -> list[GroupPrediction]:
+        """Run every group's simulation, serially or on forked workers."""
+        if (
+            workers is not None
+            and workers > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        ):
+            global _FORK_CONTEXT
+            _FORK_CONTEXT = (self, groups, frame, quantized, simulator, scene)
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(processes=min(workers, len(groups))) as pool:
+                    return pool.map(_predict_group_by_index, range(len(groups)))
+            finally:
+                _FORK_CONTEXT = None
+        return [
+            self._predict_group(index, pixels, frame, quantized, simulator, scene)
+            for index, pixels in enumerate(groups)
+        ]
+
+    def _group_fraction(
+        self, quantized: QuantizedHeatmap, pixels: list[tuple[int, int]]
+    ) -> float:
+        """Equation (1), unless the caller pinned the fraction."""
+        cfg = self.config
+        if cfg.fraction_override is not None:
+            return cfg.fraction_override
+        return compute_fraction(
+            quantized, pixels, cfg.min_fraction, cfg.max_fraction
+        )
+
+    def _predict_group(
+        self,
+        index: int,
+        pixels: list[tuple[int, int]],
+        frame: FrameTrace,
+        quantized: QuantizedHeatmap,
+        simulator: CycleSimulator,
+        scene: Scene,
+    ) -> GroupPrediction:
+        """Steps 5-6 for one group, plus its extrapolation."""
+        cfg = self.config
+        fraction = self._group_fraction(quantized, pixels)
+        group_seed = cfg.seed * 10007 + index
+
+        if cfg.extrapolation == "linear":
+            stats, selected = self._simulate_subset(
+                pixels, fraction, frame, quantized, simulator, scene, group_seed
+            )
+            metrics = linear_extrapolate(stats, fraction)
+            work = stats.work_units
+        else:
+            samples: list[tuple[float, dict[str, float]]] = []
+            work = 0
+            stats = None
+            selected = 0
+            for i, sample_fraction in enumerate(cfg.regression_fractions):
+                stats, selected = self._simulate_subset(
+                    pixels,
+                    sample_fraction,
+                    frame,
+                    quantized,
+                    simulator,
+                    scene,
+                    group_seed + i,
+                )
+                samples.append(
+                    (sample_fraction, linear_extrapolate(stats, sample_fraction))
+                )
+                work += stats.work_units
+            metrics = exponential_regression(samples)
+            fraction = max(cfg.regression_fractions)
+        assert stats is not None
+        return GroupPrediction(
+            index=index,
+            pixel_count=len(pixels),
+            fraction=fraction,
+            selected_count=selected,
+            stats=stats,
+            metrics=metrics,
+            work_units=work,
+        )
+
+    def _simulate_subset(
+        self,
+        pixels: list[tuple[int, int]],
+        fraction: float,
+        frame: FrameTrace,
+        quantized: QuantizedHeatmap,
+        simulator: CycleSimulator,
+        scene: Scene,
+        seed: int,
+    ) -> tuple[SimulationStats, int]:
+        """Select a subset and run one downscaled simulation instance."""
+        cfg = self.config
+        selected = select_pixels(
+            quantized,
+            pixels,
+            fraction,
+            distribution=cfg.distribution,
+            block_width=cfg.block_width,
+            block_height=cfg.block_height,
+            seed=seed,
+        )
+        warps = compile_kernel(
+            frame, pixels, _addresses_of(scene), selected=selected
+        )
+        return simulator.run(warps), len(selected)
+
+
+def _addresses_of(scene: Scene):
+    """Scene address map accessor (kept separate for test doubles)."""
+    return scene.addresses
+
+
+#: Context handed to forked workers via copy-on-write memory.  Set only for
+#: the duration of a parallel ``predict`` call; fork-based pools inherit it
+#: without pickling the (large) frame trace and scene.
+_FORK_CONTEXT = None
+
+
+def _predict_group_by_index(index: int) -> GroupPrediction:
+    """Worker entry point: predict one group from the forked context."""
+    zatel, groups, frame, quantized, simulator, scene = _FORK_CONTEXT
+    return zatel._predict_group(
+        index, groups[index], frame, quantized, simulator, scene
+    )

@@ -1,0 +1,48 @@
+"""Cycle-level GPU timing simulator (the Vulkan-Sim stand-in)."""
+
+from .cache import Cache, CacheStats, MSHRTable, line_of
+from .config import MOBILE_SOC, RTX_2060, CacheConfig, GPUConfig, preset
+from .configfile import load_config, resolve_gpu, save_config
+from .dram import DRAMChannel, DRAMStats
+from .frontend import compile_kernel
+from .interconnect import Interconnect
+from .memory import MemorySubsystem
+from .rt_unit import RTStats, RTUnit
+from .simulator import CycleSimulator
+from .sm import SM
+from .stats import EXTENDED_METRICS, METRIC_DESCRIPTIONS, METRICS, MetricKind, SimulationStats
+from .warp import ComputeOp, StoreOp, TraceOp, WarpState, WarpTask
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "ComputeOp",
+    "CycleSimulator",
+    "DRAMChannel",
+    "DRAMStats",
+    "GPUConfig",
+    "Interconnect",
+    "MOBILE_SOC",
+    "MSHRTable",
+    "EXTENDED_METRICS",
+    "METRICS",
+    "METRIC_DESCRIPTIONS",
+    "MemorySubsystem",
+    "MetricKind",
+    "RTStats",
+    "RTUnit",
+    "RTX_2060",
+    "SM",
+    "SimulationStats",
+    "StoreOp",
+    "TraceOp",
+    "WarpState",
+    "WarpTask",
+    "compile_kernel",
+    "line_of",
+    "load_config",
+    "preset",
+    "resolve_gpu",
+    "save_config",
+]

@@ -1,0 +1,127 @@
+"""INI config files for GPU configurations.
+
+Cycle-level simulators are conventionally driven by config files
+(GPGPU-Sim/Accel-Sim style) rather than code edits; this module gives
+:class:`~repro.gpu.config.GPUConfig` the same surface::
+
+    [gpu]
+    name = MobileSoC
+    num_sms = 8
+    ...
+    [l1d]
+    size_kb = 64
+    ...
+
+``configs/`` at the repository root ships the two Table II presets in
+this format; ``python -m repro simulate PARK --gpu configs/mobile_soc.ini``
+loads one directly.
+"""
+
+from __future__ import annotations
+
+import configparser
+from pathlib import Path
+
+from .config import CacheConfig, GPUConfig
+
+__all__ = ["save_config", "load_config", "resolve_gpu"]
+
+#: GPUConfig scalar fields serialized under ``[gpu]`` (in file order).
+_GPU_FIELDS = (
+    "name",
+    "num_sms",
+    "num_mem_partitions",
+    "registers_per_sm",
+    "max_warps_per_sm",
+    "warp_size",
+    "registers_per_thread",
+    "rt_units_per_sm",
+    "rt_max_warps",
+    "rt_mshr_size",
+    "rt_step_cycles",
+    "rt_fetch_pipeline",
+    "rt_prefetch_depth",
+    "interconnect_latency",
+    "l2_service_cycles",
+    "dram_latency",
+    "dram_bytes_per_cycle_per_channel",
+    "issue_width",
+    "alu_latency",
+    "warp_scheduler",
+)
+
+#: Cache-valued fields, each serialized as its own section.
+_CACHE_FIELDS = ("l1d", "l2_slice", "icache")
+
+
+def save_config(config: GPUConfig, path: str | Path) -> Path:
+    """Write ``config`` as an INI file; returns the path."""
+    parser = configparser.ConfigParser()
+    parser["gpu"] = {
+        field: str(getattr(config, field)) for field in _GPU_FIELDS
+    }
+    for field in _CACHE_FIELDS:
+        cache: CacheConfig = getattr(config, field)
+        parser[field] = {
+            "size_bytes": str(cache.size_bytes),
+            "line_bytes": str(cache.line_bytes),
+            "associativity": str(cache.associativity),
+            "latency": str(cache.latency),
+        }
+    path = Path(path)
+    with path.open("w") as f:
+        f.write("; GPU configuration for the Zatel reproduction simulator\n")
+        f.write("; (see src/repro/gpu/config.py for field documentation)\n")
+        parser.write(f)
+    return path
+
+
+def load_config(path: str | Path) -> GPUConfig:
+    """Parse an INI file back into a :class:`GPUConfig`.
+
+    Unknown keys are rejected (typos should fail loudly, not silently use
+    a default); missing keys fall back to the dataclass defaults.
+
+    Raises:
+        ValueError: on a missing ``[gpu]`` section, unknown keys, or
+            values the :class:`GPUConfig` validators refuse.
+        FileNotFoundError: if ``path`` does not exist.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    parser = configparser.ConfigParser()
+    parser.read(path)
+    if "gpu" not in parser:
+        raise ValueError(f"{path}: missing [gpu] section")
+
+    kwargs: dict = {}
+    for key, raw in parser["gpu"].items():
+        if key not in _GPU_FIELDS:
+            raise ValueError(f"{path}: unknown [gpu] key {key!r}")
+        kwargs[key] = raw if key in ("name", "warp_scheduler") else int(raw)
+
+    for section in _CACHE_FIELDS:
+        if section not in parser:
+            continue
+        values = parser[section]
+        extra = set(values) - {"size_bytes", "line_bytes", "associativity", "latency"}
+        if extra:
+            raise ValueError(f"{path}: unknown [{section}] keys {sorted(extra)}")
+        kwargs[section] = CacheConfig(
+            size_bytes=int(values["size_bytes"]),
+            line_bytes=int(values["line_bytes"]),
+            associativity=int(values["associativity"]),
+            latency=int(values["latency"]),
+        )
+    return GPUConfig(**kwargs)
+
+
+def resolve_gpu(name_or_path: str) -> GPUConfig:
+    """A preset short name (``mobile``/``rtx2060``) or an INI file path."""
+    from .config import preset
+
+    candidate = Path(name_or_path)
+    if candidate.suffix == ".ini" or candidate.exists():
+        return load_config(candidate)
+    return preset(name_or_path)

@@ -1,0 +1,49 @@
+"""SM <-> memory-partition interconnect.
+
+The paper notes the interconnect "changes automatically with the number of
+SMs and memory controllers" under downscaling, so the model keys everything
+off the partition count: line addresses interleave across partitions, and
+each partition-side port is a serial resource (requests occupy it briefly,
+creating backpressure when many SMs hammer one slice).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Interconnect"]
+
+
+class Interconnect:
+    """Fixed-latency crossbar with per-partition port occupancy."""
+
+    #: Cycles one request occupies a partition-side port (flit time).
+    PORT_OCCUPANCY = 1.0
+
+    def __init__(self, num_partitions: int, latency: int, line_bytes: int) -> None:
+        if num_partitions <= 0:
+            raise ValueError("need at least one memory partition")
+        self.num_partitions = num_partitions
+        self.latency = latency
+        self.line_bytes = line_bytes
+        self._port_busy = [0.0] * num_partitions
+        self.requests = 0
+
+    def partition_of(self, line_addr: int) -> int:
+        """Home partition of a line (line-interleaved address mapping)."""
+        return (line_addr // self.line_bytes) % self.num_partitions
+
+    def deliver(self, line_addr: int, cycle: float) -> tuple[int, float]:
+        """Route a request to its home partition.
+
+        Returns ``(partition_index, arrival_cycle)`` where the arrival
+        accounts for wire latency plus any port queueing at the destination.
+        """
+        partition = self.partition_of(line_addr)
+        arrival = cycle + self.latency
+        start = max(arrival, self._port_busy[partition])
+        self._port_busy[partition] = start + self.PORT_OCCUPANCY
+        self.requests += 1
+        return partition, start
+
+    def return_latency(self) -> float:
+        """Latency of the response path back to the SM."""
+        return float(self.latency)

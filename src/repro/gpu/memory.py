@@ -1,0 +1,85 @@
+"""The shared memory subsystem: interconnect, L2 slices, DRAM channels.
+
+One instance is shared by every SM in a simulation — which is exactly what
+Zatel's group-splitting breaks: each group's simulation instance owns a
+*private* subsystem, so inter-group L2 sharing is lost and the predicted L2
+miss rate inflates (the systematic bias Section III-G describes).
+"""
+
+from __future__ import annotations
+
+from .cache import Cache, CacheStats
+from .config import GPUConfig
+from .dram import DRAMChannel, DRAMStats
+from .interconnect import Interconnect
+
+__all__ = ["MemorySubsystem"]
+
+
+class MemorySubsystem:
+    """L2 + DRAM shared across SMs, reached through the interconnect."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        n = config.num_mem_partitions
+        self.interconnect = Interconnect(
+            n, config.interconnect_latency, config.l2_slice.line_bytes
+        )
+        self.l2_slices = [Cache(config.l2_slice, name=f"l2[{i}]") for i in range(n)]
+        self._l2_busy = [0.0] * n
+        self.dram_channels = [
+            DRAMChannel(
+                access_latency=config.dram_latency,
+                service_cycles=config.dram_service_cycles_per_line,
+            )
+            for _ in range(n)
+        ]
+
+    def access(self, line_addr: int, cycle: float) -> float:
+        """A read request from an SM (post-L1-miss).  Returns completion cycle.
+
+        Path: interconnect -> L2 slice (bank occupancy + tag check) -> on
+        miss, the slice's DRAM channel -> response over the interconnect.
+        """
+        partition, arrival = self.interconnect.deliver(line_addr, cycle)
+        start = max(arrival, self._l2_busy[partition])
+        self._l2_busy[partition] = start + self.config.l2_service_cycles
+        slice_ = self.l2_slices[partition]
+        hit = slice_.access(line_addr)
+        # Table II's 160-cycle L2 latency is load-to-use from the SM;
+        # queueing (port + bank) adds on top of it.  A miss pays the same
+        # slice pipeline to discover the miss, *then* goes to DRAM.
+        tag_done = start + (
+            self.config.l2_slice.latency - self.config.interconnect_latency
+        )
+        if hit:
+            data_ready = tag_done
+        else:
+            data_ready = self.dram_channels[partition].request(tag_done)
+        return data_ready + self.interconnect.return_latency()
+
+    def store(self, line_addr: int, cycle: float) -> None:
+        """A fire-and-forget write (framebuffer): touches the L2 slice only."""
+        partition, arrival = self.interconnect.deliver(line_addr, cycle)
+        start = max(arrival, self._l2_busy[partition])
+        self._l2_busy[partition] = start + self.config.l2_service_cycles
+        self.l2_slices[partition].access(line_addr)
+
+    def finalize(self) -> None:
+        """Close open DRAM accounting intervals at end of simulation."""
+        for channel in self.dram_channels:
+            channel.finalize()
+
+    def l2_stats(self) -> CacheStats:
+        """Aggregated hit/miss counters over every slice."""
+        total = CacheStats()
+        for slice_ in self.l2_slices:
+            total.merge(slice_.stats)
+        return total
+
+    def dram_stats(self) -> DRAMStats:
+        """Aggregated DRAM counters over every channel."""
+        total = DRAMStats()
+        for channel in self.dram_channels:
+            total.merge(channel.stats)
+        return total

@@ -1,0 +1,199 @@
+"""Ray-tracing accelerator unit model.
+
+Each SM hosts ``rt_units_per_sm`` RT units (Table II: 1) with
+``rt_max_warps`` concurrent warp slots and an MSHR bounding outstanding node
+fetches.  A warp's :class:`~repro.gpu.warp.TraceOp` is processed as a
+sequence of lock-step *traversal steps*: at step *s* every lane still alive
+fetches its *s*-th BVH node; the step's latency is the slowest fetch plus a
+fixed box/intersection-test cost.  Triangle tests in the leaves follow the
+same pattern over triangle records.
+
+Steps execute as individual simulator events (:class:`TraversalJob`), so
+concurrent warps' memory traffic interleaves in time — vital for modelling
+bandwidth contention instead of falsely serializing whole traversals.
+
+Two properties of this model carry the paper's story:
+
+* **Divergence costs bandwidth** — a step fetches the *distinct* cache
+  lines its lanes need, so coherent warps (coarse-grained groups, tall
+  section blocks) touch few lines per step while divergent warps
+  (fine-grained chunks) touch many.
+* **RT efficiency** — Table I's "average # of active rays per warp" is the
+  mean lane-liveness over traversal steps, measured here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .warp import TraceOp
+
+__all__ = ["RTUnit", "RTStats", "TraversalJob"]
+
+
+@dataclass
+class RTStats:
+    """Counters for Table I's RT-unit metrics."""
+
+    warps_processed: int = 0
+    traversal_steps: int = 0
+    active_ray_steps: int = 0  # sum over steps of live-lane count
+    node_fetches: int = 0
+    tri_fetches: int = 0
+    prefetches_issued: int = 0
+
+    def merge(self, other: "RTStats") -> None:
+        self.warps_processed += other.warps_processed
+        self.traversal_steps += other.traversal_steps
+        self.active_ray_steps += other.active_ray_steps
+        self.node_fetches += other.node_fetches
+        self.tri_fetches += other.tri_fetches
+        self.prefetches_issued += other.prefetches_issued
+
+    def average_efficiency(self) -> float:
+        """Average active rays per warp per traversal step."""
+        if self.traversal_steps == 0:
+            return 0.0
+        return self.active_ray_steps / self.traversal_steps
+
+
+class RTUnit:
+    """One RT unit: bounded warp slots dispatching step-wise traversal jobs.
+
+    Slot arbitration is cooperative with the simulator: a warp that finds
+    no free slot parks itself on :attr:`waiters`; when a job completes, the
+    simulator releases the slot and wakes the queue head.
+    """
+
+    def __init__(self, sm, max_warps: int, step_cycles: int) -> None:
+        self._sm = sm  # back-reference for the L1/L2 access path
+        self.max_warps = max_warps
+        self.free_slots = max_warps
+        #: Warps waiting for a slot (FIFO of WarpState, managed by the
+        #: simulator's event loop).
+        self.waiters: list = []
+        self.step_cycles = step_cycles
+        self.stats = RTStats()
+
+    def try_acquire_slot(self) -> bool:
+        """Claim a slot if one is free."""
+        if self.free_slots > 0:
+            self.free_slots -= 1
+            return True
+        return False
+
+    def release_slot(self) -> None:
+        """Return a slot to the pool (the simulator then wakes waiters)."""
+        if self.free_slots >= self.max_warps:
+            raise RuntimeError("RT unit slot over-release")
+        self.free_slots += 1
+
+    def start_job(
+        self,
+        op: TraceOp,
+        node_address,
+        triangle_address,
+        line_bytes: int,
+    ) -> "TraversalJob":
+        """Create the stepping job for a warp's traversal."""
+        self.stats.warps_processed += 1
+        return TraversalJob(self, op, node_address, triangle_address, line_bytes)
+
+
+class TraversalJob:
+    """One warp's in-flight traversal, advanced one lock-step at a time.
+
+    The simulator calls :meth:`advance` once per event; each call performs
+    one traversal step's memory fetches and returns the cycle at which the
+    step's results are available.  ``done`` flips after the final step.
+    """
+
+    def __init__(
+        self,
+        unit: RTUnit,
+        op: TraceOp,
+        node_address,
+        triangle_address,
+        line_bytes: int,
+    ) -> None:
+        self.unit = unit
+        self._node_address = node_address
+        self._triangle_address = triangle_address
+        self._line_bytes = line_bytes
+        self._node_lists = [n for n in op.per_thread_nodes if n is not None]
+        self._tri_lists = [t for t in op.per_thread_tris if t is not None]
+        self._node_steps = op.max_node_steps()
+        self._tri_steps = op.max_tri_steps()
+        self._step = 0
+        self.done = self._node_steps + self._tri_steps == 0
+
+    def advance(self, cycle: float) -> float:
+        """Run the next traversal step starting at ``cycle``.
+
+        Returns the step's completion cycle; sets :attr:`done` when this
+        was the last step.
+        """
+        if self.done:
+            raise RuntimeError("advance() called on a finished traversal job")
+        unit = self.unit
+        sm = unit._sm
+        line_bytes = self._line_bytes
+        # line address -> data-ready cycle, deduplicated within the step
+        # (lanes converging on the same node fetch it once).
+        line_ready: dict[int, float] = {}
+        ray_lines: list[tuple[int, int]] = []  # (ray index, line)
+        if self._step < self._node_steps:
+            step = self._step
+            active = 0
+            for ray, nodes in enumerate(self._node_lists):
+                if step < len(nodes):
+                    active += 1
+                    addr = self._node_address(nodes[step])
+                    ray_lines.append((ray, addr - (addr % line_bytes)))
+            unit.stats.traversal_steps += 1
+            unit.stats.active_ray_steps += active
+        else:
+            step = self._step - self._node_steps
+            for ray, tris in enumerate(self._tri_lists):
+                if step < len(tris):
+                    addr = self._triangle_address(tris[step])
+                    ray_lines.append((ray, addr - (addr % line_bytes)))
+
+        for ray, line in ray_lines:
+            if line not in line_ready:
+                line_ready[line] = sm.mem_access(line, cycle)
+        if self._step < self._node_steps:
+            unit.stats.node_fetches += len(line_ready)
+        else:
+            unit.stats.tri_fetches += len(line_ready)
+
+        # Treelet-style prefetch: warm the lines the rays will need
+        # ``rt_prefetch_depth`` steps from now (0 disables).  Prefetches
+        # go through the real memory path and land in the MSHR, so later
+        # demand fetches merge with them.
+        depth = sm.config.rt_prefetch_depth
+        if depth > 0:
+            ahead = self._step + depth
+            if ahead < self._node_steps:
+                line_bytes_ = self._line_bytes
+                for nodes in self._node_lists:
+                    if ahead < len(nodes):
+                        addr = self._node_address(nodes[ahead])
+                        if sm.prefetch(addr - (addr % line_bytes_), cycle):
+                            unit.stats.prefetches_issued += 1
+
+        # The RT unit's fetch pipeline hides cache-hit latency: a step only
+        # stalls the warp for the portion of its slowest fetch exceeding
+        # the pipeline depth (DRAM fills, queueing storms).  Stalling the
+        # *warp clock* matters: the next steps' fetches then issue after
+        # the stall, so a cold-start bandwidth storm delays a warp once
+        # instead of taxing its every subsequent fetch.
+        pipeline_depth = sm.config.rt_fetch_pipeline
+        stall = 0.0
+        for ready in line_ready.values():
+            extra = ready - cycle - pipeline_depth
+            if extra > stall:
+                stall = extra
+        self._step += 1
+        self.done = self._step >= self._node_steps + self._tri_steps
+        return cycle + unit.step_cycles + stall

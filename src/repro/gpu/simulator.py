@@ -1,0 +1,202 @@
+"""The cycle-level GPU timing simulator (Vulkan-Sim stand-in).
+
+Event-driven rather than tick-by-tick: a heap orders warps by their
+next-ready cycle, each pop executes one warp op inline against resource
+timelines (issue ports, RT-unit slots, L2 banks, DRAM channels), and the
+warp is re-queued at its completion cycle.  Oldest-ready-first pop order
+approximates Table II's greedy-then-oldest scheduler.  See DESIGN.md for
+the fidelity discussion.
+
+Usage::
+
+    warps = compile_kernel(frame, pixels, scene.addresses, selected)
+    stats = CycleSimulator(MOBILE_SOC, scene.addresses).run(warps)
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+
+from ..scene.scene import AddressMap
+from .config import GPUConfig
+from .memory import MemorySubsystem
+from .rt_unit import RTStats
+from .sm import SM
+from .stats import SimulationStats
+from .warp import ComputeOp, StoreOp, TraceOp, WarpState, WarpTask
+
+__all__ = ["CycleSimulator"]
+
+
+class CycleSimulator:
+    """Simulates one kernel launch on one GPU configuration."""
+
+    def __init__(self, config: GPUConfig, address_map: AddressMap) -> None:
+        self.config = config
+        self.address_map = address_map
+
+    def run(self, warps: list[WarpTask]) -> SimulationStats:
+        """Execute the warp tasks; returns the run's statistics.
+
+        A fresh memory subsystem and SM array are created per run, so
+        repeated calls are independent — this is what makes Zatel's
+        per-group instances cold-share nothing (the L2 bias of §III-G).
+        """
+        start_time = time.perf_counter()
+        config = self.config
+        memory = MemorySubsystem(config)
+        sms = [SM(i, config, memory) for i in range(config.num_sms)]
+
+        # Distribute warps round-robin across SMs (block scheduler).
+        queues: list[deque[WarpTask]] = [deque() for _ in sms]
+        for i, task in enumerate(warps):
+            queues[i % len(sms)].append(task)
+
+        # Heap entries: (ready cycle, scheduler priority, unique seq, warp).
+        # Priority implements the warp scheduler among same-cycle warps:
+        # GTO uses the (static) age so older warps win; LRR bumps a warp's
+        # priority past its peers every time it issues.
+        heap: list[tuple[float, int, int, WarpState]] = []
+        age = 0
+        push_seq = 0
+        lrr = config.warp_scheduler == "lrr"
+
+        def push(state: WarpState, cycle: float) -> None:
+            nonlocal push_seq
+            heapq.heappush(heap, (cycle, state.age, push_seq, state))
+            push_seq += 1
+
+        def activate(sm_index: int, cycle: float) -> None:
+            nonlocal age
+            if queues[sm_index]:
+                task = queues[sm_index].popleft()
+                state = WarpState(
+                    task=task, sm_index=sm_index, ready_cycle=cycle, age=age
+                )
+                state.activated_cycle = cycle
+                push(state, cycle)
+                age += 1
+
+        resident = config.resident_warps_per_sm
+        for sm_index in range(len(sms)):
+            for _ in range(resident):
+                activate(sm_index, 0.0)
+
+        stats = SimulationStats(config_name=config.name)
+        ops_executed = 0
+        max_completion = 0.0
+
+        while heap:
+            ready, _, _, state = heapq.heappop(heap)
+            sm = sms[state.sm_index]
+            op = state.next_op()
+            if lrr:
+                # Loose round-robin: a warp that just issued falls behind
+                # its same-cycle peers next time.
+                state.age = age
+                age += 1
+            if isinstance(op, TraceOp):
+                if state.job is None:
+                    # First attempt (or woken after parking): claim a slot.
+                    if not state.trace_issued:
+                        if op.active_lanes() == 0:
+                            # Fully masked op: completes in zero time.
+                            state.op_index += 1
+                            push(state, ready)
+                            continue
+                        ready = sm.reserve_issue(ready, 1) + 1
+                        state.trace_issued = True
+                        state.rt_unit = sm.pick_rt_unit()
+                        stats.instructions += op.instruction_count()
+                        stats.issued_warp_instructions += 1
+                        ops_executed += 1
+                    unit = state.rt_unit
+                    if not unit.try_acquire_slot():
+                        unit.waiters.append(state)  # parked; woken on release
+                        continue
+                    job = sm.make_trace_job(unit, op, self.address_map)
+                    if not job.done:
+                        state.job = job
+                        push(state, ready)
+                        continue
+                    # Degenerate zero-step traversal: free the slot now.
+                    unit.release_slot()
+                    if unit.waiters:
+                        push(unit.waiters.pop(0), ready)
+                    completion = ready
+                    state.trace_issued = False
+                    state.rt_unit = None
+                else:
+                    completion = state.job.advance(ready)
+                    unit = state.job.unit
+                    if not state.job.done:
+                        push(state, completion)
+                        continue
+                    state.job = None
+                    state.trace_issued = False
+                    state.rt_unit = None
+                    unit.release_slot()
+                    # Wake one parked warp; it re-attempts acquisition.
+                    if unit.waiters:
+                        push(unit.waiters.pop(0), completion)
+            elif isinstance(op, ComputeOp):
+                completion = sm.execute_compute(op, ready, op_slot=state.op_index)
+                stats.instructions += op.instruction_count()
+                stats.issued_warp_instructions += op.issue_cycles()
+                ops_executed += 1
+            elif isinstance(op, StoreOp):
+                completion = sm.execute_store(op, ready)
+                stats.instructions += op.instruction_count()
+                stats.issued_warp_instructions += 1 if op.active_lanes() else 0
+                ops_executed += 1
+            else:  # pragma: no cover - op types are closed
+                raise TypeError(f"unknown warp op {type(op).__name__}")
+            state.op_index += 1
+            state.ready_cycle = completion
+            if state.done():
+                if completion > max_completion:
+                    max_completion = completion
+                stats.warp_resident_cycles += completion - state.activated_cycle
+                # The warp's resources free up: admit the next queued warp.
+                activate(state.sm_index, completion)
+            else:
+                push(state, completion)
+
+        memory.finalize()
+        stats.cycles = max_completion
+        stats.warp_size = config.warp_size
+        stats.sm_count = config.num_sms
+        stats.resident_limit = config.resident_warps_per_sm
+        stats.warps = len(warps)
+        stats.pixels_traced = sum(t.live_pixels for t in warps)
+        stats.pixels_filtered = sum(t.filtered_pixels for t in warps)
+
+        for sm in sms:
+            stats.l1d_accesses += sm.l1d.stats.accesses
+            stats.l1d_misses += sm.l1d.stats.misses
+        l2 = memory.l2_stats()
+        stats.l2_accesses = l2.accesses
+        stats.l2_misses = l2.misses
+
+        rt_total = RTStats()
+        for sm in sms:
+            for unit in sm.rt_units:
+                rt_total.merge(unit.stats)
+        stats.rt_traversal_steps = rt_total.traversal_steps
+        stats.rt_active_ray_steps = rt_total.active_ray_steps
+
+        dram = memory.dram_stats()
+        stats.dram_requests = dram.requests
+        stats.dram_data_cycles = dram.data_cycles
+        stats.dram_pending_cycles = dram.pending_cycles
+        stats.dram_channels = config.num_mem_partitions
+
+        stats.work_units = (
+            ops_executed
+            + sum(sm.mem_accesses for sm in sms)
+            + rt_total.traversal_steps
+        )
+        stats.host_seconds = time.perf_counter() - start_time
+        return stats

@@ -1,0 +1,161 @@
+"""Streaming multiprocessor model: issue port, L1D, MSHR, RT unit.
+
+The SM is where the three contention effects Zatel's accuracy story depends
+on come together:
+
+* the **issue port** bounds compute throughput (1 warp-instruction/cycle,
+  Table II's greedy-then-oldest scheduler is approximated by the
+  simulator's oldest-ready-first event order);
+* the **L1D + MSHR** bound outstanding memory traffic per SM;
+* the **RT unit slots** bound concurrent traversals (4 warps, Table II).
+
+When many warps are resident the SM is throughput-bound (cycles scale with
+work — the regime where Zatel's linear extrapolation works); with few warps
+it is latency-bound (cycles barely shrink when pixels are dropped — the
+SPRNG failure mode the paper highlights).
+"""
+
+from __future__ import annotations
+
+from .cache import Cache, MSHRTable, line_of
+from .config import GPUConfig
+from .memory import MemorySubsystem
+from .rt_unit import RTUnit
+from .warp import ComputeOp, StoreOp, TraceOp
+
+__all__ = ["SM"]
+
+#: Base address of shader code in the synthetic address space; each warp-op
+#: slot occupies one 16-byte instruction group for icache purposes.
+_SHADER_CODE_BASE = 0xC100_0000
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    def __init__(
+        self, index: int, config: GPUConfig, memory: MemorySubsystem
+    ) -> None:
+        self.index = index
+        self.config = config
+        self.memory = memory
+        self.l1d = Cache(config.l1d, name=f"l1d[{index}]")
+        self.icache = Cache(config.icache, name=f"icache[{index}]")
+        self.mshr = MSHRTable(config.rt_mshr_size)
+        self.rt_units = [
+            RTUnit(self, config.rt_max_warps, config.rt_step_cycles)
+            for _ in range(config.rt_units_per_sm)
+        ]
+        self._next_issue_free = 0.0
+        self._next_rt_unit = 0
+        #: Count of memory-system lookups issued by this SM (work proxy).
+        self.mem_accesses = 0
+
+    # ------------------------------------------------------------------
+    # instruction fetch
+    # ------------------------------------------------------------------
+
+    def fetch_instructions(self, op_slot: int) -> float:
+        """Fetch the instruction group for a warp-op slot.
+
+        Returns the extra latency a cold icache line costs (shader code is
+        tiny, so after the first warp touches a slot this is zero).
+        """
+        address = _SHADER_CODE_BASE + op_slot * 16
+        line = line_of(address, self.config.icache.line_bytes)
+        if self.icache.access(line):
+            return 0.0
+        return float(self.config.icache.latency)
+
+    # ------------------------------------------------------------------
+    # issue port
+    # ------------------------------------------------------------------
+
+    def reserve_issue(self, cycle: float, issue_cycles: int) -> float:
+        """Reserve the issue port for ``issue_cycles``; returns grant cycle."""
+        grant = max(cycle, self._next_issue_free)
+        self._next_issue_free = grant + issue_cycles / self.config.issue_width
+        return grant
+
+    # ------------------------------------------------------------------
+    # memory path (L1 -> MSHR -> shared subsystem)
+    # ------------------------------------------------------------------
+
+    def mem_access(self, line_addr: int, cycle: float) -> float:
+        """Load a line; returns the data-ready cycle."""
+        self.mem_accesses += 1
+        if self.l1d.access(line_addr):
+            return cycle + self.config.l1d.latency
+        # L1 miss detected after the tag-check latency.
+        miss_cycle = cycle + self.config.l1d.latency
+        pending = self.mshr.lookup(line_addr, miss_cycle)
+        if pending is not None:
+            return max(pending, miss_cycle)
+        completion = self.memory.access(line_addr, miss_cycle)
+        alloc_cycle = self.mshr.allocate(line_addr, miss_cycle, completion)
+        return completion + (alloc_cycle - miss_cycle)
+
+    def prefetch(self, line_addr: int, cycle: float) -> bool:
+        """Issue a non-blocking prefetch for a line.
+
+        The fetch goes through the real memory path (occupying interconnect,
+        L2 and DRAM like any miss) and lands in the MSHR, where a later
+        demand access merges with it — so a prefetch hides latency without
+        teleporting data.  Lines already resident or in flight are skipped.
+        Demand L1 hit/miss statistics are untouched (prefetches are not
+        demand accesses).
+
+        Returns True if a fetch was actually issued.
+        """
+        if self.l1d.probe(line_addr):
+            return False
+        if self.mshr.lookup(line_addr, cycle) is not None:
+            return False
+        self.mem_accesses += 1
+        completion = self.memory.access(line_addr, cycle)
+        self.mshr.allocate(line_addr, cycle, completion)
+        return True
+
+    # ------------------------------------------------------------------
+    # op execution
+    # ------------------------------------------------------------------
+
+    def execute_compute(self, op: ComputeOp, ready: float, op_slot: int = 0) -> float:
+        """Issue a compute op; returns the warp's next-ready cycle."""
+        issue_cycles = op.issue_cycles()
+        if issue_cycles == 0:  # fully masked (shouldn't normally happen)
+            return ready
+        fetch = self.fetch_instructions(op_slot)
+        grant = self.reserve_issue(ready + fetch, issue_cycles)
+        return grant + issue_cycles + self.config.alu_latency
+
+    def pick_rt_unit(self) -> "RTUnit":
+        """Round-robin RT-unit selection for the next traceRayEXT."""
+        unit = self.rt_units[self._next_rt_unit]
+        self._next_rt_unit = (self._next_rt_unit + 1) % len(self.rt_units)
+        return unit
+
+    def make_trace_job(self, unit, op: TraceOp, address_map):
+        """Build the traversal job for an op on ``unit`` (slot already held)."""
+        return unit.start_job(
+            op,
+            address_map.node_address,
+            address_map.triangle_address,
+            self.config.l1d.line_bytes,
+        )
+
+    def execute_store(self, op: StoreOp, ready: float) -> float:
+        """Issue framebuffer stores (write-through, fire-and-forget)."""
+        if op.active_lanes() == 0:
+            return ready
+        grant = self.reserve_issue(ready, 1)
+        line_bytes = self.config.l1d.line_bytes
+        lines = {
+            line_of(addr, line_bytes)
+            for addr in op.per_thread_addresses
+            if addr is not None
+        }
+        for line in lines:
+            self.memory.store(line, grant)
+            self.mem_accesses += 1
+        return grant + 1

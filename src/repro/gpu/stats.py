@@ -1,0 +1,221 @@
+"""Simulation statistics: the metrics of paper Table I.
+
+:class:`SimulationStats` is the simulator's entire observable output; Zatel
+and the baselines only ever manipulate these numbers (extrapolate, combine,
+compare).  :data:`METRICS` fixes the canonical metric names/order used by
+every experiment report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["SimulationStats", "METRICS", "METRIC_DESCRIPTIONS", "MetricKind"]
+
+#: Canonical metric keys, in the paper's Table I order.
+METRICS = (
+    "ipc",
+    "cycles",
+    "l1d_miss_rate",
+    "l2_miss_rate",
+    "rt_efficiency",
+    "dram_efficiency",
+    "bw_utilization",
+)
+
+#: Supplementary metrics beyond Table I ("Zatel ... can estimate any
+#: metric that Vulkan-Sim provides, as desired by the user" — these are
+#: the extra ones our simulator provides).  They are not part of the
+#: paper's evaluation, so Zatel's extrapolation/combination tables cover
+#: only :data:`METRICS`.
+EXTENDED_METRICS = (
+    "simd_efficiency",
+    "warp_occupancy",
+)
+
+#: Table I descriptions, keyed by metric.
+METRIC_DESCRIPTIONS = {
+    "ipc": "# of instructions executed per cycle",
+    "cycles": "# of cycles required to ray trace the scene",
+    "l1d_miss_rate": "Total cache miss rate over all L1D instances",
+    "l2_miss_rate": "Total cache miss rate over all L2 instances",
+    "rt_efficiency": (
+        "Average # of active rays per warp over all ray tracing "
+        "accelerator units"
+    ),
+    "dram_efficiency": (
+        "DRAM bandwidth utilization with pending requests waiting to be "
+        "processed"
+    ),
+    "bw_utilization": (
+        "DRAM bandwidth utilization without pending requests waiting to "
+        "be processed"
+    ),
+}
+
+
+class MetricKind:
+    """How a metric behaves under Zatel's extrapolation and combination.
+
+    ``ABSOLUTE`` metrics (cycles, instructions) scale with the amount of
+    work simulated and are linearly extrapolated (Section III-G);
+    ``RATE`` metrics (miss rates, efficiencies) are already normalized and
+    are passed through per group, then averaged across groups;
+    ``THROUGHPUT`` metrics (IPC) are *summed* across groups because the
+    groups' GPUs run concurrently (Section III-H's 20+50 = 70 IPC example).
+    """
+
+    ABSOLUTE = "absolute"
+    RATE = "rate"
+    THROUGHPUT = "throughput"
+
+    BY_METRIC = {
+        "ipc": THROUGHPUT,
+        "cycles": ABSOLUTE,
+        "l1d_miss_rate": RATE,
+        "l2_miss_rate": RATE,
+        "rt_efficiency": RATE,
+        "dram_efficiency": RATE,
+        "bw_utilization": RATE,
+    }
+
+
+@dataclass
+class SimulationStats:
+    """Raw counters of one simulation instance plus derived Table I metrics."""
+
+    config_name: str = ""
+    cycles: float = 0.0
+    instructions: int = 0
+    # caches
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    # RT units
+    rt_traversal_steps: int = 0
+    rt_active_ray_steps: int = 0
+    # DRAM
+    dram_requests: int = 0
+    dram_data_cycles: float = 0.0
+    dram_pending_cycles: float = 0.0
+    dram_channels: int = 1
+    # extended pipeline counters (beyond Table I)
+    #: Warp-level instruction issue slots consumed (lock-step maxima).
+    issued_warp_instructions: int = 0
+    #: Integral of resident warps over time: sum over warps of
+    #: (completion - activation) cycles.
+    warp_resident_cycles: float = 0.0
+    warp_size: int = 32
+    sm_count: int = 1
+    resident_limit: int = 1
+    # bookkeeping
+    warps: int = 0
+    pixels_traced: int = 0
+    pixels_filtered: int = 0
+    #: Deterministic simulation-work proxy (events processed); stands in
+    #: for host wall-clock when computing speedups reproducibly.
+    work_units: int = 0
+    host_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # derived metrics (Table I)
+    # ------------------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Thread-instructions per cycle over the whole GPU."""
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        return self.l1d_misses / self.l1d_accesses if self.l1d_accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+    @property
+    def rt_efficiency(self) -> float:
+        """Average active rays per warp per traversal step."""
+        if self.rt_traversal_steps == 0:
+            return 0.0
+        return self.rt_active_ray_steps / self.rt_traversal_steps
+
+    @property
+    def dram_efficiency(self) -> float:
+        if self.dram_pending_cycles <= 0:
+            return 0.0
+        return min(1.0, self.dram_data_cycles / self.dram_pending_cycles)
+
+    @property
+    def bw_utilization(self) -> float:
+        if self.cycles <= 0 or self.dram_channels <= 0:
+            return 0.0
+        return min(
+            1.0, self.dram_data_cycles / (self.cycles * self.dram_channels)
+        )
+
+    @property
+    def simd_efficiency(self) -> float:
+        """Active thread-instructions per issued warp-instruction slot,
+        normalized by the warp width — 1.0 means every issued instruction
+        had all lanes live (extended metric)."""
+        if self.issued_warp_instructions <= 0 or self.warp_size <= 0:
+            return 0.0
+        return self.instructions / (
+            self.issued_warp_instructions * self.warp_size
+        )
+
+    @property
+    def warp_occupancy(self) -> float:
+        """Average resident-warp slots in use across the run, in [0, 1]
+        (extended metric)."""
+        capacity = self.cycles * self.sm_count * self.resident_limit
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.warp_resident_cycles / capacity)
+
+    def metric(self, name: str) -> float:
+        """Look up a metric (Table I or extended) by canonical name."""
+        if name not in METRICS and name not in EXTENDED_METRICS:
+            raise KeyError(
+                f"unknown metric {name!r}; known: {METRICS + EXTENDED_METRICS}"
+            )
+        return float(getattr(self, name))
+
+    def metrics(self) -> dict[str, float]:
+        """All Table I metrics as a dict (canonical order)."""
+        return {name: self.metric(name) for name in METRICS}
+
+    def extended_metrics(self) -> dict[str, float]:
+        """The supplementary (non-Table-I) metrics."""
+        return {name: self.metric(name) for name in EXTENDED_METRICS}
+
+    def summary(self) -> str:
+        """Human-readable one-run report."""
+        rows = [
+            f"simulation of {self.pixels_traced} pixels "
+            f"({self.pixels_filtered} filtered) on {self.config_name}: "
+            f"{self.warps} warps"
+        ]
+        for name, value in self.metrics().items():
+            rows.append(f"  {name:16s} {value:12.4f}")
+        for name, value in self.extended_metrics().items():
+            rows.append(f"  {name:16s} {value:12.4f}  (extended)")
+        rows.append(f"  {'work_units':16s} {self.work_units:12d}")
+        return "\n".join(rows)
+
+
+def _validate_metric_tables() -> None:
+    """Keep METRICS, descriptions and kinds in lock-step."""
+    assert set(METRIC_DESCRIPTIONS) == set(METRICS)
+    assert set(MetricKind.BY_METRIC) == set(METRICS)
+    assert all(
+        isinstance(getattr(SimulationStats, name), property) for name in METRICS
+        if name != "cycles"
+    )
+
+
+_validate_metric_tables()

@@ -1,0 +1,28 @@
+"""Experiment harness: cached runners, error metrics, report formatting."""
+
+from .metrics import RATE_METRICS, mae, metric_error, metric_errors, percent_error
+from .reporting import format_table, format_value, results_dir, save_result
+from .runner import (
+    DEFAULT_HEIGHT,
+    DEFAULT_WIDTH,
+    Runner,
+    Workload,
+    shared_runner,
+)
+
+__all__ = [
+    "DEFAULT_HEIGHT",
+    "DEFAULT_WIDTH",
+    "Runner",
+    "Workload",
+    "format_table",
+    "format_value",
+    "mae",
+    "metric_error",
+    "metric_errors",
+    "percent_error",
+    "RATE_METRICS",
+    "results_dir",
+    "save_result",
+    "shared_runner",
+]

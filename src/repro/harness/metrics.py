@@ -1,0 +1,70 @@
+"""Error metrics for comparing predictions against ground truth.
+
+The paper reports per-metric *absolute error* and the *mean absolute
+error* (MAE) across metrics or scenes.  Two flavours are used here,
+matching how each metric is naturally expressed:
+
+* unbounded metrics (cycles, IPC, RT efficiency) — relative error,
+  ``|predicted - actual| / actual * 100``;
+* rate metrics already in [0, 1] (cache miss rates, DRAM efficiency,
+  bandwidth utilization) — *percentage-point* error,
+  ``|predicted - actual| * 100``.  A relative error on a near-zero miss
+  rate would explode on differences that are architecturally meaningless
+  (e.g. 2% vs 4% miss rate is a 2-point error, not a "100% error").
+"""
+
+from __future__ import annotations
+
+from ..gpu.stats import METRICS, SimulationStats
+
+__all__ = ["RATE_METRICS", "percent_error", "metric_error", "metric_errors", "mae"]
+
+#: Metrics whose values live in [0, 1]; errors are percentage points.
+RATE_METRICS = frozenset(
+    {"l1d_miss_rate", "l2_miss_rate", "dram_efficiency", "bw_utilization"}
+)
+
+
+def percent_error(predicted: float, actual: float) -> float:
+    """Absolute relative error in percent.
+
+    A zero-actual / zero-predicted pair counts as exact; a zero actual with
+    a non-zero prediction returns ``inf`` (the error is unbounded).
+    """
+    if actual == 0.0:
+        return 0.0 if predicted == 0.0 else float("inf")
+    return abs(predicted - actual) / abs(actual) * 100.0
+
+
+def metric_error(name: str, predicted: float, actual: float) -> float:
+    """Error of one metric, using the convention appropriate to it."""
+    if name in RATE_METRICS:
+        return abs(predicted - actual) * 100.0  # percentage points
+    return percent_error(predicted, actual)
+
+
+def metric_errors(
+    predicted: dict[str, float],
+    actual: SimulationStats | dict[str, float],
+    metrics: tuple[str, ...] = METRICS,
+) -> dict[str, float]:
+    """Per-metric errors of a prediction against ground truth."""
+    reference = actual.metrics() if isinstance(actual, SimulationStats) else actual
+    return {
+        name: metric_error(name, predicted[name], reference[name])
+        for name in metrics
+    }
+
+
+def mae(errors: dict[str, float] | list[float]) -> float:
+    """Mean absolute error over a set of errors.
+
+    Infinite entries (unbounded errors against a zero ground truth) are
+    excluded rather than poisoning the mean; an all-infinite or empty input
+    returns ``inf``.
+    """
+    values = list(errors.values()) if isinstance(errors, dict) else list(errors)
+    finite = [v for v in values if v != float("inf")]
+    if not finite:
+        return float("inf")
+    return sum(finite) / len(finite)

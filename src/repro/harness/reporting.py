@@ -1,0 +1,60 @@
+"""Plain-text tables and result persistence for the benchmark harness.
+
+Each benchmark prints the rows/series the corresponding paper table or
+figure reports, and also writes them under ``results/`` so EXPERIMENTS.md
+can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["format_table", "format_value", "save_result", "results_dir"]
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Human-friendly cell rendering: floats trimmed, the rest ``str``-ed."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    rendered = [[format_value(cell, precision) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def results_dir() -> Path:
+    """``results/`` at the repository root (created on demand)."""
+    path = Path(__file__).resolve().parents[3] / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_result(name: str, content: str) -> Path:
+    """Persist a benchmark's printed output to ``results/<name>.txt``."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path

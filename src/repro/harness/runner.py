@@ -1,0 +1,143 @@
+"""Experiment runner with frame-trace and full-simulation caching.
+
+Every experiment needs (a) a functional frame trace per scene and (b) a
+ground-truth full simulation per (scene, GPU config).  Both are
+deterministic and expensive, so the runner memoizes them in memory and —
+for the frame traces and full sims — pickles them under ``.cache/`` so
+re-running the benchmark suite is cheap.
+
+The canonical experiment plane is
+:data:`DEFAULT_WIDTH` x :data:`DEFAULT_HEIGHT` (the paper uses 512x512 on a
+C++ simulator; see DESIGN.md's scale discussion).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.pipeline import Zatel, ZatelConfig, ZatelResult
+from ..gpu.config import GPUConfig
+from ..gpu.frontend import compile_kernel
+from ..gpu.simulator import CycleSimulator
+from ..gpu.stats import SimulationStats
+from ..scene.library import make_scene
+from ..scene.scene import Scene
+from ..tracer.tracer import FunctionalTracer, RenderSettings
+from ..tracer.trace import FrameTrace
+
+__all__ = ["Workload", "Runner", "shared_runner", "DEFAULT_WIDTH", "DEFAULT_HEIGHT"]
+
+#: Bump to invalidate on-disk caches after model-affecting code changes.
+CACHE_VERSION = 5
+
+DEFAULT_WIDTH = 128
+DEFAULT_HEIGHT = 128
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One ray-tracing workload: a scene at a resolution and sample count."""
+
+    scene_name: str
+    width: int = DEFAULT_WIDTH
+    height: int = DEFAULT_HEIGHT
+    samples_per_pixel: int = 1
+    seed: int = 0
+
+    def settings(self) -> RenderSettings:
+        return RenderSettings(
+            width=self.width,
+            height=self.height,
+            samples_per_pixel=self.samples_per_pixel,
+            seed=self.seed,
+        )
+
+    def key(self) -> str:
+        """Stable cache key."""
+        return (
+            f"{self.scene_name}_{self.width}x{self.height}"
+            f"_spp{self.samples_per_pixel}_s{self.seed}_v{CACHE_VERSION}"
+        )
+
+
+class Runner:
+    """Caches scenes, frame traces and ground-truth simulations."""
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        if cache_dir is None:
+            cache_dir = Path(__file__).resolve().parents[3] / ".cache"
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._frames: dict[str, FrameTrace] = {}
+        self._full_sims: dict[tuple[str, str], SimulationStats] = {}
+
+    # ------------------------------------------------------------------
+
+    def scene(self, name: str) -> Scene:
+        """The (process-cached) library scene."""
+        return make_scene(name)
+
+    def frame(self, workload: Workload) -> FrameTrace:
+        """Full-plane functional trace of a workload, cached to disk."""
+        key = workload.key()
+        if key in self._frames:
+            return self._frames[key]
+        path = self.cache_dir / f"frame_{key}.pkl"
+        if path.exists():
+            with path.open("rb") as f:
+                frame = pickle.load(f)
+        else:
+            frame = FunctionalTracer(
+                self.scene(workload.scene_name), workload.settings()
+            ).trace_frame()
+            with path.open("wb") as f:
+                pickle.dump(frame, f, protocol=pickle.HIGHEST_PROTOCOL)
+        self._frames[key] = frame
+        return frame
+
+    def full_sim(self, workload: Workload, gpu: GPUConfig) -> SimulationStats:
+        """Ground truth: simulate every pixel on the full configuration."""
+        key = (workload.key(), gpu.name)
+        if key in self._full_sims:
+            return self._full_sims[key]
+        path = self.cache_dir / f"full_{workload.key()}_{gpu.name}.pkl"
+        if path.exists():
+            with path.open("rb") as f:
+                stats = pickle.load(f)
+        else:
+            scene = self.scene(workload.scene_name)
+            frame = self.frame(workload)
+            pixels = workload.settings().all_pixels()
+            warps = compile_kernel(frame, pixels, scene.addresses)
+            stats = CycleSimulator(gpu, scene.addresses).run(warps)
+            with path.open("wb") as f:
+                pickle.dump(stats, f, protocol=pickle.HIGHEST_PROTOCOL)
+        self._full_sims[key] = stats
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def zatel(
+        self,
+        workload: Workload,
+        gpu: GPUConfig,
+        config: ZatelConfig | None = None,
+    ) -> ZatelResult:
+        """Run the Zatel pipeline on a workload (not cached: it is the
+        system under test and is cheap relative to ground truth)."""
+        scene = self.scene(workload.scene_name)
+        frame = self.frame(workload)
+        return Zatel(gpu, config).predict(scene, frame)
+
+
+_shared: Runner | None = None
+
+
+def shared_runner() -> Runner:
+    """Process-wide runner so benchmarks share caches."""
+    global _shared
+    if _shared is None:
+        _shared = Runner()
+    return _shared

@@ -1,0 +1,28 @@
+"""Baseline predictors Zatel is compared against: pixel-sampling without
+downscaling (Section IV-D), a GCoM-style analytical model and a PKA-style
+early-termination projection (Section IV-B)."""
+
+from .analytical import AnalyticalModel, AnalyticalPrediction
+from .lineage import (
+    ANALYTICAL_LINEAGE,
+    GCoMStyleModel,
+    GPUMechStyleModel,
+    LineagePrediction,
+    MDMStyleModel,
+)
+from .pka import PKAPrediction, PKAProjection
+from .sampling_only import SamplingPrediction, SamplingPredictor
+
+__all__ = [
+    "ANALYTICAL_LINEAGE",
+    "AnalyticalModel",
+    "AnalyticalPrediction",
+    "GCoMStyleModel",
+    "GPUMechStyleModel",
+    "LineagePrediction",
+    "MDMStyleModel",
+    "PKAPrediction",
+    "PKAProjection",
+    "SamplingPrediction",
+    "SamplingPredictor",
+]

@@ -1,0 +1,96 @@
+"""Pixel-sampling baseline: Zatel's selection *without* GPU downscaling.
+
+Section IV-D isolates the representative-pixel optimization by running the
+model "on {10%, 20%, ..., 90%} of pixels without GPU downscaling" on the
+full configuration and linearly extrapolating.  This predictor is that
+experiment's engine (Figs. 13-16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.extrapolate import linear_extrapolate
+from ..core.quantize import quantize_heatmap
+from ..core.heatmap import Heatmap
+from ..core.selection import select_pixels
+from ..gpu.config import GPUConfig
+from ..gpu.frontend import compile_kernel
+from ..gpu.simulator import CycleSimulator
+from ..gpu.stats import SimulationStats
+from ..scene.scene import Scene
+from ..tracer.trace import FrameTrace
+
+__all__ = ["SamplingPrediction", "SamplingPredictor"]
+
+
+@dataclass
+class SamplingPrediction:
+    """Extrapolated metrics from one sampled run on the full GPU."""
+
+    fraction: float
+    selected_count: int
+    stats: SimulationStats
+    metrics: dict[str, float]
+
+    @property
+    def work_units(self) -> int:
+        return self.stats.work_units
+
+    def speedup_vs(self, full: SimulationStats) -> float:
+        """Simulation-time speedup over the full run (work-unit based)."""
+        if self.stats.work_units <= 0:
+            return float("inf")
+        return full.work_units / self.stats.work_units
+
+
+class SamplingPredictor:
+    """Trace a fixed fraction of pixels on the *full* GPU and extrapolate."""
+
+    def __init__(
+        self,
+        gpu_config: GPUConfig,
+        distribution: str = "uniform",
+        block_width: int = 32,
+        block_height: int = 2,
+        quantize_colors: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.gpu_config = gpu_config
+        self.distribution = distribution
+        self.block_width = block_width
+        self.block_height = block_height
+        self.quantize_colors = quantize_colors
+        self.seed = seed
+
+    def predict(
+        self, scene: Scene, frame: FrameTrace, fraction: float
+    ) -> SamplingPrediction:
+        """Run the sampled simulation at ``fraction`` and extrapolate.
+
+        The whole plane is treated as a single group: heatmap, quantize,
+        select section blocks, simulate with the non-selected pixels
+        filtered, then scale absolute metrics by ``1 / fraction``.
+        """
+        heatmap = Heatmap.from_frame(frame)
+        quantized = quantize_heatmap(heatmap, self.quantize_colors, seed=self.seed)
+        pixels = [
+            (px, py) for py in range(frame.height) for px in range(frame.width)
+        ]
+        selected = select_pixels(
+            quantized,
+            pixels,
+            fraction,
+            distribution=self.distribution,
+            block_width=self.block_width,
+            block_height=self.block_height,
+            seed=self.seed,
+        )
+        warps = compile_kernel(frame, pixels, scene.addresses, selected=selected)
+        stats = CycleSimulator(self.gpu_config, scene.addresses).run(warps)
+        return SamplingPrediction(
+            fraction=fraction,
+            selected_count=len(selected),
+            stats=stats,
+            metrics=linear_extrapolate(stats, fraction),
+        )

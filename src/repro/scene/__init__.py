@@ -1,0 +1,43 @@
+"""Scene substrate: geometry, BVH, materials, cameras, lights and the
+LumiBench-like procedural scene library."""
+
+from .bvh import BVH, BVHNode, TraversalRecord, build_bvh
+from .camera import Camera
+from .geometry import AABB, HitRecord, Ray, Triangle
+from .lights import DirectionalLight, Light, PointLight
+from .materials import Material, MaterialTable, diffuse, emissive, mirror
+from .scene import AddressMap, Scene
+from .library import (
+    REPRESENTATIVE_SUBSET,
+    SCENE_NAMES,
+    TUNING_SCENES,
+    build_scene,
+    make_scene,
+)
+
+__all__ = [
+    "AABB",
+    "AddressMap",
+    "BVH",
+    "BVHNode",
+    "Camera",
+    "DirectionalLight",
+    "HitRecord",
+    "Light",
+    "Material",
+    "MaterialTable",
+    "PointLight",
+    "Ray",
+    "REPRESENTATIVE_SUBSET",
+    "SCENE_NAMES",
+    "Scene",
+    "TUNING_SCENES",
+    "TraversalRecord",
+    "Triangle",
+    "build_bvh",
+    "build_scene",
+    "diffuse",
+    "emissive",
+    "make_scene",
+    "mirror",
+]

@@ -1,0 +1,74 @@
+"""Pinhole camera generating primary rays for an image plane.
+
+The camera defines the mapping ``(pixel x, pixel y) -> primary ray`` that
+both the functional tracer (heatmap profiling) and the timing simulation use,
+so a pixel's identity is consistent across every Zatel step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .geometry import Ray
+from .vecmath import cross, normalize, vec3
+
+__all__ = ["Camera"]
+
+
+@dataclass
+class Camera:
+    """A pinhole camera.
+
+    Attributes:
+        position: eye point.
+        look_at: target point the camera faces.
+        up: world up hint (need not be orthogonal to the view direction).
+        fov_degrees: full vertical field of view.
+    """
+
+    position: np.ndarray
+    look_at: np.ndarray
+    up: np.ndarray = None  # type: ignore[assignment]
+    fov_degrees: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.up is None:
+            self.up = vec3(0.0, 1.0, 0.0)
+        forward = normalize(self.look_at - self.position)
+        right = normalize(cross(forward, self.up))
+        true_up = cross(right, forward)
+        self._forward = forward
+        self._right = right
+        self._up = true_up
+        self._tan_half_fov = math.tan(math.radians(self.fov_degrees) * 0.5)
+
+    def primary_ray(
+        self,
+        px: int,
+        py: int,
+        width: int,
+        height: int,
+        jitter: tuple[float, float] = (0.5, 0.5),
+    ) -> Ray:
+        """Ray through pixel ``(px, py)`` of a ``width x height`` plane.
+
+        ``jitter`` is the sub-pixel sample position in [0, 1)^2; the default
+        samples pixel centres, and the path tracer passes stratified offsets
+        for multi-sample rendering.  Pixel (0, 0) is the top-left corner, as
+        in the paper's image-plane figures.
+        """
+        if not (0 <= px < width and 0 <= py < height):
+            raise ValueError(f"pixel ({px}, {py}) outside {width}x{height} plane")
+        aspect = width / height
+        # NDC in [-1, 1], y flipped so py=0 is the top row.
+        ndc_x = (2.0 * (px + jitter[0]) / width - 1.0) * aspect
+        ndc_y = 1.0 - 2.0 * (py + jitter[1]) / height
+        direction = normalize(
+            self._forward
+            + self._right * (ndc_x * self._tan_half_fov)
+            + self._up * (ndc_y * self._tan_half_fov)
+        )
+        return Ray(origin=self.position.copy(), direction=direction)

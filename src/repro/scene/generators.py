@@ -1,0 +1,142 @@
+"""Parameterized workload generators.
+
+The library scenes are fixed stand-ins for LumiBench; these generators
+produce *families* of scenes with controlled knobs, so methodology
+properties can be tested as controlled experiments instead of anecdotes.
+
+The central one is :func:`saturation_scene`: a clutter scene whose
+``level`` knob monotonically increases how hard the workload saturates a
+GPU (geometry density, frame coverage and path depth all scale with it).
+The paper's recurring hypothesis — "the better the scene saturates the
+GPU, the more accurate Zatel estimates performance metrics" — becomes
+directly sweepable (``benchmarks/bench_saturation_hypothesis.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .camera import Camera
+from .lights import DirectionalLight, PointLight
+from .materials import MaterialTable, diffuse, mirror
+from .meshes import ground_plane, icosphere, random_blob_field
+from .scene import Scene
+from .vecmath import vec3
+
+__all__ = ["saturation_scene", "clutter_scene"]
+
+
+def saturation_scene(level: float, seed: int = 0) -> Scene:
+    """A clutter scene whose GPU saturation scales with ``level`` in [0, 1].
+
+    Three workload dimensions scale together, each of which the paper ties
+    to saturation:
+
+    * **geometry density** — sphere count and tessellation grow, deepening
+      the BVH and its cache working set;
+    * **frame coverage** — the camera tightens so more rays hit geometry
+      instead of terminating on the sky;
+    * **path depth** — max bounces rise from 1 (Whitted-style, SPRNG-like)
+      to 4 (PARK-like path tracing).
+
+    ``level=0`` is an under-saturating two-object scene; ``level=1``
+    approaches PARK's weight.
+
+    Raises:
+        ValueError: for a level outside [0, 1].
+    """
+    if not 0.0 <= level <= 1.0:
+        raise ValueError(f"saturation level must be in [0, 1], got {level}")
+    rng = np.random.default_rng(seed + 90001)
+    materials = MaterialTable()
+    matte = materials.add(diffuse(0.6, 0.55, 0.5))
+    shiny = materials.add(mirror(0.7))
+    floor = materials.add(diffuse(0.35, 0.4, 0.35))
+
+    count = 2 + int(round(level * 28))
+    subdivisions = 1 + int(round(level * 2))
+    bounces = 1 + int(round(level * 3))
+    area = 6.0 - 2.0 * level          # denser packing at high levels
+    camera_back = 9.0 - 4.0 * level   # tighter framing at high levels
+
+    tris = ground_plane(
+        10.0, material_id=floor, divisions=4 + int(level * 8)
+    )
+    tris += random_blob_field(
+        count=count,
+        area=area,
+        radius_range=(0.35, 0.9),
+        rng=rng,
+        material_id=matte,
+        subdivisions=subdivisions,
+    )
+    # A couple of mirrors appear once paths are deep enough to use them.
+    if bounces >= 2:
+        tris += icosphere(
+            vec3(0.0, 1.0, 0.0), 0.9, subdivisions=subdivisions,
+            material_id=shiny,
+        )
+    camera = Camera(
+        position=vec3(0.0, 2.4, camera_back),
+        look_at=vec3(0.0, 1.0, 0.0),
+        fov_degrees=58.0,
+    )
+    lights = [
+        DirectionalLight(direction=vec3(0.3, -1.0, -0.3)),
+        PointLight(position=vec3(-4.0, 5.0, 4.0),
+                   intensity=vec3(0.5, 0.5, 0.5)),
+    ]
+    return Scene(
+        tris,
+        camera,
+        lights,
+        materials,
+        name=f"SAT{int(round(level * 100)):03d}",
+        max_bounces=bounces,
+    )
+
+
+def clutter_scene(
+    triangles_target: int,
+    seed: int = 0,
+    reflective_share: float = 0.2,
+) -> Scene:
+    """A generic clutter scene sized to roughly ``triangles_target``.
+
+    Useful for cache studies: the BVH working set scales ~linearly with
+    the target.  Sphere subdivision is chosen per-blob to land near the
+    requested count.
+
+    Raises:
+        ValueError: for a non-positive target or a share outside [0, 1].
+    """
+    if triangles_target <= 0:
+        raise ValueError("triangles_target must be positive")
+    if not 0.0 <= reflective_share <= 1.0:
+        raise ValueError("reflective_share must be in [0, 1]")
+    rng = np.random.default_rng(seed + 77003)
+    materials = MaterialTable()
+    matte = materials.add(diffuse(0.55, 0.5, 0.45))
+    shiny = materials.add(mirror(0.8))
+    floor = materials.add(diffuse(0.4, 0.4, 0.45))
+
+    tris = ground_plane(9.0, material_id=floor, divisions=6)
+    # Each subdiv-2 sphere is 320 triangles; add blobs until the target.
+    per_blob = 320
+    blobs = max(1, (triangles_target - len(tris)) // per_blob)
+    for _ in range(blobs):
+        material = shiny if rng.random() < reflective_share else matte
+        radius = float(rng.uniform(0.4, 0.8))
+        center = vec3(
+            float(rng.uniform(-5.0, 5.0)), radius, float(rng.uniform(-4.0, 3.0))
+        )
+        tris += icosphere(center, radius, subdivisions=2, material_id=material)
+    camera = Camera(
+        position=vec3(0.0, 2.6, 7.5), look_at=vec3(0.0, 0.9, 0.0),
+        fov_degrees=60.0,
+    )
+    lights = [PointLight(position=vec3(3.0, 6.0, 4.0))]
+    return Scene(
+        tris, camera, lights, materials,
+        name=f"CLTR{triangles_target}", max_bounces=2,
+    )

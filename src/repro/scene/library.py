@@ -1,0 +1,437 @@
+"""The LumiBench-like scene library.
+
+LumiBench's assets are not redistributable, so each scene here is a
+procedural stand-in engineered to match the *characterization* the paper
+gives it (Figs. 9 and 12, Sections IV-B through IV-E):
+
+================  ==========================================================
+``SPNZA``         atrium of columns; moderate occlusion, low cycles error
+``BUNNY``         dense single mesh filling the frame; *warmest* heatmap
+``CHSNT``         large tree; deep, incoherent BVH traversals
+``SPRNG``         only two objects; rays terminate early, GPU under-saturated
+``PARK``          trees + clutter path-traced deep; the hardest workload
+``BATH``          mirrored interior; longest-running scene
+``SHIP``          small distant object; *coldest* heatmap
+``WKND``          half-complex, half-empty frame; mixed warm/cold heatmap
+================  ==========================================================
+
+Scenes are deterministic: all randomness comes from fixed per-scene seeds.
+Use :func:`make_scene` (cached) or :func:`build_scene` (fresh instance).
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from .camera import Camera
+from .lights import DirectionalLight, PointLight
+from .materials import MaterialTable, diffuse, emissive, mirror
+from .meshes import (
+    box,
+    column_grid,
+    fractal_tree,
+    grid_quad,
+    ground_plane,
+    icosphere,
+    quad,
+    random_blob_field,
+)
+from .scene import Scene
+from .vecmath import vec3
+
+__all__ = [
+    "SCENE_NAMES",
+    "REPRESENTATIVE_SUBSET",
+    "TUNING_SCENES",
+    "EXTRA_SCENES",
+    "build_scene",
+    "make_scene",
+]
+
+#: All scenes used in the paper's evaluation (Fig. 9 set).
+SCENE_NAMES = (
+    "SPNZA",
+    "BUNNY",
+    "CHSNT",
+    "SPRNG",
+    "PARK",
+    "BATH",
+    "SHIP",
+    "WKND",
+)
+
+#: LumiBench's "representative subset" used for Fig. 17 — the scenes that
+#: adequately stress a downscaled GPU (excludes the under-saturating ones).
+REPRESENTATIVE_SUBSET = ("PARK", "BUNNY", "BATH", "CHSNT")
+
+#: Additional scenes beyond the paper's evaluated set, for users extending
+#: the study (LumiBench itself ships more scenes than the paper uses).
+EXTRA_SCENES = ("CRNL", "FRST", "DRGN")
+
+#: The three temperature-distribution scenes of Fig. 12 / Table III.
+TUNING_SCENES = ("SHIP", "WKND", "BUNNY")
+
+
+def build_scene(name: str) -> Scene:
+    """Construct a fresh instance of a library scene by name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scene {name!r}; available: "
+            f"{', '.join(SCENE_NAMES + EXTRA_SCENES)}"
+        ) from None
+    return builder()
+
+
+@functools.lru_cache(maxsize=None)
+def make_scene(name: str) -> Scene:
+    """Cached scene factory; experiments share one instance per scene."""
+    return build_scene(name)
+
+
+def _spnza() -> Scene:
+    """Atrium of columns under a directional sun (Sponza stand-in)."""
+    materials = MaterialTable()
+    stone = materials.add(diffuse(0.75, 0.7, 0.6))
+    floor = materials.add(diffuse(0.5, 0.5, 0.55))
+    tris = ground_plane(14.0, material_id=floor, divisions=12)
+    tris += column_grid(
+        rows=4, cols=8, spacing=2.6, column_height=6.0, column_radius=0.45,
+        segments=10, material_id=stone,
+    )
+    # Upper gallery slab creating indoor-style occlusion, plus a coffered
+    # ceiling and ornamental spheres to give the BVH a realistic footprint.
+    tris += box(vec3(0.0, 6.4, 0.0), vec3(10.5, 0.3, 5.5), material_id=stone)
+    for gx in range(-4, 5):
+        for gz in (-4.2, 4.2):
+            tris += box(
+                vec3(gx * 2.4, 7.2, gz), vec3(1.0, 0.25, 1.0),
+                material_id=stone,
+            )
+    rng = np.random.default_rng(9)
+    for gx in range(-3, 4):
+        tris += icosphere(
+            vec3(gx * 3.0, 6.9, 0.0), 0.4, subdivisions=2, material_id=stone
+        )
+    camera = Camera(
+        position=vec3(-10.0, 3.2, 0.0), look_at=vec3(6.0, 2.4, 0.0),
+        fov_degrees=68.0,
+    )
+    lights = [DirectionalLight(direction=vec3(0.4, -1.0, 0.25))]
+    return Scene(tris, camera, lights, materials, name="SPNZA", max_bounces=2)
+
+
+def _bunny() -> Scene:
+    """Dense geodesic mesh filling the frame — uniformly warm heatmap."""
+    materials = MaterialTable()
+    fur = materials.add(diffuse(0.85, 0.78, 0.65, shade_cost=16))
+    floor = materials.add(diffuse(0.4, 0.45, 0.4))
+    tris = ground_plane(3.2, material_id=floor, divisions=6)
+    # A "body" and "head" of dense spheres approximating a bunny silhouette.
+    # Subdivision level 4 puts the mesh working set well beyond the L1D,
+    # like LumiBench's real 69k-triangle bunny.
+    tris += icosphere(vec3(0.0, 1.2, 0.0), 1.2, subdivisions=4, material_id=fur)
+    tris += icosphere(vec3(0.0, 2.6, 0.7), 0.7, subdivisions=3, material_id=fur)
+    tris += icosphere(vec3(-0.35, 3.3, 0.75), 0.22, subdivisions=2, material_id=fur)
+    tris += icosphere(vec3(0.35, 3.3, 0.75), 0.22, subdivisions=2, material_id=fur)
+    # Tight framing: the mesh fills most of the image plane, so nearly every
+    # pixel traverses the dense subtree (the paper's warmest heatmap).
+    camera = Camera(
+        position=vec3(0.0, 1.9, 3.1), look_at=vec3(0.0, 1.7, 0.0),
+        fov_degrees=56.0,
+    )
+    lights = [PointLight(position=vec3(4.0, 7.0, 5.0))]
+    return Scene(tris, camera, lights, materials, name="BUNNY", max_bounces=2)
+
+
+def _chsnt() -> Scene:
+    """A large chestnut-like tree — deep, incoherent traversals."""
+    rng = np.random.default_rng(1203)
+    materials = MaterialTable()
+    bark = materials.add(diffuse(0.45, 0.32, 0.2))
+    leaf = materials.add(diffuse(0.25, 0.55, 0.2, shade_cost=20))
+    floor = materials.add(diffuse(0.35, 0.5, 0.3))
+    tris = ground_plane(12.0, material_id=floor, divisions=10)
+    tris += fractal_tree(
+        vec3(0.0, 0.0, 0.0), height=2.6, depth=5, rng=rng,
+        trunk_material=bark, leaf_material=leaf,
+    )
+    camera = Camera(
+        position=vec3(0.0, 3.4, 9.0), look_at=vec3(0.0, 4.2, 0.0),
+        fov_degrees=55.0,
+    )
+    lights = [DirectionalLight(direction=vec3(-0.3, -1.0, -0.4))]
+    return Scene(tris, camera, lights, materials, name="CHSNT", max_bounces=2)
+
+
+def _sprng() -> Scene:
+    """Two lone objects in a void — rays terminate early (under-saturating).
+
+    The paper singles SPRNG out: "Since there are only two objects in the
+    scene, most rays end up terminating early", making linear extrapolation
+    of its cycles badly over-predict.
+    """
+    materials = MaterialTable()
+    coil = materials.add(diffuse(0.7, 0.7, 0.75))
+    base = materials.add(diffuse(0.6, 0.55, 0.5))
+    tris = icosphere(vec3(-1.2, 1.0, 0.0), 0.9, subdivisions=2, material_id=coil)
+    tris += box(vec3(1.4, 0.6, 0.0), vec3(0.6, 0.6, 0.6), material_id=base)
+    camera = Camera(
+        position=vec3(0.0, 1.4, 6.0), look_at=vec3(0.0, 0.9, 0.0),
+        fov_degrees=45.0,
+    )
+    lights = [PointLight(position=vec3(3.0, 6.0, 4.0))]
+    return Scene(tris, camera, lights, materials, name="SPRNG", max_bounces=1)
+
+
+def _park() -> Scene:
+    """Trees, clutter and deep paths — the hardest path-tracing workload."""
+    rng = np.random.default_rng(77)
+    materials = MaterialTable()
+    bark = materials.add(diffuse(0.4, 0.3, 0.2))
+    leaf = materials.add(diffuse(0.2, 0.5, 0.18, shade_cost=22))
+    grass = materials.add(diffuse(0.3, 0.45, 0.25))
+    bench = materials.add(diffuse(0.5, 0.4, 0.3))
+    pond = materials.add(mirror(0.8))
+    tris = ground_plane(16.0, material_id=grass, divisions=12)
+    for tx, tz in [(-4.0, -2.0), (2.5, -4.5), (5.0, 1.5), (-1.5, 3.0)]:
+        tris += fractal_tree(
+            vec3(tx, 0.0, tz), height=2.2, depth=4, rng=rng,
+            trunk_material=bark, leaf_material=leaf,
+        )
+    tris += random_blob_field(
+        count=12, area=7.0, radius_range=(0.25, 0.7), rng=rng,
+        material_id=bench, subdivisions=2,
+    )
+    # Reflective pond patch to force long secondary chains.
+    tris += quad(
+        vec3(-2.0, 0.02, -1.0), vec3(4.0, 0.0, 0.0), vec3(0.0, 0.0, 3.0),
+        material_id=pond,
+    )
+    camera = Camera(
+        position=vec3(0.0, 2.6, 10.0), look_at=vec3(0.0, 1.8, 0.0),
+        fov_degrees=62.0,
+    )
+    lights = [
+        DirectionalLight(direction=vec3(0.35, -1.0, -0.3)),
+        PointLight(position=vec3(-5.0, 5.0, 5.0),
+                   intensity=vec3(0.6, 0.6, 0.7)),
+    ]
+    return Scene(tris, camera, lights, materials, name="PARK", max_bounces=4)
+
+
+def _bath() -> Scene:
+    """Mirrored interior — the longest-running scene (highest saturation)."""
+    materials = MaterialTable()
+    tile = materials.add(diffuse(0.8, 0.85, 0.9, shade_cost=16))
+    glass = materials.add(mirror(0.9))
+    fixture = materials.add(diffuse(0.9, 0.9, 0.92))
+    lamp = materials.add(emissive(4.0, 4.0, 3.6))
+    wet = materials.add(mirror(0.5))  # wet tiled floor: long reflection chains
+    room = 4.0
+    tris: list = []
+    # Five walls of a closed room (open towards the camera at +Z), each
+    # tessellated so the BVH working set resembles a real tiled interior.
+    tris += grid_quad(
+        vec3(-room, 0, -room), vec3(2 * room, 0, 0), vec3(0, 0, 2 * room),
+        12, 12, wet,
+    )
+    tris += grid_quad(
+        vec3(-room, 2 * room, -room), vec3(0, 0, 2 * room), vec3(2 * room, 0, 0),
+        12, 12, tile,
+    )
+    tris += grid_quad(
+        vec3(-room, 0, -room), vec3(0, 2 * room, 0), vec3(2 * room, 0, 0),
+        12, 12, tile,
+    )
+    tris += grid_quad(
+        vec3(-room, 0, -room), vec3(0, 0, 2 * room), vec3(0, 2 * room, 0),
+        10, 10, glass,
+    )
+    tris += grid_quad(
+        vec3(room, 0, -room), vec3(0, 2 * room, 0), vec3(0, 0, 2 * room),
+        10, 10, glass,
+    )
+    # Fixtures: tub, sink, mirror-ball, towel spheres.
+    tris += box(vec3(0.0, 0.5, -2.5), vec3(1.6, 0.5, 0.9), material_id=fixture)
+    tris += box(vec3(-3.0, 0.9, 0.5), vec3(0.5, 0.9, 0.5), material_id=fixture)
+    tris += icosphere(vec3(2.2, 1.4, 0.0), 0.8, subdivisions=3, material_id=glass)
+    tris += icosphere(vec3(-2.2, 0.4, 2.0), 0.4, subdivisions=2, material_id=fixture)
+    tris += icosphere(vec3(1.0, 0.3, 2.4), 0.3, subdivisions=2, material_id=fixture)
+    # Ceiling lamp panel.
+    tris += quad(vec3(-1.0, 2 * room - 0.01, -1.0), vec3(2, 0, 0), vec3(0, 0, 2), lamp)
+    camera = Camera(
+        position=vec3(0.0, 3.2, 7.5), look_at=vec3(0.0, 2.0, -1.0),
+        fov_degrees=58.0,
+    )
+    lights = [PointLight(position=vec3(0.0, 7.0, 0.0))]
+    return Scene(tris, camera, lights, materials, name="BATH", max_bounces=4)
+
+
+def _ship() -> Scene:
+    """A small, distant but detailed object — most rays terminate cheaply
+    on the sea or sky, so the heatmap is the library's coldest."""
+    materials = MaterialTable()
+    hull = materials.add(diffuse(0.5, 0.35, 0.25, shade_cost=24))
+    sail = materials.add(diffuse(0.9, 0.9, 0.85, shade_cost=20))
+    sea = materials.add(diffuse(0.15, 0.25, 0.4, shade_cost=8))
+    rng = np.random.default_rng(40)
+    tris = ground_plane(40.0, y=0.0, material_id=sea, divisions=2)
+    # A detailed ship: hull, two masts, sails, deck clutter.  The dense
+    # local geometry makes ship pixels far hotter than the flat sea, which
+    # is what pushes the sea/sky majority towards temperature ~0.
+    tris += box(vec3(0.0, 0.6, -14.0), vec3(2.0, 0.5, 0.7), material_id=hull)
+    tris += box(vec3(0.0, 1.25, -14.0), vec3(1.6, 0.15, 0.55), material_id=hull)
+    for mx in (-0.9, 0.7):
+        tris += box(vec3(mx, 2.4, -14.0), vec3(0.07, 1.3, 0.07), material_id=hull)
+        tris += quad(
+            vec3(mx - 0.9, 1.6, -14.05), vec3(1.8, 0.0, 0.0), vec3(0.0, 1.7, 0.0),
+            sail,
+        )
+    for _ in range(14):  # deck clutter (crates/barrels)
+        cx = float(rng.uniform(-1.4, 1.4))
+        cz = float(rng.uniform(-14.4, -13.6))
+        tris += icosphere(vec3(cx, 1.5, cz), 0.16, subdivisions=2, material_id=hull)
+    # Rigging spheres along the masts for extra local BVH density.
+    for i in range(12):
+        tris += icosphere(
+            vec3(-0.9 + 0.15 * i, 2.0 + 0.12 * i, -14.0), 0.06,
+            subdivisions=1, material_id=sail,
+        )
+    camera = Camera(
+        position=vec3(0.0, 2.8, 6.0), look_at=vec3(0.0, 1.6, -14.0),
+        fov_degrees=55.0,
+    )
+    lights = [DirectionalLight(direction=vec3(0.2, -1.0, -0.5))]
+    return Scene(tris, camera, lights, materials, name="SHIP", max_bounces=2)
+
+
+def _wknd() -> Scene:
+    """Half-complex, half-empty frame — mixed warm/cold heatmap."""
+    rng = np.random.default_rng(5150)
+    materials = MaterialTable()
+    wood = materials.add(diffuse(0.55, 0.4, 0.25, shade_cost=16))
+    leaf = materials.add(diffuse(0.3, 0.55, 0.25, shade_cost=18))
+    lawn = materials.add(diffuse(0.35, 0.5, 0.3))
+    chrome = materials.add(mirror(0.75))
+    tris = ground_plane(14.0, material_id=lawn, divisions=8)
+    # Cabin, a dense tree and a mirror sphere fill the left half of the
+    # frame; the right half is bare lawn/sky — the warm/cold split the
+    # paper's Fig. 12 shows for WKND.
+    tris += box(vec3(-3.3, 1.2, -1.0), vec3(1.6, 1.2, 1.4), material_id=wood)
+    tris += fractal_tree(
+        vec3(-4.6, 0.0, 1.2), height=2.4, depth=5, rng=rng,
+        trunk_material=wood, leaf_material=leaf,
+    )
+    tris += icosphere(vec3(-0.8, 1.1, 1.6), 1.1, subdivisions=3, material_id=chrome)
+    camera = Camera(
+        position=vec3(0.8, 2.2, 6.0), look_at=vec3(-1.8, 1.6, 0.0),
+        fov_degrees=62.0,
+    )
+    lights = [
+        DirectionalLight(direction=vec3(0.3, -1.0, -0.2)),
+        PointLight(position=vec3(4.0, 4.0, 4.0), intensity=vec3(0.4, 0.4, 0.4)),
+    ]
+    return Scene(tris, camera, lights, materials, name="WKND", max_bounces=3)
+
+
+def _crnl() -> Scene:
+    """A Cornell-box-style enclosure with emissive ceiling light.
+
+    Not in the paper's evaluated set; the classic global-illumination
+    sanity scene for users extending the study.
+    """
+    materials = MaterialTable()
+    white = materials.add(diffuse(0.75, 0.75, 0.75))
+    red = materials.add(diffuse(0.65, 0.06, 0.06))
+    green = materials.add(diffuse(0.12, 0.48, 0.1))
+    lamp = materials.add(emissive(6.0, 6.0, 5.4))
+    s = 2.75
+    tris: list = []
+    tris += grid_quad(vec3(-s, 0, -s), vec3(2 * s, 0, 0), vec3(0, 0, 2 * s), 10, 10, white)
+    tris += grid_quad(vec3(-s, 2 * s, -s), vec3(0, 0, 2 * s), vec3(2 * s, 0, 0), 10, 10, white)
+    tris += grid_quad(vec3(-s, 0, -s), vec3(0, 2 * s, 0), vec3(2 * s, 0, 0), 10, 10, white)
+    tris += grid_quad(vec3(-s, 0, -s), vec3(0, 0, 2 * s), vec3(0, 2 * s, 0), 8, 8, red)
+    tris += grid_quad(vec3(s, 0, -s), vec3(0, 2 * s, 0), vec3(0, 0, 2 * s), 8, 8, green)
+    # Tall and short blocks plus a dense sphere for BVH depth.
+    tris += box(vec3(-1.0, 1.6, -1.0), vec3(0.7, 1.6, 0.7), material_id=white)
+    tris += box(vec3(1.1, 0.65, 0.6), vec3(0.65, 0.65, 0.65), material_id=white)
+    tris += icosphere(vec3(1.1, 1.9, 0.6), 0.55, subdivisions=3, material_id=white)
+    tris += quad(vec3(-0.8, 2 * s - 0.01, -0.8), vec3(1.6, 0, 0), vec3(0, 0, 1.6), lamp)
+    camera = Camera(
+        position=vec3(0.0, s, 9.0), look_at=vec3(0.0, s, 0.0), fov_degrees=40.0,
+    )
+    lights = [PointLight(position=vec3(0.0, 2 * s - 0.4, 0.0))]
+    return Scene(tris, camera, lights, materials, name="CRNL", max_bounces=3)
+
+
+def _frst() -> Scene:
+    """A dense forest — many trees, extreme traversal incoherence.
+
+    Not in the paper's evaluated set; a heavier foliage workload than PARK
+    for stress-testing samplers.
+    """
+    rng = np.random.default_rng(2718)
+    materials = MaterialTable()
+    bark = materials.add(diffuse(0.42, 0.3, 0.2))
+    leaf = materials.add(diffuse(0.18, 0.45, 0.16, shade_cost=22))
+    moss = materials.add(diffuse(0.25, 0.4, 0.22))
+    tris = ground_plane(18.0, material_id=moss, divisions=10)
+    for i in range(7):
+        tx = float(rng.uniform(-8.0, 8.0))
+        tz = float(rng.uniform(-6.0, 4.0))
+        tris += fractal_tree(
+            vec3(tx, 0.0, tz), height=float(rng.uniform(1.8, 2.6)), depth=4,
+            rng=rng, trunk_material=bark, leaf_material=leaf,
+        )
+    camera = Camera(
+        position=vec3(0.0, 2.8, 10.0), look_at=vec3(0.0, 2.6, 0.0),
+        fov_degrees=64.0,
+    )
+    lights = [DirectionalLight(direction=vec3(0.25, -1.0, -0.35))]
+    return Scene(tris, camera, lights, materials, name="FRST", max_bounces=3)
+
+
+def _drgn() -> Scene:
+    """A single dense "dragon" mesh on a pedestal (museum-piece workload).
+
+    Not in the paper's evaluated set; a BUNNY-like single-object scene with
+    an even deeper local BVH.
+    """
+    materials = MaterialTable()
+    jade = materials.add(diffuse(0.3, 0.6, 0.45, shade_cost=18))
+    stone = materials.add(diffuse(0.55, 0.55, 0.5))
+    tris = ground_plane(5.0, material_id=stone, divisions=6)
+    tris += box(vec3(0.0, 0.4, 0.0), vec3(1.4, 0.4, 0.9), material_id=stone)
+    # Body segments of decreasing radius approximating a serpentine mesh.
+    for i in range(6):
+        t = i / 5.0
+        center = vec3(-1.2 + 2.4 * t, 1.3 + 0.5 * np.sin(t * 6.0), 0.0)
+        tris += icosphere(
+            center, 0.55 - 0.28 * t, subdivisions=3, material_id=jade
+        )
+    camera = Camera(
+        position=vec3(0.0, 1.8, 4.2), look_at=vec3(0.0, 1.3, 0.0),
+        fov_degrees=52.0,
+    )
+    lights = [PointLight(position=vec3(3.0, 5.0, 4.0))]
+    return Scene(tris, camera, lights, materials, name="DRGN", max_bounces=2)
+
+
+
+_BUILDERS = {
+    "SPNZA": _spnza,
+    "BUNNY": _bunny,
+    "CHSNT": _chsnt,
+    "SPRNG": _sprng,
+    "PARK": _park,
+    "BATH": _bath,
+    "SHIP": _ship,
+    "WKND": _wknd,
+    "CRNL": _crnl,
+    "FRST": _frst,
+    "DRGN": _drgn,
+}

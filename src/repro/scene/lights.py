@@ -1,0 +1,74 @@
+"""Light sources for shadow-ray casting.
+
+The paper's Fig. 1 workflow — primary ray, then a secondary (shadow) ray
+towards the light — is driven by these light descriptions.  Shadow rays are
+what create the "secondary ray" traffic whose divergence Zatel's fine-grained
+partitioning is designed to sample well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .geometry import Ray
+from .vecmath import length, normalize, vec3
+
+__all__ = ["PointLight", "DirectionalLight", "Light"]
+
+
+@dataclass
+class PointLight:
+    """An omnidirectional point light at ``position``."""
+
+    position: np.ndarray
+    intensity: np.ndarray = field(default_factory=lambda: vec3(1.0, 1.0, 1.0))
+
+    def shadow_ray(self, from_point: np.ndarray) -> tuple[Ray, float]:
+        """Ray from ``from_point`` towards the light and the light distance.
+
+        The returned ray's ``t_max`` is set just short of the light so
+        occluders behind the light do not count.
+        """
+        to_light = self.position - from_point
+        distance = length(to_light)
+        ray = Ray(
+            origin=from_point,
+            direction=normalize(to_light),
+            t_min=1e-4,
+            t_max=distance - 1e-4,
+        )
+        return ray, distance
+
+    def irradiance_at(self, distance: float) -> np.ndarray:
+        """Inverse-square falloff irradiance."""
+        return self.intensity / max(distance * distance, 1e-6)
+
+
+@dataclass
+class DirectionalLight:
+    """A light infinitely far away along ``-direction`` (e.g. the sun)."""
+
+    direction: np.ndarray  # direction the light *travels* (towards surfaces)
+    intensity: np.ndarray = field(default_factory=lambda: vec3(1.0, 1.0, 1.0))
+
+    def __post_init__(self) -> None:
+        self.direction = normalize(self.direction)
+
+    def shadow_ray(self, from_point: np.ndarray) -> tuple[Ray, float]:
+        """Shadow ray towards the light (opposite the travel direction)."""
+        ray = Ray(
+            origin=from_point,
+            direction=-self.direction,
+            t_min=1e-4,
+            t_max=float("inf"),
+        )
+        return ray, float("inf")
+
+    def irradiance_at(self, distance: float) -> np.ndarray:  # noqa: ARG002
+        """Directional lights do not attenuate with distance."""
+        return self.intensity
+
+
+Light = PointLight | DirectionalLight

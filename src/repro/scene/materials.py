@@ -1,0 +1,86 @@
+"""Surface materials for the tracer.
+
+The material model is deliberately small — Lambertian diffuse, perfect
+mirror, and emissive — because Zatel's behaviour depends on *how long rays
+bounce and where they go*, not on shading fidelity.  Reflectivity is the
+knob the scene library uses to create long secondary-ray chains (BATH) and
+early terminations (SPRNG).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .vecmath import vec3
+
+__all__ = ["Material", "diffuse", "mirror", "emissive", "MaterialTable"]
+
+
+@dataclass(frozen=True)
+class Material:
+    """A surface description.
+
+    Attributes:
+        albedo: diffuse reflectance per RGB channel, each in [0, 1].
+        reflectivity: probability mass of perfect specular reflection in
+            [0, 1]; the tracer spawns a mirror bounce when a path sample
+            falls under this threshold.
+        emission: radiated RGB radiance (non-zero makes this a light).
+        shade_cost: extra shader ALU instructions this material's hit shader
+            executes — feeds the PTX/shader model, letting scenes vary their
+            compute intensity.
+    """
+
+    albedo: np.ndarray = field(default_factory=lambda: vec3(0.8, 0.8, 0.8))
+    reflectivity: float = 0.0
+    emission: np.ndarray = field(default_factory=lambda: vec3(0.0, 0.0, 0.0))
+    shade_cost: int = 12
+
+    def is_emissive(self) -> bool:
+        """Whether the material radiates light."""
+        return bool(np.any(self.emission > 0.0))
+
+
+def diffuse(r: float, g: float, b: float, shade_cost: int = 12) -> Material:
+    """A Lambertian material with the given albedo."""
+    return Material(albedo=vec3(r, g, b), shade_cost=shade_cost)
+
+
+def mirror(reflectivity: float = 1.0, shade_cost: int = 18) -> Material:
+    """A (possibly partial) mirror; ``reflectivity`` in [0, 1]."""
+    if not 0.0 <= reflectivity <= 1.0:
+        raise ValueError(f"reflectivity must be in [0, 1], got {reflectivity}")
+    return Material(
+        albedo=vec3(0.95, 0.95, 0.95),
+        reflectivity=reflectivity,
+        shade_cost=shade_cost,
+    )
+
+
+def emissive(r: float, g: float, b: float, shade_cost: int = 6) -> Material:
+    """A light-emitting material."""
+    return Material(emission=vec3(r, g, b), shade_cost=shade_cost)
+
+
+class MaterialTable:
+    """Index-addressed material storage for a scene.
+
+    Triangles carry a ``material_id`` into this table; a default grey
+    diffuse material occupies slot 0 so fresh meshes are always renderable.
+    """
+
+    def __init__(self) -> None:
+        self._materials: list[Material] = [diffuse(0.7, 0.7, 0.7)]
+
+    def add(self, material: Material) -> int:
+        """Register a material, returning its id."""
+        self._materials.append(material)
+        return len(self._materials) - 1
+
+    def __getitem__(self, material_id: int) -> Material:
+        return self._materials[material_id]
+
+    def __len__(self) -> int:
+        return len(self._materials)

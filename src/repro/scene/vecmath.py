@@ -1,0 +1,121 @@
+"""Small 3D vector-math toolkit used throughout the scene and tracer layers.
+
+Vectors are plain ``numpy`` arrays of shape ``(3,)`` and dtype ``float64``.
+Keeping them as raw arrays (rather than a ``Vec3`` class) lets the BVH and
+tracer hot loops stay allocation-light while remaining readable.  The helpers
+here exist so call sites can say *what* they compute (``reflect``,
+``normalize``) instead of spelling out the algebra.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "vec3",
+    "normalize",
+    "length",
+    "dot",
+    "cross",
+    "reflect",
+    "lerp",
+    "clamp",
+    "orthonormal_basis",
+    "spherical_direction",
+    "EPSILON",
+]
+
+#: Geometric tolerance used for ray offsets and degenerate-triangle checks.
+EPSILON = 1e-9
+
+
+def vec3(x: float, y: float, z: float) -> np.ndarray:
+    """Build a 3-component float vector."""
+    return np.array([x, y, z], dtype=np.float64)
+
+
+def length(v: np.ndarray) -> float:
+    """Euclidean length of ``v``."""
+    return float(math.sqrt(v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+
+
+def normalize(v: np.ndarray) -> np.ndarray:
+    """Return ``v`` scaled to unit length.
+
+    Raises:
+        ValueError: if ``v`` is (numerically) the zero vector, since a
+            direction cannot be recovered from it.
+    """
+    n = length(v)
+    if n < EPSILON:
+        raise ValueError("cannot normalize a zero-length vector")
+    return v / n
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> float:
+    """Dot product as a Python float (faster than ``np.dot`` for 3-vectors)."""
+    return float(a[0] * b[0] + a[1] * b[1] + a[2] * b[2])
+
+
+def cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Cross product ``a x b``."""
+    return np.array(
+        [
+            a[1] * b[2] - a[2] * b[1],
+            a[2] * b[0] - a[0] * b[2],
+            a[0] * b[1] - a[1] * b[0],
+        ],
+        dtype=np.float64,
+    )
+
+
+def reflect(direction: np.ndarray, normal: np.ndarray) -> np.ndarray:
+    """Reflect ``direction`` about ``normal`` (both assumed unit length)."""
+    return direction - 2.0 * dot(direction, normal) * normal
+
+
+def lerp(a: np.ndarray, b: np.ndarray, t: float) -> np.ndarray:
+    """Linear interpolation between ``a`` and ``b`` at parameter ``t``."""
+    return a + (b - a) * t
+
+
+def clamp(x: float, lo: float, hi: float) -> float:
+    """Clamp scalar ``x`` into ``[lo, hi]``."""
+    return lo if x < lo else hi if x > hi else x
+
+
+def orthonormal_basis(normal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Build two unit tangents forming a right-handed frame with ``normal``.
+
+    Uses the branchless Duff et al. construction, which is stable for any
+    unit ``normal``.
+    """
+    sign = math.copysign(1.0, normal[2])
+    a = -1.0 / (sign + normal[2])
+    b = normal[0] * normal[1] * a
+    tangent = np.array(
+        [1.0 + sign * normal[0] * normal[0] * a, sign * b, -sign * normal[0]],
+        dtype=np.float64,
+    )
+    bitangent = np.array(
+        [b, sign + normal[1] * normal[1] * a, -normal[1]], dtype=np.float64
+    )
+    return tangent, bitangent
+
+
+def spherical_direction(u: float, v: float, normal: np.ndarray) -> np.ndarray:
+    """Map uniform samples ``(u, v)`` to a cosine-weighted hemisphere direction.
+
+    The hemisphere is oriented around ``normal``.  Used by the path tracer for
+    diffuse bounces; cosine weighting keeps the estimator low-variance without
+    explicit PDF bookkeeping for Lambertian surfaces.
+    """
+    r = math.sqrt(u)
+    theta = 2.0 * math.pi * v
+    x = r * math.cos(theta)
+    y = r * math.sin(theta)
+    z = math.sqrt(max(0.0, 1.0 - u))
+    tangent, bitangent = orthonormal_basis(normal)
+    return normalize(x * tangent + y * bitangent + z * normal)

@@ -1,0 +1,32 @@
+"""Functional ray tracer producing per-pixel traces for the GPU simulator."""
+
+from .ptx import (
+    FILTER_EXIT_INSTRUCTIONS,
+    InstructionClass,
+    PTXInstruction,
+    ShaderProgram,
+    inject_filter_shader,
+    raygen_shader,
+)
+from .trace import FrameTrace, PixelTrace, RaySegment, SegmentKind
+from .serialization import FORMAT_VERSION, load_frame, save_frame
+from .tracer import FunctionalTracer, RenderSettings, trace_frame
+
+__all__ = [
+    "FILTER_EXIT_INSTRUCTIONS",
+    "FrameTrace",
+    "FunctionalTracer",
+    "InstructionClass",
+    "PTXInstruction",
+    "PixelTrace",
+    "FORMAT_VERSION",
+    "RaySegment",
+    "RenderSettings",
+    "SegmentKind",
+    "ShaderProgram",
+    "inject_filter_shader",
+    "load_frame",
+    "raygen_shader",
+    "save_frame",
+    "trace_frame",
+]

@@ -1,0 +1,123 @@
+"""PTX-like shader program model and the ``filter_shader`` injection.
+
+Vulkan-Sim executes ray-tracing shaders as PTX; Zatel filters pixels by
+injecting a custom ``filter_shader`` instruction at the top of the ray
+generation shader (the paper's Listing 1)::
+
+    filter_shader %p1;
+    @!%p1 exit;
+
+Threads whose pixel is filtered out execute those two instructions and exit,
+so "their impact on the final performance statistics is negligible" but not
+zero.  This module models shader programs at the granularity the timing
+simulator needs: instruction classes and counts, not semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = [
+    "InstructionClass",
+    "PTXInstruction",
+    "ShaderProgram",
+    "raygen_shader",
+    "inject_filter_shader",
+    "FILTER_EXIT_INSTRUCTIONS",
+]
+
+#: Instructions a filtered-out thread executes before exiting
+#: (``filter_shader`` + predicated ``exit``).
+FILTER_EXIT_INSTRUCTIONS = 2
+
+
+class InstructionClass(Enum):
+    """Coarse PTX instruction classes with distinct timing behaviour."""
+
+    ALU = "alu"            # int/fp arithmetic, moves, predicates
+    SFU = "sfu"            # transcendental (rsqrt, sin, ...)
+    LOAD = "load"          # global/local memory load
+    STORE = "store"        # global memory store
+    TRACE = "trace"        # hand-off to the RT unit (traceRayEXT)
+    FILTER = "filter"      # Zatel's injected filter_shader
+    EXIT = "exit"          # thread exit
+
+
+@dataclass(frozen=True)
+class PTXInstruction:
+    """One (possibly repeated) PTX instruction.
+
+    ``repeat`` collapses runs of same-class instructions so shader programs
+    stay small while preserving exact instruction counts.
+    """
+
+    opcode: str
+    klass: InstructionClass
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeat < 1:
+            raise ValueError("instruction repeat count must be >= 1")
+
+
+@dataclass
+class ShaderProgram:
+    """An ordered list of PTX instructions forming one shader stage."""
+
+    name: str
+    instructions: list[PTXInstruction] = field(default_factory=list)
+
+    def instruction_count(self, klass: InstructionClass | None = None) -> int:
+        """Total dynamic instructions, optionally filtered by class."""
+        return sum(
+            inst.repeat
+            for inst in self.instructions
+            if klass is None or inst.klass is klass
+        )
+
+    def prepend(self, instructions: list[PTXInstruction]) -> "ShaderProgram":
+        """New program with ``instructions`` injected at the top."""
+        return ShaderProgram(self.name, list(instructions) + list(self.instructions))
+
+
+def raygen_shader(setup_instructions: int = 20) -> ShaderProgram:
+    """The ray-generation shader skeleton.
+
+    Mirrors a typical Vulkan ray-gen shader: compute the pixel's camera ray
+    (ALU + a reciprocal-sqrt normalize), call ``traceRayEXT``, then write the
+    shaded result to the framebuffer.
+    """
+    return ShaderProgram(
+        name="raygen",
+        instructions=[
+            PTXInstruction("mad.lo.s32", InstructionClass.ALU, 4),  # pixel coords
+            PTXInstruction("cvt.rn.f32.s32", InstructionClass.ALU, 2),
+            PTXInstruction("fma.rn.f32", InstructionClass.ALU, setup_instructions - 9),
+            PTXInstruction("rsqrt.approx.f32", InstructionClass.SFU, 1),
+            PTXInstruction("mul.f32", InstructionClass.ALU, 2),
+            PTXInstruction("traceRayEXT", InstructionClass.TRACE, 1),
+            PTXInstruction("st.global.v4.f32", InstructionClass.STORE, 1),
+            PTXInstruction("exit", InstructionClass.EXIT, 1),
+        ],
+    )
+
+
+def inject_filter_shader(program: ShaderProgram) -> ShaderProgram:
+    """Inject Zatel's pixel filter at the top of a shader (paper Listing 1).
+
+    The injected pair is::
+
+        filter_shader %p1;   // %p1 <- 0 if the pixel is filtered out
+        @!%p1 exit;
+
+    Filtered threads execute exactly :data:`FILTER_EXIT_INSTRUCTIONS`
+    instructions; surviving threads pay the same two-instruction overhead
+    and continue.
+    """
+    return program.prepend(
+        [
+            PTXInstruction("filter_shader", InstructionClass.FILTER, 1),
+            PTXInstruction("@!%p1 exit", InstructionClass.EXIT, 1),
+        ]
+    )

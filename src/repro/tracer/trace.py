@@ -1,0 +1,135 @@
+"""Trace data structures produced by the functional tracer.
+
+A :class:`PixelTrace` is the contract between the ray tracer and everything
+downstream:
+
+* the **heatmap** (step 1 of Zatel) reads its :meth:`PixelTrace.cost` — the
+  per-pixel runtime proxy;
+* the **GPU timing simulator** replays its alternating compute/ray-trace
+  *op pattern* through SMs, RT units and the cache hierarchy.
+
+Every pixel's op pattern is strictly alternating::
+
+    COMPUTE (ray-gen setup) , [ RT (traversal) , COMPUTE (shader) ] * N
+
+which lets warps of 32 pixels execute in lock-step with a shrinking active
+mask, exactly like SIMT reconvergence at shader exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["SegmentKind", "RaySegment", "PixelTrace", "FrameTrace"]
+
+
+class SegmentKind(Enum):
+    """What role a traced ray played in the light-transport path."""
+
+    PRIMARY = "primary"
+    SHADOW = "shadow"
+    REFLECTION = "reflection"
+    BOUNCE = "bounce"
+
+
+@dataclass
+class RaySegment:
+    """One ray's walk through the scene.
+
+    Attributes:
+        kind: the ray's role (primary/shadow/reflection/diffuse bounce).
+        nodes: BVH node indices visited, in order.
+        tris: triangle indices whose intersection test executed.
+        hit: whether the ray found an intersection (for shadow rays:
+            whether it was occluded).
+        shade_instructions: ALU instructions the shader runs after this
+            segment returns (hit/miss shading, next-ray setup).
+    """
+
+    kind: SegmentKind
+    nodes: list[int]
+    tris: list[int]
+    hit: bool
+    shade_instructions: int
+
+    def traversal_steps(self) -> int:
+        """Number of BVH node visits (the RT unit's work for this ray)."""
+        return len(self.nodes)
+
+
+@dataclass
+class PixelTrace:
+    """Complete functional trace of one pixel across all its samples."""
+
+    px: int
+    py: int
+    segments: list[RaySegment] = field(default_factory=list)
+    #: Ray-generation setup instructions executed before the first trace.
+    raygen_instructions: int = 24
+
+    def total_nodes(self) -> int:
+        """Total BVH node visits across all segments."""
+        return sum(len(s.nodes) for s in self.segments)
+
+    def total_tris(self) -> int:
+        """Total triangle intersection tests across all segments."""
+        return sum(len(s.tris) for s in self.segments)
+
+    def total_instructions(self) -> int:
+        """Total shader ALU instructions (excluding RT-unit work)."""
+        return self.raygen_instructions + sum(
+            s.shade_instructions for s in self.segments
+        )
+
+    def cost(self) -> float:
+        """Per-pixel runtime proxy used to build the execution-time heatmap.
+
+        Weights approximate relative hardware latencies: a node visit is a
+        cache access + box test, a triangle test is heavier, and plain ALU
+        instructions are cheap.  The heatmap only needs a monotone proxy of
+        runtime (the paper profiles wall-clock on a hardware GPU), so the
+        exact weights are not critical.
+        """
+        return (
+            4.0 * self.total_nodes()
+            + 6.0 * self.total_tris()
+            + 1.0 * self.total_instructions()
+        )
+
+
+@dataclass
+class FrameTrace:
+    """Functional traces for (a subset of) an image plane.
+
+    ``pixels`` maps ``(px, py)`` to that pixel's trace.  A frame trace over
+    the full plane is the single most expensive artifact in the pipeline, so
+    the harness caches one per (scene, resolution, spp) and every experiment
+    replays it.
+    """
+
+    width: int
+    height: int
+    samples_per_pixel: int
+    scene_name: str
+    pixels: dict[tuple[int, int], PixelTrace] = field(default_factory=dict)
+
+    def get(self, px: int, py: int) -> PixelTrace:
+        """Trace of pixel ``(px, py)``; raises ``KeyError`` if not traced."""
+        return self.pixels[(px, py)]
+
+    def cost_map(self):
+        """Dense ``height x width`` array of per-pixel costs (0 = untraced).
+
+        Imported lazily to keep this module numpy-free for the dataclasses.
+        """
+        import numpy as np
+
+        grid = np.zeros((self.height, self.width), dtype=np.float64)
+        for (px, py), trace in self.pixels.items():
+            grid[py, px] = trace.cost()
+        return grid
+
+    def total_cost(self) -> float:
+        """Sum of all traced pixels' costs."""
+        return sum(t.cost() for t in self.pixels.values())

@@ -1,0 +1,6 @@
+"""Dependency-free visualization helpers: PPM image I/O and ASCII charts."""
+
+from .charts import bar_chart, line_chart, sparkline
+from .images import read_ppm, write_ppm
+
+__all__ = ["bar_chart", "line_chart", "read_ppm", "sparkline", "write_ppm"]

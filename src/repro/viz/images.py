@@ -1,0 +1,70 @@
+"""Minimal dependency-free image I/O (binary PPM).
+
+PPM is the one raster format writable and readable without third-party
+encoders, which keeps the repository runnable offline.  Used by the
+heatmap tooling, the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_ppm", "read_ppm"]
+
+
+def write_ppm(path: str | Path, image: np.ndarray) -> Path:
+    """Write an ``(H, W, 3)`` float image in [0, 1] as binary PPM (P6).
+
+    Values outside [0, 1] are clipped.  Returns the written path.
+
+    Raises:
+        ValueError: for a wrongly shaped array.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected an (H, W, 3) image, got shape {image.shape}")
+    data = (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    height, width, _ = data.shape
+    path = Path(path)
+    with path.open("wb") as f:
+        f.write(f"P6 {width} {height} 255\n".encode())
+        f.write(data.tobytes())
+    return path
+
+
+def read_ppm(path: str | Path) -> np.ndarray:
+    """Read a binary PPM (P6) back into an ``(H, W, 3)`` float image.
+
+    Only the subset :func:`write_ppm` emits is supported (single
+    whitespace-separated header, maxval 255).
+
+    Raises:
+        ValueError: for non-P6 files or truncated payloads.
+    """
+    raw = Path(path).read_bytes()
+    if not raw.startswith(b"P6"):
+        raise ValueError("not a binary PPM (P6) file")
+    # Header: magic, width, height, maxval — whitespace separated.
+    fields: list[bytes] = []
+    index = 2
+    while len(fields) < 3:
+        while index < len(raw) and raw[index : index + 1].isspace():
+            index += 1
+        if index < len(raw) and raw[index : index + 1] == b"#":
+            while index < len(raw) and raw[index : index + 1] != b"\n":
+                index += 1
+            continue
+        start = index
+        while index < len(raw) and not raw[index : index + 1].isspace():
+            index += 1
+        fields.append(raw[start:index])
+    width, height, maxval = (int(f) for f in fields)
+    if maxval != 255:
+        raise ValueError(f"unsupported maxval {maxval}")
+    payload = raw[index + 1 : index + 1 + width * height * 3]
+    if len(payload) != width * height * 3:
+        raise ValueError("truncated PPM payload")
+    data = np.frombuffer(payload, dtype=np.uint8).reshape(height, width, 3)
+    return data.astype(np.float64) / 255.0

@@ -1,0 +1,73 @@
+"""Tests for the adaptive sample-complexity extension."""
+
+import pytest
+
+from repro.core import AdaptiveConfig, AdaptiveZatel, Zatel
+from repro.gpu import MOBILE_SOC, METRICS
+
+
+class TestAdaptiveConfig:
+    def test_defaults_valid(self):
+        cfg = AdaptiveConfig()
+        assert 0 < cfg.pilot_fraction < cfg.max_fraction <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(pilot_fraction=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(growth=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(tolerance=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(pilot_fraction=0.5, max_fraction=0.3)
+
+
+class TestAdaptiveZatel:
+    @pytest.fixture(scope="class")
+    def result(self, small_scene, small_frame):
+        return AdaptiveZatel(MOBILE_SOC).predict(small_scene, small_frame)
+
+    def test_produces_complete_metrics(self, result):
+        assert set(result.metrics) == set(METRICS)
+        assert result.metrics["cycles"] > 0
+
+    def test_fractions_within_controller_bounds(self, result):
+        controller = AdaptiveConfig()
+        for group in result.groups:
+            assert (
+                controller.pilot_fraction
+                <= group.fraction
+                <= controller.max_fraction
+            )
+
+    def test_work_charges_all_attempts(self, small_scene, small_frame, result):
+        from repro.core import ZatelConfig
+
+        # Each group ran at least the pilot; any escalation adds work, so
+        # the total is at least what a single-shot pilot run would cost.
+        single = Zatel(
+            MOBILE_SOC,
+            ZatelConfig(fraction_override=AdaptiveConfig().pilot_fraction),
+        ).predict(small_scene, small_frame)
+        assert result.total_work_units >= single.total_work_units
+
+    def test_deterministic(self, small_scene, small_frame, result):
+        again = AdaptiveZatel(MOBILE_SOC).predict(small_scene, small_frame)
+        assert again.metrics == result.metrics
+        assert [g.fraction for g in again.groups] == [
+            g.fraction for g in result.groups
+        ]
+
+    def test_tight_tolerance_escalates_more(self, small_scene, small_frame):
+        loose = AdaptiveZatel(
+            MOBILE_SOC, adaptive=AdaptiveConfig(tolerance=5.0)
+        ).predict(small_scene, small_frame)
+        tight = AdaptiveZatel(
+            MOBILE_SOC, adaptive=AdaptiveConfig(tolerance=0.0001)
+        ).predict(small_scene, small_frame)
+        # An effectively-infinite tolerance converges at the second rung;
+        # a near-zero one escalates to the cap.
+        assert tight.total_work_units > loose.total_work_units
+        assert max(g.fraction for g in tight.groups) == pytest.approx(
+            AdaptiveConfig().max_fraction
+        )

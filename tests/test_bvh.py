@@ -1,0 +1,197 @@
+"""BVH construction and traversal tests, including the brute-force oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scene.bvh import BVH, TraversalRecord, build_bvh
+from repro.scene.geometry import Ray, Triangle
+from repro.scene.meshes import icosphere, random_blob_field
+from repro.scene.vecmath import vec3
+
+
+def random_triangles(rng: np.random.Generator, count: int) -> list[Triangle]:
+    tris = []
+    for _ in range(count):
+        base = rng.uniform(-5, 5, size=3)
+        tris.append(
+            Triangle(
+                base,
+                base + rng.uniform(-1, 1, size=3),
+                base + rng.uniform(-1, 1, size=3),
+            )
+        )
+    return tris
+
+
+def brute_force_hit(triangles, ray):
+    best = None
+    t_max = ray.t_max
+    for i, tri in enumerate(triangles):
+        hit = tri.intersect(ray, t_max, i)
+        if hit is not None:
+            best = hit
+            t_max = hit.t
+    return best
+
+
+def make_ray(origin, target):
+    d = np.asarray(target, dtype=np.float64) - np.asarray(origin, dtype=np.float64)
+    return Ray(
+        origin=np.asarray(origin, dtype=np.float64),
+        direction=d / np.linalg.norm(d),
+    )
+
+
+@pytest.fixture(scope="module", params=["sah", "median"])
+def built(request, ):
+    rng = np.random.default_rng(42)
+    tris = random_triangles(rng, 120)
+    return tris, build_bvh(tris, method=request.param)
+
+
+class TestBuild:
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            build_bvh([])
+
+    def test_unknown_method_rejected(self):
+        tris = icosphere(vec3(0, 0, 0), 1.0)
+        with pytest.raises(ValueError):
+            build_bvh(tris, method="bogus")
+
+    def test_primitive_order_is_permutation(self, built):
+        tris, bvh = built
+        assert sorted(bvh.primitive_order) == list(range(len(tris)))
+
+    def test_leaf_ranges_cover_all_primitives_once(self, built):
+        _, bvh = built
+        covered = []
+        for node in bvh.nodes:
+            if node.is_leaf:
+                covered.extend(range(node.first, node.first + node.count))
+        assert sorted(covered) == list(range(len(bvh.primitive_order)))
+
+    def test_child_bounds_nested_in_parent(self, built):
+        _, bvh = built
+        for node in bvh.nodes:
+            if not node.is_leaf:
+                assert node.bounds.contains_box(bvh.nodes[node.left].bounds)
+                assert node.bounds.contains_box(bvh.nodes[node.right].bounds)
+
+    def test_leaves_contain_their_primitives(self, built):
+        tris, bvh = built
+        for node in bvh.nodes:
+            if node.is_leaf:
+                for slot in range(node.first, node.first + node.count):
+                    tri = tris[bvh.primitive_order[slot]]
+                    assert node.bounds.contains_box(tri.bounds(), tol=1e-6)
+
+    def test_depth_reasonable(self, built):
+        tris, bvh = built
+        # A sane tree over n primitives is far shallower than n.
+        assert bvh.depth() <= 4 * int(np.ceil(np.log2(len(tris)))) + 4
+
+    def test_leaf_size_respected(self):
+        rng = np.random.default_rng(7)
+        tris = random_triangles(rng, 64)
+        bvh = build_bvh(tris, leaf_size=2)
+        degenerate_ok = 8  # coincident centroids may force larger leaves
+        for node in bvh.nodes:
+            if node.is_leaf:
+                assert node.count <= max(2, degenerate_ok)
+
+    def test_single_triangle(self):
+        tris = [Triangle(vec3(0, 0, 0), vec3(1, 0, 0), vec3(0, 1, 0))]
+        bvh = build_bvh(tris)
+        assert len(bvh.nodes) == 1 and bvh.root.is_leaf
+
+    def test_coincident_centroids_terminate(self):
+        # All triangles share a centroid: the builder must not recurse
+        # forever and must produce one leaf holding everything.
+        tris = [
+            Triangle(vec3(-1, -1, i * 0.0), vec3(2, -1, 0), vec3(-1, 2, 0))
+            for i in range(10)
+        ]
+        bvh = build_bvh(tris)
+        assert bvh.root.is_leaf
+        assert bvh.root.count == 10
+
+
+class TestTraversal:
+    def test_matches_brute_force_on_grid_of_rays(self, built):
+        tris, bvh = built
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            origin = rng.uniform(-8, 8, size=3)
+            target = rng.uniform(-4, 4, size=3)
+            ray = make_ray(origin, target)
+            expected = brute_force_hit(tris, ray)
+            actual = bvh.intersect(ray)
+            if expected is None:
+                assert actual is None
+            else:
+                assert actual is not None
+                assert actual.t == pytest.approx(expected.t, rel=1e-9)
+                assert actual.primitive_index == expected.primitive_index
+
+    def test_occluded_agrees_with_intersect(self, built):
+        tris, bvh = built
+        rng = np.random.default_rng(5)
+        for _ in range(100):
+            ray = make_ray(rng.uniform(-8, 8, size=3), rng.uniform(-4, 4, size=3))
+            assert bvh.occluded(ray) == (bvh.intersect(ray) is not None)
+
+    def test_record_collects_root_first(self, built):
+        _, bvh = built
+        ray = make_ray([0, 0, -20], [0, 0, 0])
+        record = TraversalRecord()
+        bvh.intersect(ray, record)
+        assert record.nodes_visited[0] == 0
+
+    def test_recorded_triangles_include_the_hit(self, built):
+        tris, bvh = built
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            ray = make_ray(rng.uniform(-8, 8, size=3), rng.uniform(-4, 4, size=3))
+            record = TraversalRecord()
+            hit = bvh.intersect(ray, record)
+            if hit is not None:
+                assert hit.primitive_index in record.tris_tested
+
+    def test_t_max_limits_hits(self, built):
+        tris, bvh = built
+        ray = make_ray([0, 0, -50], [0, 0, 0])
+        hit = bvh.intersect(ray)
+        if hit is not None:
+            short = Ray(
+                origin=ray.origin, direction=ray.direction, t_max=hit.t * 0.5
+            )
+            assert bvh.intersect(short) is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_random_rays_match_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        tris = random_triangles(rng, 30)
+        bvh = build_bvh(tris)
+        ray = make_ray(rng.uniform(-8, 8, size=3), rng.uniform(-3, 3, size=3))
+        expected = brute_force_hit(tris, ray)
+        actual = bvh.intersect(ray)
+        assert (expected is None) == (actual is None)
+        if expected is not None:
+            assert actual.t == pytest.approx(expected.t, rel=1e-9)
+
+
+class TestSceneMeshes:
+    def test_blob_field_traversal_consistency(self):
+        rng = np.random.default_rng(0)
+        tris = random_blob_field(5, 4.0, (0.3, 0.8), rng)
+        bvh = build_bvh(tris)
+        ray = make_ray([0, 5, 10], [0, 0.5, 0])
+        expected = brute_force_hit(tris, ray)
+        actual = bvh.intersect(ray)
+        assert (expected is None) == (actual is None)
+        if expected:
+            assert actual.primitive_index == expected.primitive_index

@@ -1,0 +1,138 @@
+"""Tests for the LRU caches and MSHR table, including LRU properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import Cache, CacheConfig, MSHRTable, line_of
+from repro.gpu.cache import CacheStats
+
+
+class TestLineOf:
+    def test_aligns_down(self):
+        assert line_of(0, 128) == 0
+        assert line_of(127, 128) == 0
+        assert line_of(128, 128) == 128
+        assert line_of(300, 128) == 256
+
+
+class TestCacheStats:
+    def test_miss_rate_empty_is_zero(self):
+        assert CacheStats().miss_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats(accesses=10, misses=4)
+        b = CacheStats(accesses=5, misses=1)
+        a.merge(b)
+        assert a.accesses == 15 and a.misses == 5
+        assert a.hits == 10
+
+
+def tiny_cache(lines=4, assoc=0):
+    """A 4-line cache (fully associative by default) for exact LRU checks."""
+    return Cache(CacheConfig(lines * 128, 128, assoc, 20))
+
+
+class TestCacheLRU:
+    def test_first_access_misses_second_hits(self):
+        cache = tiny_cache()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.stats.accesses == 2 and cache.stats.misses == 1
+
+    def test_capacity_eviction_is_lru(self):
+        cache = tiny_cache(lines=2)
+        cache.access(0)
+        cache.access(128)
+        cache.access(0)        # 0 is now most recent
+        cache.access(256)      # evicts 128
+        assert cache.probe(0)
+        assert not cache.probe(128)
+        assert cache.probe(256)
+
+    def test_set_mapping_isolates_sets(self):
+        # 4 lines, 2-way => 2 sets; lines 0 and 256 share set 0.
+        cache = tiny_cache(lines=4, assoc=2)
+        assert cache.num_sets == 2
+        cache.access(0)
+        cache.access(256)
+        cache.access(512)      # set 0 again: evicts line 0
+        assert not cache.probe(0)
+        assert cache.probe(256) and cache.probe(512)
+        # Set 1 never touched.
+        cache.access(128)
+        assert cache.probe(128)
+
+    def test_flush_keeps_stats(self):
+        cache = tiny_cache()
+        cache.access(0)
+        cache.flush()
+        assert not cache.probe(0)
+        assert cache.stats.accesses == 1
+
+    def test_resident_never_exceeds_capacity(self):
+        cache = tiny_cache(lines=4)
+        for i in range(20):
+            cache.access(i * 128)
+        assert cache.resident_lines() <= 4
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=200))
+    def test_property_small_working_set_always_fits(self, sequence):
+        """Accessing <= capacity distinct lines never re-misses a line."""
+        cache = tiny_cache(lines=16)
+        seen = set()
+        for index in sequence:
+            addr = index * 128
+            hit = cache.access(addr)
+            assert hit == (addr in seen)
+            seen.add(addr)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=300))
+    def test_property_miss_count_bounds(self, sequence):
+        """Misses are at least the distinct-line count's compulsory share
+        and never exceed total accesses."""
+        cache = tiny_cache(lines=8)
+        for index in sequence:
+            cache.access(index * 128)
+        distinct = len({i * 128 for i in sequence})
+        assert cache.stats.misses >= min(distinct, 8) or distinct <= 8
+        assert cache.stats.misses >= (distinct if distinct <= 8 else 8)
+        assert cache.stats.misses <= cache.stats.accesses
+
+
+class TestMSHR:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MSHRTable(0)
+
+    def test_merge_returns_pending_completion(self):
+        mshr = MSHRTable(4)
+        mshr.allocate(0, cycle=10, ready_cycle=200)
+        assert mshr.lookup(0, cycle=50) == 200
+        assert mshr.merges == 1
+
+    def test_retire_after_completion(self):
+        mshr = MSHRTable(4)
+        mshr.allocate(0, cycle=10, ready_cycle=100)
+        assert mshr.lookup(0, cycle=150) is None  # retired
+        assert mshr.outstanding() == 0
+
+    def test_full_table_stalls_allocation(self):
+        mshr = MSHRTable(2)
+        mshr.allocate(0, cycle=0, ready_cycle=100)
+        mshr.allocate(128, cycle=0, ready_cycle=120)
+        granted = mshr.allocate(256, cycle=10, ready_cycle=300)
+        assert granted >= 100  # waited for the earliest entry
+        assert mshr.stall_cycles > 0
+
+    def test_stall_is_capped(self):
+        mshr = MSHRTable(1)
+        mshr.allocate(0, cycle=0, ready_cycle=10_000)
+        granted = mshr.allocate(128, cycle=0, ready_cycle=10_000)
+        assert granted - 0 <= MSHRTable.MAX_STALL
+
+    def test_no_stall_when_space(self):
+        mshr = MSHRTable(8)
+        assert mshr.allocate(0, cycle=5, ready_cycle=50) == 5

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_runner(tmp_path, monkeypatch):
+    """Point the shared runner's cache at a temp dir so CLI tests don't
+    write into the repo cache (scenes stay process-cached regardless)."""
+    import repro.harness.runner as runner_module
+
+    fresh = runner_module.Runner(cache_dir=tmp_path)
+    monkeypatch.setattr(runner_module, "_shared", fresh)
+    yield
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in (
+            "scenes", "configs", "render", "heatmap", "simulate",
+            "predict", "sweep",
+        ):
+            assert command in text
+
+
+class TestInformational:
+    def test_scenes_lists_library(self, capsys):
+        assert main(["scenes"]) == 0
+        out = capsys.readouterr().out
+        assert "PARK" in out and "SPRNG" in out
+
+    def test_configs_show_presets_and_downscaling(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "MobileSoC" in out and "RTX2060" in out
+        assert "K = 4" in out and "K = 6" in out
+
+
+class TestImageCommands:
+    def test_render_writes_ppm(self, tmp_path, capsys):
+        out = tmp_path / "img.ppm"
+        assert main(
+            ["render", "SPRNG", "--size", "16", "--out", str(out)]
+        ) == 0
+        assert out.read_bytes().startswith(b"P6")
+
+    def test_heatmap_quantized(self, tmp_path, capsys):
+        out = tmp_path / "hm.ppm"
+        code = main(
+            ["heatmap", "SPRNG", "--size", "16", "--quantize", "4",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "quantized to" in capsys.readouterr().out
+
+
+class TestSimulationCommands:
+    def test_simulate_prints_metrics(self, capsys):
+        assert main(["simulate", "SPRNG", "--size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "ipc" in out and "cycles" in out
+
+    def test_predict_plain(self, capsys):
+        assert main(["predict", "SPRNG", "--size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "K=4" in out
+
+    def test_predict_compare(self, capsys):
+        assert main(["predict", "SPRNG", "--size", "32", "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "full sim" in out
+
+    def test_predict_with_fraction_and_coarse(self, capsys):
+        code = main(
+            ["predict", "SPRNG", "--size", "32", "--division", "coarse",
+             "--fraction", "0.5"]
+        )
+        assert code == 0
+        assert "traced fraction 50%" in capsys.readouterr().out
+
+    def test_predict_adaptive(self, capsys):
+        assert main(["predict", "SPRNG", "--size", "32", "--adaptive"]) == 0
+        assert "traced fraction" in capsys.readouterr().out
+
+    def test_simulate_with_config_file(self, capsys):
+        from pathlib import Path
+
+        ini = Path(__file__).resolve().parents[1] / "configs" / "rtx2060.ini"
+        assert main(
+            ["simulate", "SPRNG", "--size", "16", "--gpu", str(ini)]
+        ) == 0
+        assert "RTX2060" in capsys.readouterr().out
+
+    def test_sweep_fits_power_law(self, capsys):
+        code = main(
+            ["sweep", "SPRNG", "--size", "32",
+             "--percentages", "25,50,75"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fitted speedup" in out
+
+
+class TestTraceCommands:
+    def test_trace_export_and_inspect(self, tmp_path, capsys):
+        out = tmp_path / "f.ztrace"
+        assert main(["trace", "SPRNG", "--size", "16", "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["inspect", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "SPRNG" in text and "node visits" in text
+
+    def test_inspect_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ztrace"
+        bad.write_bytes(b"not a trace")
+        assert main(["inspect", str(bad)]) == 2
+        assert "not a .ztrace" in capsys.readouterr().err
+
+    def test_extra_scene_accessible(self, capsys):
+        assert main(["simulate", "CRNL", "--size", "16"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_unknown_scene_is_reported(self, capsys):
+        assert main(["simulate", "NOPE", "--size", "16"]) == 2
+        assert "unknown scene" in capsys.readouterr().err
+
+    def test_unknown_gpu_is_reported(self, capsys):
+        assert main(
+            ["simulate", "SPRNG", "--size", "16", "--gpu", "a100"]
+        ) == 2
+        assert "unknown GPU preset" in capsys.readouterr().err

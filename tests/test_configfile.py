@@ -1,0 +1,90 @@
+"""Tests for GPU config-file (INI) loading/saving."""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.gpu import (
+    MOBILE_SOC,
+    RTX_2060,
+    GPUConfig,
+    load_config,
+    resolve_gpu,
+    save_config,
+)
+
+REPO_CONFIGS = Path(__file__).resolve().parents[1] / "configs"
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("config", [MOBILE_SOC, RTX_2060])
+    def test_presets_roundtrip(self, config, tmp_path):
+        path = save_config(config, tmp_path / "gpu.ini")
+        assert load_config(path) == config
+
+    def test_variant_fields_roundtrip(self, tmp_path):
+        variant = dataclasses.replace(
+            MOBILE_SOC,
+            name="custom",
+            warp_scheduler="lrr",
+            rt_prefetch_depth=8,
+            rt_max_warps=8,
+        )
+        loaded = load_config(save_config(variant, tmp_path / "v.ini"))
+        assert loaded == variant
+        assert loaded.warp_scheduler == "lrr"
+
+    def test_shipped_configs_match_presets(self):
+        assert load_config(REPO_CONFIGS / "mobile_soc.ini") == MOBILE_SOC
+        assert load_config(REPO_CONFIGS / "rtx2060.ini") == RTX_2060
+
+
+class TestErrorHandling:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_config(tmp_path / "nope.ini")
+
+    def test_missing_gpu_section(self, tmp_path):
+        path = tmp_path / "bad.ini"
+        path.write_text("[l1d]\nsize_bytes = 1024\n")
+        with pytest.raises(ValueError, match="missing"):
+            load_config(path)
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = save_config(MOBILE_SOC, tmp_path / "g.ini")
+        text = path.read_text().replace("[gpu]", "[gpu]\nturbo_mode = 9", 1)
+        path.write_text(text)
+        with pytest.raises(ValueError, match="unknown"):
+            load_config(path)
+
+    def test_invalid_values_rejected_by_validators(self, tmp_path):
+        path = save_config(MOBILE_SOC, tmp_path / "g.ini")
+        text = path.read_text().replace("num_sms = 8", "num_sms = 0")
+        path.write_text(text)
+        with pytest.raises(ValueError):
+            load_config(path)
+
+    def test_missing_cache_sections_use_defaults(self, tmp_path):
+        path = tmp_path / "minimal.ini"
+        path.write_text(
+            "[gpu]\nname = mini\nnum_sms = 4\nnum_mem_partitions = 2\n"
+            "registers_per_sm = 32768\nmax_warps_per_sm = 16\n"
+        )
+        config = load_config(path)
+        assert config.num_sms == 4
+        assert config.l1d == GPUConfig.__dataclass_fields__["l1d"].default_factory()
+
+
+class TestResolve:
+    def test_resolves_preset_names(self):
+        assert resolve_gpu("mobile") is MOBILE_SOC
+        assert resolve_gpu("rtx2060") is RTX_2060
+
+    def test_resolves_ini_paths(self):
+        config = resolve_gpu(str(REPO_CONFIGS / "rtx2060.ini"))
+        assert config == RTX_2060
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_gpu("h100")

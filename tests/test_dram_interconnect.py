@@ -1,0 +1,115 @@
+"""Tests for the DRAM channel model and the interconnect."""
+
+import pytest
+
+from repro.gpu import DRAMChannel, Interconnect
+from repro.gpu.dram import DRAMStats
+
+
+class TestDRAMChannel:
+    def make(self):
+        return DRAMChannel(access_latency=100, service_cycles=8.0)
+
+    def test_single_request_latency(self):
+        channel = self.make()
+        done = channel.request(0.0)
+        assert done == pytest.approx(108.0)  # latency + transfer
+
+    def test_back_to_back_requests_queue(self):
+        channel = self.make()
+        first = channel.request(0.0)
+        second = channel.request(0.0)
+        assert second == pytest.approx(first + 8.0)
+
+    def test_spaced_requests_do_not_queue(self):
+        channel = self.make()
+        channel.request(0.0)
+        done = channel.request(1000.0)
+        assert done == pytest.approx(1108.0)
+
+    def test_data_cycles_accumulate(self):
+        channel = self.make()
+        for _ in range(5):
+            channel.request(0.0)
+        assert channel.stats.data_cycles == pytest.approx(40.0)
+        assert channel.stats.requests == 5
+
+    def test_pending_intervals_merge_overlaps(self):
+        channel = self.make()
+        channel.request(0.0)     # pending [0, 108]
+        channel.request(50.0)    # arrives 150, transfers until 158
+        channel.finalize()
+        # Overlapping intervals merge into one [0, 158] span.
+        assert channel.stats.pending_cycles == pytest.approx(158.0)
+
+    def test_pending_intervals_split_gaps(self):
+        channel = self.make()
+        channel.request(0.0)       # [0, 108]
+        channel.request(1000.0)    # [1000, 1108]
+        channel.finalize()
+        assert channel.stats.pending_cycles == pytest.approx(216.0)
+
+    def test_efficiency_vs_bw_utilization(self):
+        channel = self.make()
+        channel.request(0.0)
+        channel.finalize()
+        stats = channel.stats
+        # Efficiency counts only pending time; BW utilization the whole run.
+        assert stats.efficiency() == pytest.approx(8.0 / 108.0)
+        assert stats.bandwidth_utilization(1000.0, 1) == pytest.approx(8.0 / 1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DRAMChannel(access_latency=10, service_cycles=0)
+
+    def test_stats_merge(self):
+        a = DRAMStats(requests=1, data_cycles=8.0, pending_cycles=100.0)
+        b = DRAMStats(requests=2, data_cycles=16.0, pending_cycles=50.0)
+        a.merge(b)
+        assert a.requests == 3
+        assert a.data_cycles == 24.0
+
+    def test_zero_cases(self):
+        stats = DRAMStats()
+        assert stats.efficiency() == 0.0
+        assert stats.bandwidth_utilization(0.0, 4) == 0.0
+
+
+class TestInterconnect:
+    def make(self, partitions=4):
+        return Interconnect(partitions, latency=20, line_bytes=128)
+
+    def test_partition_interleaving(self):
+        icnt = self.make(4)
+        assert icnt.partition_of(0) == 0
+        assert icnt.partition_of(128) == 1
+        assert icnt.partition_of(512) == 0  # wraps every 4 lines
+
+    def test_wire_latency(self):
+        icnt = self.make()
+        _, arrival = icnt.deliver(0, 100.0)
+        assert arrival == pytest.approx(120.0)
+
+    def test_port_contention_serializes(self):
+        icnt = self.make(1)
+        _, first = icnt.deliver(0, 0.0)
+        _, second = icnt.deliver(0, 0.0)
+        assert second > first
+
+    def test_different_partitions_independent(self):
+        icnt = self.make(2)
+        _, a = icnt.deliver(0, 0.0)
+        _, b = icnt.deliver(128, 0.0)
+        assert a == b  # no shared port
+
+    def test_downscaled_interconnect_changes_mapping(self):
+        # Fewer partitions => the same line maps into a smaller space,
+        # the "mesh topology changes automatically" property of §III-C.
+        big, small = self.make(4), self.make(2)
+        line = 3 * 128
+        assert big.partition_of(line) == 3
+        assert small.partition_of(line) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interconnect(0, 20, 128)

@@ -1,0 +1,78 @@
+"""Tests for the extended (non-Table-I) metrics: SIMD efficiency and
+warp occupancy."""
+
+import pytest
+
+from repro.gpu import (
+    EXTENDED_METRICS,
+    METRICS,
+    MOBILE_SOC,
+    RTX_2060,
+    CycleSimulator,
+    SimulationStats,
+    compile_kernel,
+)
+
+
+class TestDefinitions:
+    def test_extended_disjoint_from_table_i(self):
+        assert not set(EXTENDED_METRICS) & set(METRICS)
+
+    def test_lookup_via_metric(self):
+        stats = SimulationStats(
+            cycles=100.0,
+            instructions=320,
+            issued_warp_instructions=10,
+            warp_resident_cycles=50.0,
+            sm_count=1,
+            resident_limit=1,
+        )
+        assert stats.metric("simd_efficiency") == pytest.approx(1.0)
+        assert stats.metric("warp_occupancy") == pytest.approx(0.5)
+
+    def test_unknown_still_rejected(self):
+        with pytest.raises(KeyError):
+            SimulationStats().metric("flops")
+
+    def test_zero_guards(self):
+        stats = SimulationStats()
+        assert stats.simd_efficiency == 0.0
+        assert stats.warp_occupancy == 0.0
+
+    def test_extended_metrics_dict(self):
+        stats = SimulationStats(cycles=10.0)
+        assert tuple(stats.extended_metrics()) == EXTENDED_METRICS
+
+
+class TestMeasuredValues:
+    def test_bounded_in_unit_interval(self, small_full_stats):
+        assert 0.0 < small_full_stats.simd_efficiency <= 1.0
+        assert 0.0 < small_full_stats.warp_occupancy <= 1.0
+
+    def test_filtering_lowers_simd_efficiency(
+        self, small_scene, small_settings, small_frame, small_full_stats
+    ):
+        # Randomly masking half the lanes inside live warps wastes issue
+        # slots: SIMD efficiency must drop relative to the full run.
+        import random
+
+        pixels = small_settings.all_pixels()
+        rng = random.Random(9)
+        selected = set(rng.sample(pixels, len(pixels) // 2))
+        warps = compile_kernel(
+            small_frame, pixels, small_scene.addresses, selected=selected
+        )
+        stats = CycleSimulator(MOBILE_SOC, small_scene.addresses).run(warps)
+        assert stats.simd_efficiency < small_full_stats.simd_efficiency
+
+    def test_bigger_gpu_lowers_occupancy(
+        self, small_scene, small_settings, small_frame
+    ):
+        # The same warp count spread over 30 SMs leaves more resident
+        # slots idle than over 8.
+        warps = compile_kernel(
+            small_frame, small_settings.all_pixels(), small_scene.addresses
+        )
+        mobile = CycleSimulator(MOBILE_SOC, small_scene.addresses).run(warps)
+        rtx = CycleSimulator(RTX_2060, small_scene.addresses).run(warps)
+        assert rtx.warp_occupancy < mobile.warp_occupancy

@@ -1,0 +1,73 @@
+"""Tests for the parameterized workload generators."""
+
+import pytest
+
+from repro.scene.generators import clutter_scene, saturation_scene
+from repro.tracer import FunctionalTracer, RenderSettings
+
+
+class TestSaturationScene:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            saturation_scene(-0.1)
+        with pytest.raises(ValueError):
+            saturation_scene(1.5)
+
+    def test_level_scales_geometry(self):
+        low = saturation_scene(0.0, seed=1)
+        high = saturation_scene(1.0, seed=1)
+        assert high.triangle_count() > 5 * low.triangle_count()
+
+    def test_level_scales_path_depth(self):
+        assert saturation_scene(0.0).max_bounces == 1
+        assert saturation_scene(1.0).max_bounces == 4
+
+    def test_level_scales_workload_cost(self):
+        settings = RenderSettings(width=16, height=16)
+        low = FunctionalTracer(saturation_scene(0.0, seed=2), settings)
+        high = FunctionalTracer(saturation_scene(0.8, seed=2), settings)
+        assert (
+            high.trace_frame().total_cost() > 2 * low.trace_frame().total_cost()
+        )
+
+    def test_deterministic_per_seed(self):
+        a = saturation_scene(0.5, seed=4)
+        b = saturation_scene(0.5, seed=4)
+        assert a.triangle_count() == b.triangle_count()
+
+    def test_names_encode_level(self):
+        assert saturation_scene(0.25).name == "SAT025"
+        assert saturation_scene(1.0).name == "SAT100"
+
+
+class TestClutterScene:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clutter_scene(0)
+        with pytest.raises(ValueError):
+            clutter_scene(1000, reflective_share=2.0)
+
+    def test_triangle_count_near_target(self):
+        for target in (1000, 4000, 8000):
+            scene = clutter_scene(target, seed=5)
+            assert 0.5 * target <= scene.triangle_count() <= 1.6 * target
+
+    def test_reflective_share_adds_mirrors(self):
+        shiny = clutter_scene(3000, seed=6, reflective_share=1.0)
+        matte = clutter_scene(3000, seed=6, reflective_share=0.0)
+        # All-reflective: some triangles use a mirror material.
+        assert any(
+            shiny.materials[t.material_id].reflectivity > 0
+            for t in shiny.triangles
+        )
+        # No-reflective: none do.
+        assert all(
+            matte.materials[t.material_id].reflectivity == 0
+            for t in matte.triangles
+        )
+
+    def test_renders(self):
+        scene = clutter_scene(1500, seed=7)
+        settings = RenderSettings(width=8, height=8)
+        frame = FunctionalTracer(scene, settings).trace_frame()
+        assert frame.total_cost() > 0

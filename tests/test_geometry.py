@@ -1,0 +1,144 @@
+"""Tests for rays, AABBs and triangles."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scene.geometry import AABB, Ray, Triangle
+from repro.scene.vecmath import vec3
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+def unit_ray(origin, direction):
+    d = np.asarray(direction, dtype=np.float64)
+    return Ray(origin=np.asarray(origin, dtype=np.float64), direction=d / np.linalg.norm(d))
+
+
+class TestRay:
+    def test_at_advances_along_direction(self):
+        ray = unit_ray([0, 0, 0], [1, 0, 0])
+        assert np.allclose(ray.at(2.5), [2.5, 0, 0])
+
+    def test_inv_direction_handles_zero_components(self):
+        ray = unit_ray([0, 0, 0], [1, 0, 0])
+        inv = ray.inv_direction()
+        assert inv[0] == 1.0
+        assert math.isinf(inv[1]) and math.isinf(inv[2])
+
+
+class TestAABB:
+    def test_empty_box_is_empty(self):
+        assert AABB.empty().is_empty()
+        assert AABB.empty().surface_area() == 0.0
+
+    def test_union_encloses_both(self):
+        a = AABB(vec3(0, 0, 0), vec3(1, 1, 1))
+        b = AABB(vec3(2, -1, 0), vec3(3, 0.5, 2))
+        u = a.union(b)
+        assert u.contains_box(a) and u.contains_box(b)
+
+    def test_union_with_empty_is_identity(self):
+        a = AABB(vec3(0, 0, 0), vec3(1, 2, 3))
+        u = AABB.empty().union(a)
+        assert np.allclose(u.lo, a.lo) and np.allclose(u.hi, a.hi)
+
+    def test_contains_point(self):
+        box = AABB(vec3(0, 0, 0), vec3(1, 1, 1))
+        assert box.contains(vec3(0.5, 0.5, 0.5))
+        assert not box.contains(vec3(1.5, 0.5, 0.5))
+
+    def test_surface_area_unit_cube(self):
+        assert AABB(vec3(0, 0, 0), vec3(1, 1, 1)).surface_area() == 6.0
+
+    def test_longest_axis(self):
+        assert AABB(vec3(0, 0, 0), vec3(5, 1, 1)).longest_axis() == 0
+        assert AABB(vec3(0, 0, 0), vec3(1, 1, 7)).longest_axis() == 2
+
+    def test_ray_intersects_box_ahead(self):
+        box = AABB(vec3(1, -1, -1), vec3(2, 1, 1))
+        ray = unit_ray([0, 0, 0], [1, 0, 0])
+        assert box.intersect(ray, ray.inv_direction(), float("inf"))
+
+    def test_ray_misses_box_behind(self):
+        box = AABB(vec3(1, -1, -1), vec3(2, 1, 1))
+        ray = unit_ray([0, 0, 0], [-1, 0, 0])
+        assert not box.intersect(ray, ray.inv_direction(), float("inf"))
+
+    def test_ray_respects_t_max(self):
+        box = AABB(vec3(10, -1, -1), vec3(11, 1, 1))
+        ray = unit_ray([0, 0, 0], [1, 0, 0])
+        assert not box.intersect(ray, ray.inv_direction(), 5.0)
+
+    @given(st.tuples(coord, coord, coord), st.tuples(coord, coord, coord))
+    def test_union_is_commutative(self, p, q):
+        a = AABB.empty().union_point(np.array(p))
+        b = AABB.empty().union_point(np.array(q))
+        u1, u2 = a.union(b), b.union(a)
+        assert np.allclose(u1.lo, u2.lo) and np.allclose(u1.hi, u2.hi)
+
+
+class TestTriangle:
+    def make(self):
+        return Triangle(vec3(0, 0, 0), vec3(1, 0, 0), vec3(0, 1, 0))
+
+    def test_normal_is_unit_and_perpendicular(self):
+        tri = self.make()
+        assert np.allclose(tri.normal, [0, 0, 1])
+
+    def test_area(self):
+        assert self.make().area() == pytest.approx(0.5)
+
+    def test_bounds_enclose_vertices(self):
+        tri = self.make()
+        b = tri.bounds()
+        for v in (tri.v0, tri.v1, tri.v2):
+            assert b.contains(v)
+
+    def test_centroid(self):
+        assert np.allclose(self.make().centroid(), [1 / 3, 1 / 3, 0])
+
+    def test_hit_through_center(self):
+        tri = self.make()
+        ray = unit_ray([0.25, 0.25, -1], [0, 0, 1])
+        hit = tri.intersect(ray, float("inf"), index=7)
+        assert hit is not None
+        assert hit.t == pytest.approx(1.0)
+        assert hit.primitive_index == 7
+        # The normal faces the incoming ray.
+        assert hit.normal[2] == pytest.approx(-1.0)
+
+    def test_miss_outside_edges(self):
+        tri = self.make()
+        ray = unit_ray([0.9, 0.9, -1], [0, 0, 1])
+        assert tri.intersect(ray, float("inf"), 0) is None
+
+    def test_parallel_ray_misses(self):
+        tri = self.make()
+        ray = unit_ray([0, 0, 1], [1, 0, 0])
+        assert tri.intersect(ray, float("inf"), 0) is None
+
+    def test_t_max_cuts_off_hit(self):
+        tri = self.make()
+        ray = unit_ray([0.25, 0.25, -10], [0, 0, 1])
+        assert tri.intersect(ray, 5.0, 0) is None
+
+    def test_degenerate_triangle_never_hit(self):
+        tri = Triangle(vec3(0, 0, 0), vec3(1, 0, 0), vec3(2, 0, 0))
+        ray = unit_ray([0.5, 0, -1], [0, 0, 1])
+        assert tri.intersect(ray, float("inf"), 0) is None
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.4),
+        st.floats(min_value=0.05, max_value=0.4),
+    )
+    def test_interior_points_always_hit(self, u, v):
+        tri = self.make()
+        point = tri.v0 * (1 - u - v) + tri.v1 * u + tri.v2 * v
+        ray = unit_ray([point[0], point[1], -3], [0, 0, 1])
+        hit = tri.intersect(ray, float("inf"), 0)
+        assert hit is not None
+        assert np.allclose(hit.point[:2], point[:2], atol=1e-9)

@@ -1,0 +1,116 @@
+"""Tests for the experiment harness: caching runner, metrics, reporting."""
+
+import math
+
+import pytest
+
+from repro.gpu import MOBILE_SOC, SimulationStats
+from repro.harness import (
+    Runner,
+    Workload,
+    format_table,
+    format_value,
+    mae,
+    metric_errors,
+    percent_error,
+    save_result,
+)
+
+
+class TestMetrics:
+    def test_percent_error_basics(self):
+        assert percent_error(110.0, 100.0) == pytest.approx(10.0)
+        assert percent_error(90.0, 100.0) == pytest.approx(10.0)
+        assert percent_error(0.0, 0.0) == 0.0
+        assert math.isinf(percent_error(5.0, 0.0))
+
+    def test_metric_errors_against_stats(self):
+        stats = SimulationStats(cycles=100.0, instructions=1000)
+        predicted = stats.metrics()
+        predicted["cycles"] = 120.0
+        errors = metric_errors(predicted, stats)
+        assert errors["cycles"] == pytest.approx(20.0)
+        assert errors["ipc"] == 0.0
+
+    def test_rate_metrics_use_percentage_points(self):
+        stats = SimulationStats(
+            cycles=100.0, instructions=1000, l1d_accesses=100, l1d_misses=2
+        )
+        predicted = stats.metrics()
+        predicted["l1d_miss_rate"] = 0.04  # 2pp above the actual 0.02
+        errors = metric_errors(predicted, stats)
+        # 2% -> 4% miss rate is a 2-point error, not a "100% error".
+        assert errors["l1d_miss_rate"] == pytest.approx(2.0)
+
+    def test_mae_ignores_infinities(self):
+        assert mae({"a": 10.0, "b": 20.0, "c": float("inf")}) == pytest.approx(15.0)
+        assert mae([5.0, 15.0]) == pytest.approx(10.0)
+        assert math.isinf(mae([float("inf")]))
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(1.23456) == "1.235"
+        assert format_value(12345.6) == "12,346"
+        assert format_value("x") == "x"
+        assert format_value(float("nan")) == "nan"
+
+    def test_format_table_aligns(self):
+        table = format_table(
+            ["scene", "err"], [["PARK", 1.5], ["SPRNG", 123.25]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "scene" in lines[1]
+        assert len({len(l) for l in lines[2:]}) == 1  # aligned rows
+
+    def test_save_result_roundtrip(self, tmp_path, monkeypatch):
+        import repro.harness.reporting as reporting
+
+        monkeypatch.setattr(reporting, "results_dir", lambda: tmp_path)
+        path = reporting.save_result("unit_test", "hello")
+        assert path.read_text() == "hello\n"
+
+
+class TestWorkload:
+    def test_key_distinguishes_parameters(self):
+        a = Workload("PARK", width=64, height=64)
+        b = Workload("PARK", width=128, height=128)
+        c = Workload("BATH", width=64, height=64)
+        assert len({a.key(), b.key(), c.key()}) == 3
+
+    def test_settings_roundtrip(self):
+        workload = Workload("SPRNG", width=16, height=8, samples_per_pixel=2, seed=3)
+        settings = workload.settings()
+        assert (settings.width, settings.height) == (16, 8)
+        assert settings.samples_per_pixel == 2
+        assert settings.seed == 3
+
+
+class TestRunner:
+    @pytest.fixture()
+    def runner(self, tmp_path):
+        return Runner(cache_dir=tmp_path)
+
+    def test_frame_cached_in_memory_and_disk(self, runner, tmp_path):
+        workload = Workload("SPRNG", width=16, height=16)
+        first = runner.frame(workload)
+        assert runner.frame(workload) is first  # memory cache
+        assert any(p.name.startswith("frame_") for p in tmp_path.iterdir())
+        # A fresh runner reloads from disk rather than re-tracing.
+        fresh = Runner(cache_dir=tmp_path)
+        reloaded = fresh.frame(workload)
+        assert reloaded.pixels.keys() == first.pixels.keys()
+
+    def test_full_sim_cached_and_deterministic(self, runner, tmp_path):
+        workload = Workload("SPRNG", width=16, height=16)
+        stats = runner.full_sim(workload, MOBILE_SOC)
+        assert stats.cycles > 0
+        fresh = Runner(cache_dir=tmp_path)
+        assert fresh.full_sim(workload, MOBILE_SOC).cycles == stats.cycles
+
+    def test_zatel_runs_through_runner(self, runner):
+        workload = Workload("SPRNG", width=32, height=32)
+        result = runner.zatel(workload, MOBILE_SOC)
+        assert result.downscale_factor == 4
+        assert result.metrics["cycles"] > 0

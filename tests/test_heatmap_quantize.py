@@ -1,0 +1,170 @@
+"""Tests for heatmap generation (step 1) and K-Means quantization (step 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    HEAT_GRADIENT,
+    Heatmap,
+    color_to_temperature,
+    kmeans,
+    quantize_heatmap,
+    temperature_to_color,
+)
+from repro.tracer.trace import FrameTrace, PixelTrace, RaySegment, SegmentKind
+
+
+def synthetic_frame(width=8, height=8, hot_column=4, spread=40):
+    """A frame whose column `hot_column` is much hotter than the rest."""
+    frame = FrameTrace(
+        width=width, height=height, samples_per_pixel=1, scene_name="synthetic"
+    )
+    for y in range(height):
+        for x in range(width):
+            nodes = list(range(spread if x == hot_column else 4))
+            trace = PixelTrace(px=x, py=y)
+            trace.segments.append(
+                RaySegment(SegmentKind.PRIMARY, nodes, [], True, 10)
+            )
+            frame.pixels[(x, y)] = trace
+    return frame
+
+
+class TestGradient:
+    def test_endpoints(self):
+        assert np.allclose(temperature_to_color(0.0), HEAT_GRADIENT[0][1])
+        assert np.allclose(temperature_to_color(1.0), HEAT_GRADIENT[-1][1])
+
+    def test_clamps_out_of_range(self):
+        assert np.allclose(temperature_to_color(-5.0), temperature_to_color(0.0))
+        assert np.allclose(temperature_to_color(5.0), temperature_to_color(1.0))
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_roundtrip_through_color_space(self, t):
+        recovered = color_to_temperature(temperature_to_color(t))
+        assert abs(recovered - t) < 1e-6
+
+    def test_warmer_is_redder(self):
+        cold = temperature_to_color(0.1)
+        hot = temperature_to_color(0.95)
+        assert hot[0] > cold[0]  # more red
+        assert hot[2] < cold[2]  # less blue
+
+
+class TestHeatmap:
+    def test_from_frame_normalizes(self):
+        hm = Heatmap.from_frame(synthetic_frame(), warp_width=0)
+        assert hm.temperatures.max() == pytest.approx(1.0)
+        assert hm.temperatures.min() >= 0.0
+
+    def test_hot_column_is_hottest(self):
+        hm = Heatmap.from_frame(synthetic_frame(hot_column=4), warp_width=0)
+        assert hm.temperature_at(4, 0) > hm.temperature_at(0, 0)
+
+    def test_warp_flattening_spreads_heat(self):
+        # With an 8-wide warp the hot pixel warms its whole run.
+        flat = Heatmap.from_frame(synthetic_frame(), warp_width=8)
+        assert flat.temperature_at(0, 0) == pytest.approx(flat.temperature_at(4, 0))
+
+    def test_empty_frame_rejected(self):
+        empty = FrameTrace(width=4, height=4, samples_per_pixel=1, scene_name="x")
+        with pytest.raises(ValueError):
+            Heatmap.from_frame(empty)
+
+    def test_to_colors_shape(self):
+        hm = Heatmap.from_frame(synthetic_frame())
+        assert hm.to_colors().shape == (8, 8, 3)
+
+    def test_mean_temperature_bounds(self):
+        hm = Heatmap.from_frame(synthetic_frame())
+        assert 0.0 < hm.mean_temperature() <= 1.0
+
+
+class TestKMeans:
+    def test_separable_clusters_found(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.05, size=(50, 3))
+        b = rng.normal(5.0, 0.05, size=(50, 3))
+        centroids, labels = kmeans(np.vstack([a, b]), k=2, seed=1)
+        # Points from the same blob share a label.
+        assert len(set(labels[:50])) == 1
+        assert len(set(labels[50:])) == 1
+        assert labels[0] != labels[50]
+
+    def test_deterministic_under_seed(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(size=(100, 3))
+        c1, l1 = kmeans(points, 4, seed=9)
+        c2, l2 = kmeans(points, 4, seed=9)
+        assert np.array_equal(l1, l2)
+        assert np.allclose(c1, c2)
+
+    def test_k_clamped_to_point_count(self):
+        points = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+        centroids, labels = kmeans(points, k=10)
+        assert centroids.shape[0] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 3)), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.ones((5, 3)), 0)
+
+    def test_identical_points(self):
+        points = np.ones((20, 3))
+        centroids, labels = kmeans(points, 3, seed=0)
+        assert np.allclose(centroids[labels[0]], 1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=500))
+    def test_property_labels_reference_valid_centroids(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(size=(40, 3))
+        centroids, labels = kmeans(points, 5, seed=seed)
+        assert labels.min() >= 0 and labels.max() < centroids.shape[0]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=500))
+    def test_property_assignment_is_nearest_centroid(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(size=(30, 3))
+        centroids, labels = kmeans(points, 4, seed=seed)
+        for i, point in enumerate(points):
+            distances = np.sum((centroids - point) ** 2, axis=1)
+            assert distances[labels[i]] <= distances.min() + 1e-9
+
+
+class TestQuantizeHeatmap:
+    def test_quantization_shapes(self):
+        hm = Heatmap.from_frame(synthetic_frame(), warp_width=0)
+        q = quantize_heatmap(hm, num_colors=4, seed=0)
+        assert q.labels.shape == hm.temperatures.shape
+        assert q.palette.shape[0] == q.num_colors == len(q.coolness)
+
+    def test_coolness_ordering_matches_temperature(self):
+        hm = Heatmap.from_frame(synthetic_frame(spread=100), warp_width=0)
+        q = quantize_heatmap(hm, num_colors=3, seed=0)
+        hot_label = q.label_at(4, 0)
+        cold_label = q.label_at(0, 0)
+        assert q.coolness[hot_label] < q.coolness[cold_label]
+
+    def test_warmth_complements_coolness(self):
+        hm = Heatmap.from_frame(synthetic_frame())
+        q = quantize_heatmap(hm)
+        assert np.allclose(q.warmth(), 1.0 - q.coolness)
+
+    def test_histogram_totals(self):
+        hm = Heatmap.from_frame(synthetic_frame())
+        q = quantize_heatmap(hm, num_colors=4)
+        assert q.color_histogram().sum() == 64
+        subset = [(0, 0), (1, 0), (4, 0)]
+        assert q.color_histogram(subset).sum() == 3
+
+    def test_quantized_render_uses_palette(self):
+        hm = Heatmap.from_frame(synthetic_frame())
+        q = quantize_heatmap(hm, num_colors=4)
+        image = q.to_colors()
+        unique = {tuple(np.round(c, 6)) for c in image.reshape(-1, 3)}
+        assert len(unique) <= 4

@@ -1,0 +1,57 @@
+"""Tests for the heatmap's scale-model features (DESIGN.md §5).
+
+Warp flattening and percentile normalization are the two adjustments that
+make functional-trace heatmaps behave like the paper's hardware-profiled
+ones; these tests pin their semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Heatmap
+from tests.test_heatmap_quantize import synthetic_frame
+
+
+class TestWarpFlattening:
+    def test_flattening_never_cools_a_pixel(self):
+        frame = synthetic_frame(width=16, height=4, hot_column=5)
+        raw = Heatmap.from_frame(frame, warp_width=0)
+        flat = Heatmap.from_frame(frame, warp_width=8)
+        # Same normalizer (the hot pixels dominate both), so flattened
+        # temperatures dominate raw ones pointwise.
+        assert (flat.temperatures >= raw.temperatures - 1e-12).all()
+
+    def test_flattening_respects_warp_boundaries(self):
+        frame = synthetic_frame(width=16, height=1, hot_column=3)
+        flat = Heatmap.from_frame(frame, warp_width=8)
+        # Hot pixel in the first 8-wide run: that run is uniformly hot...
+        first_run = flat.temperatures[0, :8]
+        assert np.allclose(first_run, first_run[0])
+        # ...and the second run stays cold.
+        assert flat.temperatures[0, 8] < first_run[0]
+
+    def test_raw_costs_preserved(self):
+        frame = synthetic_frame()
+        flat = Heatmap.from_frame(frame, warp_width=8)
+        assert np.allclose(flat.raw_costs, frame.cost_map())
+
+
+class TestPercentileNormalization:
+    def test_outliers_clamped_to_one(self):
+        frame = synthetic_frame(width=32, height=32, hot_column=7, spread=500)
+        hm = Heatmap.from_frame(frame, percentile=90.0, warp_width=0)
+        # The hot column exceeds the 90th percentile: clamped to 1.0.
+        assert hm.temperature_at(7, 0) == pytest.approx(1.0)
+        assert hm.temperatures.max() <= 1.0
+
+    def test_full_percentile_matches_max_normalization(self):
+        frame = synthetic_frame()
+        hm = Heatmap.from_frame(frame, percentile=100.0, warp_width=0)
+        costs = frame.cost_map()
+        assert np.allclose(hm.temperatures, costs / costs.max())
+
+    def test_lower_percentile_warms_the_map(self):
+        frame = synthetic_frame(width=32, height=32, spread=200)
+        strict = Heatmap.from_frame(frame, percentile=100.0, warp_width=0)
+        relaxed = Heatmap.from_frame(frame, percentile=95.0, warp_width=0)
+        assert relaxed.mean_temperature() >= strict.mean_temperature()

@@ -1,0 +1,128 @@
+"""Cross-module integration tests: paper-level behavioural invariants.
+
+These check the *emergent* properties the Zatel methodology relies on,
+using the small session scene so they stay fast.
+"""
+
+import pytest
+
+from repro.core import Zatel, ZatelConfig
+from repro.gpu import MOBILE_SOC, RTX_2060, CycleSimulator, compile_kernel
+from repro.models import SamplingPredictor
+
+
+class TestSamplingConvergence:
+    """§IV-D: errors shrink as the traced fraction grows."""
+
+    @pytest.fixture(scope="class")
+    def errors(self, small_scene, small_frame, small_full_stats):
+        predictor = SamplingPredictor(MOBILE_SOC)
+        result = {}
+        for fraction in (0.25, 0.5, 0.75):
+            prediction = predictor.predict(small_scene, small_frame, fraction)
+            result[fraction] = abs(
+                prediction.metrics["cycles"] - small_full_stats.cycles
+            ) / small_full_stats.cycles
+        return result
+
+    def test_high_fraction_beats_low_fraction(self, errors):
+        assert errors[0.75] <= errors[0.25]
+
+    def test_errors_bounded_at_three_quarters(self, errors):
+        assert errors[0.75] < 0.6
+
+
+class TestFilterShaderOverhead:
+    """§III-F: filtered pixels' impact is negligible but non-zero."""
+
+    def test_all_filtered_run_is_tiny(
+        self, small_scene, small_settings, small_frame, small_full_stats
+    ):
+        pixels = small_settings.all_pixels()
+        warps = compile_kernel(
+            small_frame, pixels, small_scene.addresses, selected=set()
+        )
+        stats = CycleSimulator(MOBILE_SOC, small_scene.addresses).run(warps)
+        # Every pixel filtered: two instructions each, no traces, no stores.
+        assert stats.pixels_filtered == len(pixels)
+        assert stats.instructions == 2 * len(pixels)
+        assert stats.rt_traversal_steps == 0
+        assert stats.cycles < small_full_stats.cycles * 0.05
+
+
+class TestGroupSplittingBias:
+    """§III-G: independent group instances inflate the L2 miss rate."""
+
+    def test_l2_miss_rate_over_predicted(
+        self, small_scene, small_frame, small_full_stats
+    ):
+        result = Zatel(MOBILE_SOC).predict(small_scene, small_frame)
+        assert result.metrics["l2_miss_rate"] >= small_full_stats.l2_miss_rate
+
+
+class TestArchitectureIndependence:
+    """§III: Zatel needs no changes to model a different GPU."""
+
+    def test_same_pipeline_both_configs(self, small_scene, small_frame):
+        mobile = Zatel(MOBILE_SOC).predict(small_scene, small_frame)
+        rtx = Zatel(RTX_2060).predict(small_scene, small_frame)
+        assert mobile.downscale_factor == 4
+        assert rtx.downscale_factor == 6
+        assert set(mobile.metrics) == set(rtx.metrics)
+
+    def test_modified_architecture_changes_prediction(
+        self, small_scene, small_frame
+    ):
+        import dataclasses
+
+        # An architect's what-if: a Mobile SoC with double the RT warps.
+        variant = dataclasses.replace(
+            MOBILE_SOC, name="MobileSoC-RTx2", rt_max_warps=8
+        )
+        base = Zatel(MOBILE_SOC).predict(small_scene, small_frame)
+        modified = Zatel(variant).predict(small_scene, small_frame)
+        # More RT capacity can only help (or tie) predicted cycles.
+        assert modified.metrics["cycles"] <= base.metrics["cycles"] * 1.05
+
+
+class TestDivisionMethods:
+    """§IV-E: fine-grained groups sample the scene homogeneously."""
+
+    def test_fine_groups_have_similar_instruction_counts(
+        self, small_scene, small_frame
+    ):
+        result = Zatel(
+            MOBILE_SOC, ZatelConfig(fraction_override=1.0)
+        ).predict(small_scene, small_frame)
+        counts = [g.stats.instructions for g in result.groups]
+        assert max(counts) <= 1.5 * min(counts)
+
+    def test_coarse_groups_vary_more_than_fine(self, small_scene, small_frame):
+        fine = Zatel(
+            MOBILE_SOC, ZatelConfig(fraction_override=1.0, division="fine")
+        ).predict(small_scene, small_frame)
+        coarse = Zatel(
+            MOBILE_SOC, ZatelConfig(fraction_override=1.0, division="coarse")
+        ).predict(small_scene, small_frame)
+
+        def spread(result):
+            counts = [g.stats.instructions for g in result.groups]
+            return (max(counts) - min(counts)) / max(counts)
+
+        assert spread(fine) <= spread(coarse) + 1e-9
+
+
+class TestEndToEndDeterminism:
+    """The entire stack is reproducible from seeds."""
+
+    def test_full_pipeline_reproducible(self, small_scene, small_frame):
+        a = Zatel(MOBILE_SOC, ZatelConfig(seed=5)).predict(
+            small_scene, small_frame
+        )
+        b = Zatel(MOBILE_SOC, ZatelConfig(seed=5)).predict(
+            small_scene, small_frame
+        )
+        assert a.metrics == b.metrics
+        assert [g.selected_count for g in a.groups] == [
+            g.selected_count for g in b.groups
+        ]

@@ -1,0 +1,71 @@
+"""Tests for the analytical-model lineage (§II reconstruction)."""
+
+import pytest
+
+from repro.gpu import MOBILE_SOC, RTX_2060
+from repro.models import (
+    ANALYTICAL_LINEAGE,
+    GCoMStyleModel,
+    GPUMechStyleModel,
+    MDMStyleModel,
+)
+
+
+@pytest.fixture(scope="module")
+def predictions(small_scene, small_frame):
+    return {
+        cls.name: cls(MOBILE_SOC).predict(small_scene, small_frame)
+        for cls in ANALYTICAL_LINEAGE
+    }
+
+
+class TestLineageBasics:
+    def test_lineage_order(self):
+        assert ANALYTICAL_LINEAGE == (
+            GPUMechStyleModel, MDMStyleModel, GCoMStyleModel
+        )
+
+    def test_all_generations_produce_positive_cycles(self, predictions):
+        for name, prediction in predictions.items():
+            assert prediction.cycles > 0, name
+            assert prediction.model_name == name
+
+    def test_intervals_nonnegative(self, predictions):
+        for prediction in predictions.values():
+            assert all(v >= 0 for v in prediction.intervals.values())
+
+    def test_models_are_deterministic(self, small_scene, small_frame):
+        a = MDMStyleModel(MOBILE_SOC).predict(small_scene, small_frame)
+        b = MDMStyleModel(MOBILE_SOC).predict(small_scene, small_frame)
+        assert a.cycles == b.cycles
+
+
+class TestLineageSemantics:
+    def test_gpumech_ignores_divergence(self, predictions):
+        # Generation 1 has no per-line memory pricing: its memory interval
+        # is a pure latency-exposure term, far below MDM's traffic-based
+        # estimate on a divergent workload.
+        gpumech = predictions["GPUMech-style"].intervals["memory"]
+        mdm = predictions["MDM-style"].intervals["memory"]
+        assert gpumech < mdm
+
+    def test_bigger_gpu_predicts_fewer_cycles(self, small_scene, small_frame):
+        for cls in ANALYTICAL_LINEAGE:
+            mobile = cls(MOBILE_SOC).predict(small_scene, small_frame)
+            rtx = cls(RTX_2060).predict(small_scene, small_frame)
+            assert rtx.cycles <= mobile.cycles * 1.05, cls.name
+
+    def test_gcom_matches_analytical_model(self, small_scene, small_frame):
+        from repro.models import AnalyticalModel
+
+        lineage = GCoMStyleModel(MOBILE_SOC).predict(small_scene, small_frame)
+        direct = AnalyticalModel(MOBILE_SOC).predict(small_scene, small_frame)
+        assert lineage.cycles == direct.metrics["cycles"]
+
+    def test_all_cheaper_than_simulation(self, small_frame, small_full_stats):
+        # Analytical models are (nearly) free; the point of the lineage is
+        # speed.  Their cost is one pass over per-pixel trace summaries,
+        # well below the simulator's event count.
+        from repro.models import AnalyticalModel
+
+        assert AnalyticalModel.work_units(small_frame) < small_full_stats.work_units

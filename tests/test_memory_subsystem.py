@@ -1,0 +1,89 @@
+"""Tests for the shared memory subsystem (interconnect + L2 + DRAM)."""
+
+import pytest
+
+from repro.gpu import MOBILE_SOC, RTX_2060
+from repro.gpu.memory import MemorySubsystem
+
+
+@pytest.fixture()
+def memory():
+    return MemorySubsystem(MOBILE_SOC)
+
+
+class TestReadPath:
+    def test_l2_hit_faster_than_dram(self, memory):
+        cold = memory.access(0, 0.0)
+        warm = memory.access(0, cold)
+        assert warm - cold < cold - 0.0
+
+    def test_l2_hit_latency_magnitude(self, memory):
+        memory.access(0, 0.0)  # fill
+        start = 10_000.0
+        done = memory.access(0, start)
+        # Load-to-use for an L2 hit is around the configured 160 cycles
+        # (plus small port/bank waits).
+        assert MOBILE_SOC.l2_slice.latency * 0.8 <= done - start <= (
+            MOBILE_SOC.l2_slice.latency * 1.5
+        )
+
+    def test_lines_interleave_across_slices(self, memory):
+        line = MOBILE_SOC.l1d.line_bytes
+        for i in range(MOBILE_SOC.num_mem_partitions):
+            memory.access(i * line, 0.0)
+        touched = sum(
+            1 for s in memory.l2_slices if s.stats.accesses > 0
+        )
+        assert touched == MOBILE_SOC.num_mem_partitions
+
+    def test_cold_misses_reach_dram(self, memory):
+        memory.access(0, 0.0)
+        assert memory.dram_stats().requests == 1
+        memory.access(0, 1000.0)  # L2 hit: no new DRAM traffic
+        assert memory.dram_stats().requests == 1
+
+
+class TestStorePath:
+    def test_store_touches_l2_not_dram(self, memory):
+        memory.store(0x8000_0000, 0.0)
+        assert memory.l2_stats().accesses == 1
+        # Write no-allocate-fetch: a store miss does not read DRAM.
+        assert memory.dram_stats().requests == 0
+
+    def test_store_warms_l2_for_reads(self, memory):
+        memory.store(0x8000_0000, 0.0)
+        before = memory.dram_stats().requests
+        memory.access(0x8000_0000, 100.0)
+        assert memory.dram_stats().requests == before  # read hits L2
+
+
+class TestAggregation:
+    def test_l2_stats_aggregate_all_slices(self, memory):
+        line = MOBILE_SOC.l1d.line_bytes
+        for i in range(8):
+            memory.access(i * line, 0.0)
+        assert memory.l2_stats().accesses == 8
+
+    def test_finalize_closes_dram_intervals(self, memory):
+        memory.access(0, 0.0)
+        memory.finalize()
+        assert memory.dram_stats().pending_cycles > 0
+
+    def test_downscaled_subsystem_smaller(self):
+        small = MemorySubsystem(MOBILE_SOC.downscale(4))
+        assert len(small.l2_slices) == 1
+        assert len(small.dram_channels) == 1
+
+    def test_contention_grows_under_burst(self):
+        quiet = MemorySubsystem(MOBILE_SOC)
+        busy = MemorySubsystem(MOBILE_SOC)
+        line = MOBILE_SOC.l1d.line_bytes
+        # One isolated access vs the same access behind a 100-line burst
+        # to the same partition.
+        target = 128 * 1024 * 1024
+        isolated = quiet.access(target, 0.0)
+        partitions = MOBILE_SOC.num_mem_partitions
+        for i in range(100):
+            busy.access(i * line * partitions, 0.0)  # all hit partition 0
+        contended = busy.access(target, 0.0)
+        assert contended > isolated

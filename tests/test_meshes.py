@@ -1,0 +1,131 @@
+"""Tests for the procedural mesh generators."""
+
+import numpy as np
+import pytest
+
+from repro.scene.geometry import AABB
+from repro.scene.meshes import (
+    box,
+    column_grid,
+    cylinder,
+    fractal_tree,
+    ground_plane,
+    icosphere,
+    quad,
+    random_blob_field,
+    transform,
+)
+from repro.scene.vecmath import length, vec3
+
+
+def bounds_of(triangles) -> AABB:
+    b = AABB.empty()
+    for t in triangles:
+        b = b.union(t.bounds())
+    return b
+
+
+def total_area(triangles) -> float:
+    return sum(t.area() for t in triangles)
+
+
+class TestQuadAndPlane:
+    def test_quad_is_two_triangles(self):
+        tris = quad(vec3(0, 0, 0), vec3(1, 0, 0), vec3(0, 1, 0))
+        assert len(tris) == 2
+        assert total_area(tris) == pytest.approx(1.0)
+
+    def test_ground_plane_extent_and_height(self):
+        tris = ground_plane(5.0, y=0.25)
+        b = bounds_of(tris)
+        assert np.allclose(b.lo, [-5, 0.25, -5])
+        assert np.allclose(b.hi, [5, 0.25, 5])
+
+    def test_material_id_propagates(self):
+        tris = ground_plane(1.0, material_id=3)
+        assert all(t.material_id == 3 for t in tris)
+
+
+class TestBox:
+    def test_twelve_triangles(self):
+        assert len(box(vec3(0, 0, 0), vec3(1, 1, 1))) == 12
+
+    def test_surface_area(self):
+        tris = box(vec3(0, 0, 0), vec3(1, 2, 3))
+        # Box 2x4x6: area = 2*(8+24+12) = 88.
+        assert total_area(tris) == pytest.approx(88.0)
+
+    def test_bounds(self):
+        b = bounds_of(box(vec3(1, 2, 3), vec3(0.5, 0.5, 0.5)))
+        assert np.allclose(b.lo, [0.5, 1.5, 2.5])
+        assert np.allclose(b.hi, [1.5, 2.5, 3.5])
+
+
+class TestIcosphere:
+    @pytest.mark.parametrize("level,faces", [(0, 20), (1, 80), (2, 320)])
+    def test_face_counts(self, level, faces):
+        assert len(icosphere(vec3(0, 0, 0), 1.0, subdivisions=level)) == faces
+
+    def test_vertices_on_sphere(self):
+        center = vec3(1, 2, 3)
+        for tri in icosphere(center, 2.0, subdivisions=2):
+            for v in (tri.v0, tri.v1, tri.v2):
+                assert length(v - center) == pytest.approx(2.0, rel=1e-9)
+
+    def test_area_approaches_sphere(self):
+        area = total_area(icosphere(vec3(0, 0, 0), 1.0, subdivisions=3))
+        sphere = 4.0 * np.pi
+        assert 0.97 * sphere < area < sphere
+
+
+class TestCylinderTreeColumns:
+    def test_cylinder_triangle_count(self):
+        assert len(cylinder(vec3(0, 0, 0), 2.0, 0.5, segments=8)) == 16
+
+    def test_cylinder_height_extent(self):
+        b = bounds_of(cylinder(vec3(0, 1, 0), 3.0, 0.5))
+        assert b.lo[1] == pytest.approx(1.0)
+        assert b.hi[1] == pytest.approx(4.0)
+
+    def test_fractal_tree_deterministic(self):
+        a = fractal_tree(vec3(0, 0, 0), 2.0, 2, np.random.default_rng(9))
+        b = fractal_tree(vec3(0, 0, 0), 2.0, 2, np.random.default_rng(9))
+        assert len(a) == len(b)
+        assert np.allclose(a[10].v0, b[10].v0)
+
+    def test_fractal_tree_grows_upward(self):
+        tris = fractal_tree(vec3(0, 0, 0), 2.0, 3, np.random.default_rng(2))
+        b = bounds_of(tris)
+        assert b.hi[1] > 2.0  # taller than the trunk alone
+
+    def test_tree_uses_both_materials(self):
+        tris = fractal_tree(
+            vec3(0, 0, 0), 2.0, 2, np.random.default_rng(4),
+            trunk_material=1, leaf_material=2,
+        )
+        ids = {t.material_id for t in tris}
+        assert ids == {1, 2}
+
+    def test_column_grid_count(self):
+        tris = column_grid(2, 3, 2.0, 4.0, 0.3)
+        assert len(tris) == 2 * 3 * 12  # 6 segments x 2 tris per column
+
+
+class TestBlobsAndTransform:
+    def test_blob_field_count_and_floor(self):
+        rng = np.random.default_rng(3)
+        tris = random_blob_field(4, 5.0, (0.5, 0.5), rng, subdivisions=0)
+        assert len(tris) == 4 * 20
+        # Spheres rest on the plane: no triangle dips below y=0 (radius = y).
+        assert bounds_of(tris).lo[1] >= -1e-9
+
+    def test_transform_scale_translate(self):
+        tris = box(vec3(0, 0, 0), vec3(1, 1, 1))
+        moved = transform(tris, translate=vec3(10, 0, 0), scale=2.0)
+        b = bounds_of(moved)
+        assert np.allclose(b.lo, [8, -2, -2])
+        assert np.allclose(b.hi, [12, 2, 2])
+
+    def test_transform_preserves_material(self):
+        tris = box(vec3(0, 0, 0), vec3(1, 1, 1), material_id=5)
+        assert all(t.material_id == 5 for t in transform(tris, scale=3.0))

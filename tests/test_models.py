@@ -1,0 +1,90 @@
+"""Tests for the baseline predictors (sampling-only, analytical, PKA)."""
+
+import pytest
+
+from repro.gpu import MOBILE_SOC, METRICS
+from repro.models import AnalyticalModel, PKAProjection, SamplingPredictor
+
+
+class TestSamplingPredictor:
+    def test_extrapolates_cycles(self, small_scene, small_frame, small_full_stats):
+        predictor = SamplingPredictor(MOBILE_SOC)
+        prediction = predictor.predict(small_scene, small_frame, 0.5)
+        assert prediction.fraction == 0.5
+        # Raw sampled cycles are below the full run; the extrapolation
+        # multiplies back up into the full run's neighbourhood.
+        assert prediction.stats.cycles <= small_full_stats.cycles
+        assert prediction.metrics["cycles"] >= prediction.stats.cycles
+
+    def test_speedup_increases_as_fraction_drops(
+        self, small_scene, small_frame, small_full_stats
+    ):
+        predictor = SamplingPredictor(MOBILE_SOC)
+        lo = predictor.predict(small_scene, small_frame, 0.25)
+        hi = predictor.predict(small_scene, small_frame, 0.75)
+        assert lo.speedup_vs(small_full_stats) > hi.speedup_vs(small_full_stats)
+
+    def test_runs_on_full_gpu(self, small_scene, small_frame):
+        prediction = SamplingPredictor(MOBILE_SOC).predict(
+            small_scene, small_frame, 0.5
+        )
+        assert prediction.stats.config_name == "MobileSoC"  # not downscaled
+
+    def test_distribution_variants(self, small_scene, small_frame):
+        for distribution in ("uniform", "lintmp", "exptmp"):
+            prediction = SamplingPredictor(
+                MOBILE_SOC, distribution=distribution
+            ).predict(small_scene, small_frame, 0.4)
+            assert prediction.metrics["cycles"] > 0
+
+
+class TestAnalyticalModel:
+    def test_produces_all_metrics(self, small_scene, small_frame):
+        prediction = AnalyticalModel(MOBILE_SOC).predict(small_scene, small_frame)
+        assert set(prediction.metrics) == set(METRICS)
+        assert prediction.metrics["cycles"] > 0
+        assert prediction.bottleneck in prediction.intervals
+
+    def test_cycles_in_same_universe_as_simulator(
+        self, small_scene, small_frame, small_full_stats
+    ):
+        # Analytical models are coarse (GCoM: 26.7% MAE); require only
+        # order-of-magnitude agreement here.
+        prediction = AnalyticalModel(MOBILE_SOC).predict(small_scene, small_frame)
+        ratio = prediction.metrics["cycles"] / small_full_stats.cycles
+        assert 0.05 < ratio < 20.0
+
+    def test_work_is_trivial_compared_to_simulation(
+        self, small_frame, small_full_stats
+    ):
+        assert AnalyticalModel.work_units(small_frame) < small_full_stats.work_units
+
+    def test_intervals_nonnegative(self, small_scene, small_frame):
+        prediction = AnalyticalModel(MOBILE_SOC).predict(small_scene, small_frame)
+        assert all(v >= 0 for v in prediction.intervals.values())
+
+
+class TestPKAProjection:
+    def test_stops_and_projects(self, small_scene, small_frame):
+        prediction = PKAProjection(MOBILE_SOC).predict(small_scene, small_frame)
+        assert 0.1 <= prediction.stopped_fraction <= 1.0
+        assert len(prediction.checkpoints) >= 1
+        assert prediction.metrics["cycles"] > 0
+
+    def test_checkpoints_monotone_fractions(self, small_scene, small_frame):
+        prediction = PKAProjection(MOBILE_SOC).predict(small_scene, small_frame)
+        fractions = [f for f, _ in prediction.checkpoints]
+        assert fractions == sorted(fractions)
+
+    def test_tight_threshold_runs_longer(self, small_scene, small_frame):
+        loose = PKAProjection(MOBILE_SOC, stability_threshold=0.5).predict(
+            small_scene, small_frame
+        )
+        tight = PKAProjection(MOBILE_SOC, stability_threshold=0.0001).predict(
+            small_scene, small_frame
+        )
+        assert tight.stopped_fraction >= loose.stopped_fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PKAProjection(MOBILE_SOC, step_fraction=0.0)

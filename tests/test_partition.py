@@ -1,0 +1,135 @@
+"""Tests for image-plane division (step 4): coverage, disjointness, shape."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    coarse_partition,
+    fine_partition,
+    partition_plane,
+    tile_grid_shape,
+)
+
+
+def assert_exact_cover(groups, width, height):
+    """Every pixel in exactly one group."""
+    seen = set()
+    for group in groups:
+        for pixel in group:
+            assert pixel not in seen, f"pixel {pixel} in two groups"
+            seen.add(pixel)
+    assert len(seen) == width * height
+
+
+class TestTileGrid:
+    def test_paper_example_k6(self):
+        # Fig. 5 splits a square-ish plane into 3 rows x 2 columns... the
+        # chooser prefers near-square tiles; for a square plane and K=6
+        # both 2x3 and 3x2 are equally good — accept either orientation.
+        rows, cols = tile_grid_shape(6, 512, 512)
+        assert rows * cols == 6
+        assert {rows, cols} == {2, 3}
+
+    def test_k4_square(self):
+        assert tile_grid_shape(4, 512, 512) == (2, 2)
+
+    def test_prime_k_on_wide_plane(self):
+        rows, cols = tile_grid_shape(5, 1000, 100)
+        assert rows * cols == 5
+        assert cols >= rows  # wide plane: more columns
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            tile_grid_shape(0, 64, 64)
+
+
+class TestCoarse:
+    def test_exact_cover(self):
+        assert_exact_cover(coarse_partition(64, 32, 4), 64, 32)
+
+    def test_group_count(self):
+        assert len(coarse_partition(64, 64, 6)) == 6
+
+    def test_groups_are_contiguous_tiles(self):
+        groups = coarse_partition(64, 64, 4)
+        for group in groups:
+            xs = [p[0] for p in group]
+            ys = [p[1] for p in group]
+            area = (max(xs) - min(xs) + 1) * (max(ys) - min(ys) + 1)
+            assert area == len(group)  # a filled rectangle
+
+    def test_near_equal_sizes(self):
+        groups = coarse_partition(60, 60, 4)
+        sizes = [len(g) for g in groups]
+        assert max(sizes) - min(sizes) <= 60  # at most one row/col apart
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=50),
+        st.integers(min_value=4, max_value=50),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_property_cover(self, width, height, k):
+        assert_exact_cover(coarse_partition(width, height, k), width, height)
+
+
+class TestFine:
+    def test_exact_cover(self):
+        assert_exact_cover(fine_partition(64, 32, 4), 64, 32)
+
+    def test_equal_sizes_when_divisible(self):
+        groups = fine_partition(64, 64, 4, chunk_width=32, chunk_height=2)
+        sizes = {len(g) for g in groups}
+        assert sizes == {64 * 64 // 4}
+
+    def test_round_robin_interleaves_chunks(self):
+        groups = fine_partition(64, 8, 2, chunk_width=32, chunk_height=2)
+        # Chunk (0,0)-(31,1) goes to group 0, chunk (32,0)-(63,1) to group 1.
+        assert (0, 0) in set(groups[0])
+        assert (32, 0) in set(groups[1])
+        # The next chunk row rotates back to group 0.
+        assert (0, 2) in set(groups[0])
+
+    def test_each_group_samples_whole_plane(self):
+        # Fine-grained groups must touch every horizontal band (Fig. 7's
+        # "recognize the fox in these heatmaps" property).
+        groups = fine_partition(64, 64, 4, chunk_width=32, chunk_height=2)
+        for group in groups:
+            rows = {p[1] // 16 for p in group}
+            assert rows == {0, 1, 2, 3}
+
+    def test_pixel_order_forms_warps(self):
+        # Consecutive runs of 32 pixels share a chunk row: same y, x 0..31.
+        groups = fine_partition(64, 64, 4)
+        run = groups[0][:32]
+        assert len({p[1] for p in run}) == 1
+        assert [p[0] for p in run] == list(range(run[0][0], run[0][0] + 32))
+
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            fine_partition(64, 64, 4, chunk_width=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=64),
+        st.integers(min_value=4, max_value=64),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_property_cover(self, width, height, k):
+        assert_exact_cover(fine_partition(width, height, k), width, height)
+
+
+class TestDispatcher:
+    def test_selects_methods(self):
+        fine = partition_plane(32, 32, 2, method="fine")
+        coarse = partition_plane(32, 32, 2, method="coarse")
+        assert set(fine[0]) != set(coarse[0])
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            partition_plane(32, 32, 2, method="diagonal")
+
+    def test_k1_is_whole_plane(self):
+        groups = partition_plane(16, 16, 1)
+        assert len(groups) == 1 and len(groups[0]) == 256

@@ -1,0 +1,133 @@
+"""End-to-end tests of the Zatel pipeline (the seven steps of Fig. 3)."""
+
+import pytest
+
+from repro.core import Zatel, ZatelConfig
+from repro.gpu import MOBILE_SOC, METRICS
+
+
+@pytest.fixture(scope="module")
+def result(small_scene, small_frame):
+    return Zatel(MOBILE_SOC).predict(small_scene, small_frame)
+
+
+class TestZatelConfig:
+    def test_defaults_are_paper_tuning(self):
+        cfg = ZatelConfig()
+        assert cfg.division == "fine"
+        assert cfg.distribution == "uniform"
+        assert (cfg.block_width, cfg.block_height) == (32, 2)
+        assert cfg.extrapolation == "linear"
+        assert (cfg.min_fraction, cfg.max_fraction) == (0.3, 0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZatelConfig(division="random")
+        with pytest.raises(ValueError):
+            ZatelConfig(extrapolation="quadratic")
+        with pytest.raises(ValueError):
+            ZatelConfig(fraction_override=0.0)
+
+
+class TestPipelineStructure:
+    def test_group_count_equals_downscale_factor(self, result):
+        assert result.downscale_factor == 4  # gcd(8, 4) for Mobile SoC
+        assert len(result.groups) == 4
+
+    def test_groups_partition_the_plane(self, result, small_settings):
+        total = sum(g.pixel_count for g in result.groups)
+        assert total == small_settings.pixel_count()
+
+    def test_fractions_respect_bounds(self, result):
+        for group in result.groups:
+            assert 0.3 <= group.fraction <= 0.6
+
+    def test_selected_counts_match_fractions(self, result):
+        for group in result.groups:
+            target = group.fraction * group.pixel_count
+            assert abs(group.selected_count - target) <= 64  # one block
+
+    def test_group_sims_filter_the_rest(self, result):
+        for group in result.groups:
+            assert (
+                group.stats.pixels_traced + group.stats.pixels_filtered
+                == group.pixel_count
+            )
+            assert group.stats.pixels_traced == group.selected_count
+
+    def test_scaled_gpu_name_recorded(self, result):
+        assert "K4" in result.scaled_gpu_name
+        assert result.gpu_name == "MobileSoC"
+
+    def test_metrics_complete(self, result):
+        assert set(result.metrics) == set(METRICS)
+        assert all(v >= 0 for v in result.metrics.values())
+
+
+class TestPredictionQuality:
+    def test_cycles_within_factor_two(self, result, small_full_stats):
+        predicted = result.metrics["cycles"]
+        actual = small_full_stats.cycles
+        assert 0.5 * actual < predicted < 2.0 * actual
+
+    def test_speedup_greater_than_one(self, result, small_full_stats):
+        assert result.speedup_vs(small_full_stats) > 1.0
+        # Serial accounting is necessarily slower than parallel.
+        assert result.speedup_vs(small_full_stats, parallel=False) < result.speedup_vs(
+            small_full_stats
+        )
+
+    def test_work_accounting(self, result):
+        assert result.max_group_work_units <= result.total_work_units
+        assert result.total_work_units == sum(g.work_units for g in result.groups)
+
+    def test_deterministic(self, small_scene, small_frame, result):
+        again = Zatel(MOBILE_SOC).predict(small_scene, small_frame)
+        assert again.metrics == result.metrics
+
+
+class TestVariants:
+    def test_coarse_division(self, small_scene, small_frame):
+        config = ZatelConfig(division="coarse")
+        result = Zatel(MOBILE_SOC, config).predict(small_scene, small_frame)
+        assert len(result.groups) == 4
+        assert result.metrics["cycles"] > 0
+
+    def test_fraction_override(self, small_scene, small_frame):
+        config = ZatelConfig(fraction_override=0.5)
+        result = Zatel(MOBILE_SOC, config).predict(small_scene, small_frame)
+        for group in result.groups:
+            assert group.fraction == 0.5
+
+    def test_explicit_downscale_factor(self, small_scene, small_frame):
+        config = ZatelConfig(downscale_factor=2)
+        result = Zatel(MOBILE_SOC, config).predict(small_scene, small_frame)
+        assert result.downscale_factor == 2
+        assert len(result.groups) == 2
+
+    def test_temperature_distribution(self, small_scene, small_frame):
+        config = ZatelConfig(distribution="exptmp")
+        result = Zatel(MOBILE_SOC, config).predict(small_scene, small_frame)
+        assert result.metrics["cycles"] > 0
+
+    def test_regression_extrapolation(self, small_scene, small_frame):
+        config = ZatelConfig(extrapolation="regression")
+        result = Zatel(MOBILE_SOC, config).predict(small_scene, small_frame)
+        # Each group simulated at the three regression fractions; the
+        # recorded fraction is the largest of them.
+        for group in result.groups:
+            assert group.fraction == max(config.regression_fractions)
+        assert all(v == v for v in result.metrics.values())  # no NaN
+        assert result.metrics["cycles"] > 0
+
+    def test_mean_fraction(self, result):
+        assert 0.3 <= result.mean_fraction() <= 0.6
+
+    def test_parallel_workers_match_serial(self, small_scene, small_frame, result):
+        # The paper deploys the K instances on separate CPU cores; the
+        # forked-pool path must be bit-identical to the serial path.
+        parallel = Zatel(MOBILE_SOC).predict(small_scene, small_frame, workers=2)
+        assert parallel.metrics == result.metrics
+        assert [g.selected_count for g in parallel.groups] == [
+            g.selected_count for g in result.groups
+        ]

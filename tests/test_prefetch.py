@@ -1,0 +1,90 @@
+"""Tests for the treelet-style RT-unit prefetcher (an architectural
+feature in the spirit of the paper's motivating proposals)."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu import MOBILE_SOC, CycleSimulator, TraceOp, compile_kernel
+from repro.gpu.memory import MemorySubsystem
+from repro.gpu.sm import SM
+from repro.scene.scene import AddressMap
+
+
+@pytest.fixture()
+def sm():
+    return SM(0, MOBILE_SOC, MemorySubsystem(MOBILE_SOC))
+
+
+class TestPrefetchPrimitive:
+    def test_cold_line_issues_fetch(self, sm):
+        assert sm.prefetch(0x1000_0000, 0.0) is True
+
+    def test_resident_line_skipped(self, sm):
+        sm.mem_access(0x1000_0000, 0.0)
+        assert sm.prefetch(0x1000_0000, 100.0) is False
+
+    def test_in_flight_line_skipped(self, sm):
+        sm.prefetch(0x2000_0000, 0.0)
+        assert sm.prefetch(0x2000_0000, 1.0) is False
+
+    def test_demand_merges_with_prefetch(self, sm):
+        line = 0x3000_0000
+        sm.prefetch(line, 0.0)
+        # A demand access shortly after merges in the MSHR: its latency is
+        # bounded by the prefetch's remaining time, below a fresh miss.
+        merged = sm.mem_access(line, 10.0)
+        fresh_sm = SM(0, MOBILE_SOC, MemorySubsystem(MOBILE_SOC))
+        cold = fresh_sm.mem_access(line, 10.0)
+        assert merged <= cold
+
+    def test_prefetch_does_not_touch_demand_stats(self, sm):
+        before = sm.l1d.stats.accesses
+        sm.prefetch(0x4000_0000, 0.0)
+        assert sm.l1d.stats.accesses == before
+
+
+class TestPrefetchInTraversal:
+    def run_config(self, warps, scene_addresses, depth):
+        cfg = dataclasses.replace(MOBILE_SOC, rt_prefetch_depth=depth)
+        return CycleSimulator(cfg, scene_addresses).run(warps)
+
+    @pytest.fixture(scope="class")
+    def warps(self, small_scene, small_settings, small_frame):
+        return compile_kernel(
+            small_frame, small_settings.all_pixels(), small_scene.addresses
+        )
+
+    def test_disabled_by_default(self):
+        assert MOBILE_SOC.rt_prefetch_depth == 0
+
+    def test_prefetching_preserves_work(self, small_scene, warps):
+        base = self.run_config(warps, small_scene.addresses, 0)
+        pref = self.run_config(warps, small_scene.addresses, 8)
+        # Demand-side accounting is identical; only timing may change.
+        assert pref.instructions == base.instructions
+        assert pref.rt_traversal_steps == base.rt_traversal_steps
+        assert pref.pixels_traced == base.pixels_traced
+
+    def test_prefetches_issue_on_deep_traversals(self, small_scene, warps):
+        cfg = dataclasses.replace(MOBILE_SOC, rt_prefetch_depth=4)
+        # Drive one traversal job directly to reach the unit's counters.
+        sm = SM(0, cfg, MemorySubsystem(cfg))
+        unit = sm.rt_units[0]
+        unit.try_acquire_slot()
+        op = TraceOp(
+            per_thread_nodes=([i * 7 for i in range(12)],),
+            per_thread_tris=([],),
+        )
+        job = sm.make_trace_job(unit, op, small_scene.addresses)
+        cycle = 0.0
+        while not job.done:
+            cycle = job.advance(cycle)
+        assert unit.stats.prefetches_issued > 0
+
+    def test_prefetching_never_slows_much(self, small_scene, warps):
+        base = self.run_config(warps, small_scene.addresses, 0)
+        pref = self.run_config(warps, small_scene.addresses, 8)
+        # Prefetch may help little on L2-resident scenes, but must not
+        # catastrophically hurt (it only adds already-needed fetches).
+        assert pref.cycles <= base.cycles * 1.15

@@ -1,0 +1,195 @@
+"""Tests for the RT unit's traversal jobs and the SM's resource models."""
+
+import pytest
+
+from repro.gpu import MOBILE_SOC, TraceOp
+from repro.gpu.memory import MemorySubsystem
+from repro.gpu.rt_unit import RTUnit
+from repro.gpu.sm import SM
+from repro.gpu.warp import ComputeOp, StoreOp
+from repro.scene.scene import AddressMap
+
+
+@pytest.fixture()
+def sm():
+    config = MOBILE_SOC
+    return SM(0, config, MemorySubsystem(config))
+
+
+@pytest.fixture()
+def amap():
+    return AddressMap()
+
+
+def run_job(sm, op, amap, start=0.0):
+    unit = sm.rt_units[0]
+    assert unit.try_acquire_slot()
+    job = sm.make_trace_job(unit, op, amap)
+    cycle = start
+    while not job.done:
+        cycle = job.advance(cycle)
+    unit.release_slot()
+    return cycle, unit
+
+
+class TestIssuePort:
+    def test_serializes_back_to_back(self, sm):
+        first = sm.reserve_issue(0.0, 10)
+        second = sm.reserve_issue(0.0, 10)
+        assert first == 0.0
+        assert second == 10.0
+
+    def test_idle_gap_respected(self, sm):
+        sm.reserve_issue(0.0, 10)
+        assert sm.reserve_issue(100.0, 1) == 100.0
+
+
+class TestMemAccess:
+    def test_hit_costs_l1_latency(self, sm):
+        sm.mem_access(0, 0.0)  # warm the line
+        done = sm.mem_access(0, 1000.0)
+        assert done == 1000.0 + sm.config.l1d.latency
+
+    def test_miss_costs_more_than_hit(self, sm):
+        miss = sm.mem_access(128, 0.0)
+        hit = sm.mem_access(128, miss)
+        assert miss - 0.0 > hit - miss
+
+    def test_mshr_merges_concurrent_misses(self, sm):
+        first = sm.mem_access(256, 0.0)
+        # Second request to the same in-flight line merges: it completes no
+        # later than the first fetch (plus its own lookup offset).
+        merged = sm.mem_access(256, 1.0)
+        assert merged <= first + sm.config.l1d.latency + 1.0
+        assert sm.mshr.merges >= 0  # line was inserted into L1 on first miss
+
+    def test_access_counter(self, sm):
+        before = sm.mem_accesses
+        sm.mem_access(0, 0.0)
+        assert sm.mem_accesses == before + 1
+
+
+class TestComputeExecution:
+    def test_latency_is_issue_plus_alu(self, sm):
+        op = ComputeOp((8, 8, 8))
+        # First issue pays a cold icache fetch; a second warp hitting the
+        # same op slot does not.
+        cold = sm.execute_compute(op, 0.0)
+        assert cold == sm.config.icache.latency + 8 + sm.config.alu_latency
+        warm_start = 1000.0
+        warm = sm.execute_compute(op, warm_start)
+        assert warm == warm_start + 8 + sm.config.alu_latency
+
+    def test_masked_op_is_free(self, sm):
+        assert sm.execute_compute(ComputeOp((0, 0)), 5.0) == 5.0
+
+    def test_distinct_op_slots_fetch_separately(self, sm):
+        sm.execute_compute(ComputeOp((4,)), 0.0, op_slot=0)
+        before = sm.icache.stats.misses
+        sm.execute_compute(ComputeOp((4,)), 0.0, op_slot=40)  # new line
+        assert sm.icache.stats.misses == before + 1
+
+
+class TestStoreExecution:
+    def test_store_returns_quickly(self, sm):
+        op = StoreOp((0x8000_0000, 0x8000_0010))
+        done = sm.execute_store(op, 0.0)
+        assert done <= 2.0  # fire-and-forget
+
+    def test_store_reaches_l2(self, sm):
+        sm.execute_store(StoreOp((0x8000_0000,)), 0.0)
+        assert sm.memory.l2_stats().accesses == 1
+
+    def test_empty_store_free(self, sm):
+        assert sm.execute_store(StoreOp((None, None)), 3.0) == 3.0
+
+
+class TestRTUnitSlots:
+    def test_slot_pool_bounded(self, sm):
+        unit = sm.rt_units[0]
+        grabbed = [unit.try_acquire_slot() for _ in range(unit.max_warps + 1)]
+        assert grabbed == [True] * unit.max_warps + [False]
+
+    def test_release_restores_capacity(self, sm):
+        unit = sm.rt_units[0]
+        assert unit.try_acquire_slot()
+        unit.release_slot()
+        assert unit.free_slots == unit.max_warps
+
+    def test_over_release_rejected(self, sm):
+        with pytest.raises(RuntimeError):
+            sm.rt_units[0].release_slot()
+
+
+class TestTraversalJob:
+    def test_steps_count_lockstep_maximum(self, sm, amap):
+        op = TraceOp(
+            per_thread_nodes=([0, 1, 2, 3], [0, 1]),
+            per_thread_tris=([], []),
+        )
+        _, unit = run_job(sm, op, amap)
+        assert unit.stats.traversal_steps == 4
+        # Active rays: 2, 2, 1, 1 over the four steps.
+        assert unit.stats.active_ray_steps == 6
+
+    def test_efficiency_metric(self, sm, amap):
+        op = TraceOp(
+            per_thread_nodes=([0, 1], [0, 1]),
+            per_thread_tris=([], []),
+        )
+        _, unit = run_job(sm, op, amap)
+        assert unit.stats.average_efficiency() == pytest.approx(2.0)
+
+    def test_shared_nodes_fetch_one_line(self, sm, amap):
+        # Both rays visit node 0 at step 0: one line fetch, not two.
+        op = TraceOp(
+            per_thread_nodes=([0], [0]),
+            per_thread_tris=([], []),
+        )
+        _, unit = run_job(sm, op, amap)
+        assert unit.stats.node_fetches == 1
+
+    def test_divergent_nodes_fetch_distinct_lines(self, sm, amap):
+        # Node indices 0 and 64 land on different 128B lines (64B nodes).
+        op = TraceOp(
+            per_thread_nodes=([0], [64]),
+            per_thread_tris=([], []),
+        )
+        _, unit = run_job(sm, op, amap)
+        assert unit.stats.node_fetches == 2
+
+    def test_triangle_phase_counts_separately(self, sm, amap):
+        op = TraceOp(
+            per_thread_nodes=([0],),
+            per_thread_tris=([3, 4],),
+        )
+        _, unit = run_job(sm, op, amap)
+        assert unit.stats.traversal_steps == 1  # node steps only
+        assert unit.stats.tri_fetches >= 1
+
+    def test_zero_work_job_done_immediately(self, sm, amap):
+        op = TraceOp(per_thread_nodes=(), per_thread_tris=())
+        unit = sm.rt_units[0]
+        unit.try_acquire_slot()
+        job = sm.make_trace_job(unit, op, amap)
+        assert job.done
+        unit.release_slot()
+
+    def test_advance_after_done_rejected(self, sm, amap):
+        op = TraceOp(per_thread_nodes=([0],), per_thread_tris=([],))
+        unit = sm.rt_units[0]
+        unit.try_acquire_slot()
+        job = sm.make_trace_job(unit, op, amap)
+        job.advance(0.0)
+        with pytest.raises(RuntimeError):
+            job.advance(100.0)
+        unit.release_slot()
+
+    def test_cold_misses_slow_the_job(self, sm, amap):
+        # A traversal with all-cold far-apart lines takes longer than the
+        # same traversal replayed on warm caches.
+        nodes = [i * 64 for i in range(10)]  # distinct lines (64B nodes)
+        op = TraceOp(per_thread_nodes=(nodes,), per_thread_tris=([],))
+        cold_done, _ = run_job(sm, op, amap, start=0.0)
+        warm_done, _ = run_job(sm, op, amap, start=cold_done)
+        assert (cold_done - 0.0) >= (warm_done - cold_done)

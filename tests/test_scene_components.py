@@ -1,0 +1,174 @@
+"""Tests for materials, camera, lights, the scene container and library."""
+
+import numpy as np
+import pytest
+
+from repro.scene import (
+    Camera,
+    DirectionalLight,
+    MaterialTable,
+    PointLight,
+    REPRESENTATIVE_SUBSET,
+    SCENE_NAMES,
+    Scene,
+    TUNING_SCENES,
+    build_scene,
+    diffuse,
+    emissive,
+    make_scene,
+    mirror,
+)
+from repro.scene.meshes import ground_plane
+from repro.scene.scene import AddressMap
+from repro.scene.vecmath import length, vec3
+
+
+class TestMaterials:
+    def test_default_slot_zero(self):
+        table = MaterialTable()
+        assert len(table) == 1
+        assert not table[0].is_emissive()
+
+    def test_add_returns_increasing_ids(self):
+        table = MaterialTable()
+        a = table.add(diffuse(1, 0, 0))
+        b = table.add(mirror())
+        assert (a, b) == (1, 2)
+        assert table[b].reflectivity == 1.0
+
+    def test_mirror_validates_reflectivity(self):
+        with pytest.raises(ValueError):
+            mirror(1.5)
+
+    def test_emissive_flag(self):
+        assert emissive(2, 2, 2).is_emissive()
+        assert not diffuse(0.5, 0.5, 0.5).is_emissive()
+
+
+class TestCamera:
+    def make(self):
+        return Camera(
+            position=vec3(0, 0, 5), look_at=vec3(0, 0, 0), fov_degrees=90.0
+        )
+
+    def test_center_ray_points_at_target(self):
+        cam = self.make()
+        # Pixel (50, 50) with zero jitter sits exactly on the plane centre.
+        ray = cam.primary_ray(50, 50, 100, 100, jitter=(0.0, 0.0))
+        assert np.allclose(ray.direction, [0, 0, -1], atol=1e-6)
+
+    def test_rays_are_unit_length(self):
+        cam = self.make()
+        for px, py in [(0, 0), (99, 0), (0, 99), (99, 99), (37, 61)]:
+            assert length(cam.primary_ray(px, py, 100, 100).direction) == pytest.approx(1.0)
+
+    def test_top_left_points_up_left(self):
+        cam = self.make()
+        ray = cam.primary_ray(0, 0, 100, 100, jitter=(0.0, 0.0))
+        assert ray.direction[0] < 0  # left
+        assert ray.direction[1] > 0  # up (py=0 is the top row)
+
+    def test_out_of_plane_pixel_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().primary_ray(100, 0, 100, 100)
+
+    def test_jitter_moves_the_ray(self):
+        cam = self.make()
+        a = cam.primary_ray(10, 10, 100, 100, jitter=(0.1, 0.1))
+        b = cam.primary_ray(10, 10, 100, 100, jitter=(0.9, 0.9))
+        assert not np.allclose(a.direction, b.direction)
+
+
+class TestLights:
+    def test_point_light_shadow_ray_targets_light(self):
+        light = PointLight(position=vec3(0, 10, 0))
+        ray, distance = light.shadow_ray(vec3(0, 0, 0))
+        assert np.allclose(ray.direction, [0, 1, 0])
+        assert distance == pytest.approx(10.0)
+        assert ray.t_max < distance  # stops short of the light
+
+    def test_point_light_inverse_square(self):
+        light = PointLight(position=vec3(0, 0, 0), intensity=vec3(4, 4, 4))
+        near = light.irradiance_at(1.0)
+        far = light.irradiance_at(2.0)
+        assert np.allclose(near / far, [4, 4, 4])
+
+    def test_directional_light_infinite_range(self):
+        light = DirectionalLight(direction=vec3(0, -1, 0))
+        ray, distance = light.shadow_ray(vec3(0, 0, 0))
+        assert np.allclose(ray.direction, [0, 1, 0])
+        assert distance == float("inf")
+        assert np.allclose(light.irradiance_at(5.0), light.irradiance_at(500.0))
+
+
+class TestAddressMap:
+    def test_regions_disjoint(self):
+        amap = AddressMap()
+        node_hi = amap.node_address(10**6)
+        assert node_hi < amap.triangle_base
+        tri_hi = amap.triangle_address(10**6)
+        assert tri_hi < amap.framebuffer_base
+
+    def test_node_addresses_strided(self):
+        amap = AddressMap()
+        assert amap.node_address(1) - amap.node_address(0) == amap.node_size
+
+    def test_pixel_addresses_row_major(self):
+        amap = AddressMap()
+        a = amap.pixel_address(0, 0, 64)
+        b = amap.pixel_address(1, 0, 64)
+        c = amap.pixel_address(0, 1, 64)
+        assert b - a == amap.pixel_size
+        assert c - a == 64 * amap.pixel_size
+
+
+class TestSceneContainer:
+    def test_empty_scene_rejected(self):
+        cam = Camera(position=vec3(0, 0, 1), look_at=vec3(0, 0, 0))
+        with pytest.raises(ValueError):
+            Scene([], cam)
+
+    def test_scene_builds_bvh_and_describes(self):
+        cam = Camera(position=vec3(0, 1, 3), look_at=vec3(0, 0, 0))
+        scene = Scene(ground_plane(2.0), cam, name="plane")
+        assert scene.triangle_count() == 2
+        assert "plane" in scene.describe()
+
+    def test_material_of_uses_triangle_ids(self):
+        cam = Camera(position=vec3(0, 1, 3), look_at=vec3(0, 0, 0))
+        table = MaterialTable()
+        red = table.add(diffuse(1, 0, 0))
+        scene = Scene(ground_plane(2.0, material_id=red), cam, materials=table)
+        assert np.allclose(scene.material_of(0).albedo, [1, 0, 0])
+
+
+class TestLibrary:
+    def test_all_scenes_build(self):
+        for name in SCENE_NAMES:
+            scene = make_scene(name)
+            assert scene.triangle_count() > 0
+            assert scene.name == name
+
+    def test_unknown_scene_rejected(self):
+        with pytest.raises(ValueError):
+            build_scene("NOPE")
+
+    def test_subsets_are_subsets(self):
+        assert set(REPRESENTATIVE_SUBSET) <= set(SCENE_NAMES)
+        assert set(TUNING_SCENES) <= set(SCENE_NAMES)
+
+    def test_make_scene_caches(self):
+        assert make_scene("SPRNG") is make_scene("SPRNG")
+
+    def test_build_scene_fresh_instances(self):
+        assert build_scene("SPRNG") is not build_scene("SPRNG")
+
+    def test_sprng_is_tiny_park_is_big(self):
+        # The library's saturation story: SPRNG barely stresses the GPU,
+        # PARK is the hardest workload.
+        assert make_scene("SPRNG").triangle_count() < make_scene("PARK").triangle_count()
+
+    def test_scenes_deterministic(self):
+        a, b = build_scene("CHSNT"), build_scene("CHSNT")
+        assert a.triangle_count() == b.triangle_count()
+        assert np.allclose(a.triangles[5].v0, b.triangles[5].v0)

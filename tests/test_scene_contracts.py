@@ -1,0 +1,101 @@
+"""Contract tests: the scene library matches the paper's characterizations.
+
+The experiments lean on per-scene properties (SPRNG under-saturates, BATH
+runs longest, SHIP < WKND < BUNNY temperature ordering).  These tests pin
+those contracts at a reduced plane so regressions in scene tuning surface
+in the unit suite rather than deep inside a benchmark.
+"""
+
+import pytest
+
+from repro.core import Heatmap
+from repro.scene import TUNING_SCENES, make_scene
+from repro.tracer import FunctionalTracer, RenderSettings
+
+
+@pytest.fixture(scope="module")
+def scene_frames():
+    settings = RenderSettings(width=64, height=64)
+    return {
+        name: FunctionalTracer(make_scene(name), settings).trace_frame()
+        for name in ("SPRNG", "SHIP", "WKND", "BUNNY", "PARK", "BATH")
+    }
+
+
+class TestSaturationContracts:
+    def test_sprng_is_the_lightest_workload(self, scene_frames):
+        costs = {n: f.total_cost() for n, f in scene_frames.items()}
+        assert costs["SPRNG"] == min(costs.values())
+
+    def test_bath_is_the_heaviest_workload(self, scene_frames):
+        # §IV-D: BATH is "one of the longest-running scenes by a high
+        # margin".
+        costs = {n: f.total_cost() for n, f in scene_frames.items()}
+        assert costs["BATH"] == max(costs.values())
+        assert costs["BATH"] > 4 * costs["SPRNG"]
+
+    def test_park_heavier_than_tuning_scenes(self, scene_frames):
+        costs = {n: f.total_cost() for n, f in scene_frames.items()}
+        assert costs["PARK"] > costs["SHIP"]
+        assert costs["PARK"] > costs["WKND"]
+
+
+class TestTemperatureContracts:
+    def test_fig12_ordering_under_shared_scale(self, scene_frames):
+        # "These scenes were generated relative to each other by using the
+        # same scaling value": SHIP coldest, WKND mixed, BUNNY warmest.
+        import numpy as np
+
+        shared_peak = max(
+            float(np.percentile(scene_frames[n].cost_map(), 99.5))
+            for n in TUNING_SCENES
+        )
+        means = {}
+        for name in TUNING_SCENES:
+            costs = scene_frames[name].cost_map()
+            means[name] = float(np.clip(costs / shared_peak, 0, 1).mean())
+        assert means["SHIP"] < means["WKND"] < means["BUNNY"]
+
+    def test_self_normalized_ship_is_coldest(self, scene_frames):
+        temps = {
+            name: Heatmap.from_frame(scene_frames[name]).mean_temperature()
+            for name in TUNING_SCENES
+        }
+        assert temps["SHIP"] == min(temps.values())
+        assert temps["BUNNY"] == max(temps.values())
+
+
+class TestWorkingSetContracts:
+    def test_working_sets_exceed_l1(self):
+        # DESIGN.md §5: scene working sets must dwarf the 64KB L1D so miss
+        # rates are capacity-driven, not cold-dominated.  SPRNG is exempt —
+        # being tiny is its role.
+        from repro.gpu import MOBILE_SOC
+
+        l1 = MOBILE_SOC.l1d.size_bytes
+        for name in ("SHIP", "WKND", "BUNNY", "PARK", "BATH"):
+            scene = make_scene(name)
+            working_set = scene.node_count() * 64 + scene.triangle_count() * 48
+            assert working_set > 3 * l1, f"{name} working set too small"
+
+    def test_sprng_stays_tiny(self):
+        scene = make_scene("SPRNG")
+        assert scene.triangle_count() < 500
+
+
+class TestExtraScenes:
+    def test_extra_scenes_build_and_render(self):
+        from repro.scene.library import EXTRA_SCENES
+
+        settings = RenderSettings(width=16, height=16)
+        for name in EXTRA_SCENES:
+            scene = make_scene(name)
+            assert scene.triangle_count() > 500
+            frame = FunctionalTracer(scene, settings).trace_frame()
+            assert frame.total_cost() > 0
+
+    def test_extra_scenes_disjoint_from_evaluated_set(self):
+        from repro.scene import SCENE_NAMES
+        from repro.scene.library import EXTRA_SCENES
+
+        assert not set(EXTRA_SCENES) & set(SCENE_NAMES)

@@ -1,0 +1,184 @@
+"""Tests for representative-pixel selection (step 5, equations 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DISTRIBUTIONS,
+    Heatmap,
+    color_quotas,
+    compute_fraction,
+    make_section_blocks,
+    quantize_heatmap,
+    select_pixels,
+)
+from tests.test_heatmap_quantize import synthetic_frame
+
+
+@pytest.fixture(scope="module")
+def quantized():
+    # 32x8 plane whose right half is hot.
+    frame = synthetic_frame(width=32, height=8, hot_column=16, spread=60)
+    for (x, y), trace in frame.pixels.items():
+        if x > 16:
+            trace.segments[0].nodes = list(range(50))
+    hm = Heatmap.from_frame(frame, warp_width=0)
+    return quantize_heatmap(hm, num_colors=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def plane_pixels():
+    return [(x, y) for y in range(8) for x in range(32)]
+
+
+class TestEquationOne:
+    def test_clamped_to_bounds(self, quantized, plane_pixels):
+        fraction = compute_fraction(quantized, plane_pixels)
+        assert 0.3 <= fraction <= 0.6
+
+    def test_cold_pixels_raise_fraction(self, quantized):
+        cold = [(x, y) for y in range(8) for x in range(8)]       # cold side
+        hot = [(x, y) for y in range(8) for x in range(20, 28)]   # hot side
+        assert compute_fraction(quantized, cold) >= compute_fraction(
+            quantized, hot
+        )
+
+    def test_unclamped_value_is_mean_coolness(self, quantized, plane_pixels):
+        raw = compute_fraction(
+            quantized, plane_pixels, min_fraction=0.0, max_fraction=1.0
+        )
+        expected = np.mean(
+            [quantized.coolness_at(px, py) for px, py in plane_pixels]
+        )
+        assert raw == pytest.approx(float(expected))
+
+    def test_empty_group_rejected(self, quantized):
+        with pytest.raises(ValueError):
+            compute_fraction(quantized, [])
+
+
+class TestSectionBlocks:
+    def test_blocks_tile_the_group(self, quantized, plane_pixels):
+        blocks = make_section_blocks(
+            plane_pixels, quantized, block_width=32, block_height=2
+        )
+        assert len(blocks) == len(plane_pixels) // 64
+        covered = [p for b in blocks for p in b.pixels]
+        assert sorted(covered) == sorted(plane_pixels)
+
+    def test_dominant_color_is_modal(self, quantized, plane_pixels):
+        blocks = make_section_blocks(plane_pixels, quantized, 32, 2)
+        for block in blocks:
+            votes = {}
+            for px, py in block.pixels:
+                label = quantized.label_at(px, py)
+                votes[label] = votes.get(label, 0) + 1
+            assert votes[block.dominant_color] == max(votes.values())
+
+    def test_partial_trailing_block(self, quantized):
+        pixels = [(x, 0) for x in range(10)]
+        blocks = make_section_blocks(pixels, quantized, block_width=8, block_height=1)
+        assert len(blocks) == 2
+        assert len(blocks[1].pixels) == 2
+
+    def test_validation(self, quantized, plane_pixels):
+        with pytest.raises(ValueError):
+            make_section_blocks(plane_pixels, quantized, block_width=0)
+
+
+class TestQuotas:
+    def test_uniform_matches_histogram(self, quantized, plane_pixels):
+        quotas = color_quotas(quantized, plane_pixels, "uniform")
+        histogram = quantized.color_histogram(plane_pixels)
+        expected = histogram / histogram.sum()
+        assert np.allclose(quotas, expected)
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_quotas_sum_to_one(self, quantized, plane_pixels, distribution):
+        quotas = color_quotas(quantized, plane_pixels, distribution)
+        assert quotas.sum() == pytest.approx(1.0)
+        assert (quotas >= 0).all()
+
+    def test_temperature_shifts_mass_to_hot_colors(self, quantized, plane_pixels):
+        uniform = color_quotas(quantized, plane_pixels, "uniform")
+        exptmp = color_quotas(quantized, plane_pixels, "exptmp")
+        hottest = int(np.argmin(quantized.coolness))
+        coldest = int(np.argmax(quantized.coolness))
+        # exptmp re-weights towards hot colors relative to uniform.
+        if uniform[hottest] > 0 and uniform[coldest] > 0:
+            assert exptmp[hottest] / uniform[hottest] >= exptmp[coldest] / max(
+                uniform[coldest], 1e-12
+            )
+
+    def test_exptmp_more_extreme_than_lintmp(self, quantized, plane_pixels):
+        lin = color_quotas(quantized, plane_pixels, "lintmp")
+        exp = color_quotas(quantized, plane_pixels, "exptmp")
+        hottest = int(np.argmin(quantized.coolness))
+        assert exp[hottest] >= lin[hottest] - 1e-12
+
+    def test_unknown_distribution(self, quantized, plane_pixels):
+        with pytest.raises(ValueError):
+            color_quotas(quantized, plane_pixels, "gaussian")
+
+
+class TestSelectPixels:
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_selection_close_to_target_size(
+        self, quantized, plane_pixels, distribution
+    ):
+        selected = select_pixels(
+            quantized, plane_pixels, 0.5, distribution=distribution, seed=1
+        )
+        target = 0.5 * len(plane_pixels)
+        block = 64  # selection granularity
+        assert target - block < len(selected) <= target + block
+
+    def test_selection_subset_of_group(self, quantized, plane_pixels):
+        selected = select_pixels(quantized, plane_pixels, 0.4, seed=2)
+        assert selected <= set(plane_pixels)
+
+    def test_selection_is_block_aligned(self, quantized, plane_pixels):
+        selected = select_pixels(quantized, plane_pixels, 0.4, seed=3)
+        blocks = make_section_blocks(plane_pixels, quantized, 32, 2)
+        for block in blocks:
+            hit = sum(1 for p in block.pixels if p in selected)
+            assert hit in (0, len(block.pixels))  # all or nothing
+
+    def test_deterministic_per_seed(self, quantized, plane_pixels):
+        a = select_pixels(quantized, plane_pixels, 0.4, seed=7)
+        b = select_pixels(quantized, plane_pixels, 0.4, seed=7)
+        assert a == b
+        # Across many seeds, the random block choice must produce at least
+        # two distinct selections (the group has more blocks than needed).
+        variants = {
+            frozenset(select_pixels(quantized, plane_pixels, 0.4, seed=s))
+            for s in range(12)
+        }
+        assert len(variants) > 1
+
+    def test_full_fraction_selects_everything(self, quantized, plane_pixels):
+        selected = select_pixels(quantized, plane_pixels, 1.0, seed=0)
+        assert selected == set(plane_pixels)
+
+    def test_invalid_fraction(self, quantized, plane_pixels):
+        with pytest.raises(ValueError):
+            select_pixels(quantized, plane_pixels, 0.0)
+        with pytest.raises(ValueError):
+            select_pixels(quantized, plane_pixels, 1.5)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.sampled_from(DISTRIBUTIONS),
+        st.floats(min_value=0.1, max_value=1.0),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_property_selection_bounded(
+        self, quantized, plane_pixels, distribution, fraction, seed
+    ):
+        selected = select_pixels(
+            quantized, plane_pixels, fraction, distribution=distribution, seed=seed
+        )
+        assert 0 < len(selected) <= len(plane_pixels)
+        assert selected <= set(plane_pixels)

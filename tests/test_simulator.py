@@ -1,0 +1,135 @@
+"""Tests for the cycle simulator: determinism, scaling behaviour, metrics."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu import (
+    MOBILE_SOC,
+    RTX_2060,
+    CycleSimulator,
+    METRICS,
+    SimulationStats,
+    compile_kernel,
+)
+from repro.scene.scene import AddressMap
+
+
+@pytest.fixture(scope="module")
+def sim_inputs(small_scene, small_settings, small_frame):
+    pixels = small_settings.all_pixels()
+    warps = compile_kernel(small_frame, pixels, small_scene.addresses)
+    return small_scene, pixels, warps
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self, sim_inputs):
+        scene, _, warps = sim_inputs
+        sim = CycleSimulator(MOBILE_SOC, scene.addresses)
+        a, b = sim.run(warps), sim.run(warps)
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+        assert a.l1d_misses == b.l1d_misses
+        assert a.work_units == b.work_units
+
+
+class TestBasicInvariants:
+    def test_all_metrics_present_and_finite(self, small_full_stats):
+        for name in METRICS:
+            value = small_full_stats.metric(name)
+            assert value == value  # not NaN
+            assert value >= 0.0
+
+    def test_cycles_positive(self, small_full_stats):
+        assert small_full_stats.cycles > 0
+
+    def test_rates_bounded(self, small_full_stats):
+        assert 0.0 <= small_full_stats.l1d_miss_rate <= 1.0
+        assert 0.0 <= small_full_stats.l2_miss_rate <= 1.0
+        assert 0.0 <= small_full_stats.dram_efficiency <= 1.0
+        assert 0.0 <= small_full_stats.bw_utilization <= 1.0
+
+    def test_rt_efficiency_within_warp_size(self, small_full_stats):
+        assert 0.0 < small_full_stats.rt_efficiency <= 32.0
+
+    def test_pixel_accounting(self, sim_inputs, small_full_stats):
+        _, pixels, _ = sim_inputs
+        assert small_full_stats.pixels_traced == len(pixels)
+        assert small_full_stats.pixels_filtered == 0
+
+    def test_empty_launch(self, sim_inputs):
+        scene, _, _ = sim_inputs
+        stats = CycleSimulator(MOBILE_SOC, scene.addresses).run([])
+        assert stats.cycles == 0.0
+        assert stats.instructions == 0
+
+    def test_unknown_metric_rejected(self, small_full_stats):
+        with pytest.raises(KeyError):
+            small_full_stats.metric("flops")
+
+    def test_summary_mentions_config(self, small_full_stats):
+        assert "MobileSoC" in small_full_stats.summary()
+
+
+class TestScalingBehaviour:
+    def test_filtering_reduces_work_and_cycles(
+        self, sim_inputs, small_frame, small_full_stats
+    ):
+        scene, pixels, _ = sim_inputs
+        # Keep only the first half of the warps' pixels (block-aligned).
+        selected = set(pixels[: len(pixels) // 2])
+        warps = compile_kernel(
+            small_frame, pixels, scene.addresses, selected=selected
+        )
+        stats = CycleSimulator(MOBILE_SOC, scene.addresses).run(warps)
+        assert stats.pixels_filtered == len(pixels) // 2
+        assert stats.work_units < small_full_stats.work_units
+        # At this tiny (32x32) latency-bound scale the filtered run's
+        # colder caches can cost almost as much wall time as the halved
+        # work saves; require only that cycles stay in the same band.
+        assert stats.cycles <= small_full_stats.cycles * 1.6
+        assert stats.instructions < small_full_stats.instructions
+
+    def test_more_sms_never_slower(self, sim_inputs):
+        scene, _, warps = sim_inputs
+        mobile = CycleSimulator(MOBILE_SOC, scene.addresses).run(warps)
+        rtx = CycleSimulator(RTX_2060, scene.addresses).run(warps)
+        assert rtx.cycles <= mobile.cycles * 1.1  # allow small model noise
+
+    def test_downscaled_config_runs(self, sim_inputs):
+        scene, _, warps = sim_inputs
+        small = MOBILE_SOC.downscale(4)
+        stats = CycleSimulator(small, scene.addresses).run(warps)
+        assert stats.cycles > 0
+        assert stats.dram_channels == 1
+
+    def test_instructions_proportional_to_pixels(
+        self, sim_inputs, small_frame, small_full_stats
+    ):
+        scene, pixels, _ = sim_inputs
+        half = pixels[: len(pixels) // 2]
+        warps = compile_kernel(small_frame, half, scene.addresses)
+        stats = CycleSimulator(MOBILE_SOC, scene.addresses).run(warps)
+        ratio = stats.instructions / small_full_stats.instructions
+        assert 0.3 < ratio < 0.7  # half the pixels, roughly half the work
+
+
+class TestStatsDataclass:
+    def test_metrics_dict_order(self):
+        stats = SimulationStats(cycles=10.0, instructions=100)
+        assert tuple(stats.metrics()) == METRICS
+
+    def test_ipc_derivation(self):
+        stats = SimulationStats(cycles=10.0, instructions=100)
+        assert stats.ipc == 10.0
+        assert dataclasses.replace(stats, cycles=0.0).ipc == 0.0
+
+    def test_zero_division_guards(self):
+        stats = SimulationStats()
+        assert stats.l1d_miss_rate == 0.0
+        assert stats.l2_miss_rate == 0.0
+        assert stats.rt_efficiency == 0.0
+        assert stats.dram_efficiency == 0.0
+        assert stats.bw_utilization == 0.0
+
+

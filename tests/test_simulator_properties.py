@@ -1,0 +1,143 @@
+"""Property-based tests on simulator invariants over synthetic kernels.
+
+Rather than tracing scenes, these tests generate small synthetic warp
+programs directly and check conservation laws the simulator must satisfy
+for any input.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    MOBILE_SOC,
+    ComputeOp,
+    CycleSimulator,
+    StoreOp,
+    TraceOp,
+    WarpTask,
+)
+from repro.scene.scene import AddressMap
+
+AMAP = AddressMap()
+
+
+@st.composite
+def warp_tasks(draw):
+    """A list of 1-6 synthetic warps with random compute/trace/store ops."""
+    n_warps = draw(st.integers(min_value=1, max_value=6))
+    tasks = []
+    for warp_id in range(n_warps):
+        lanes = draw(st.integers(min_value=1, max_value=8))
+        ops = []
+        setup = tuple(
+            draw(st.integers(min_value=1, max_value=30)) for _ in range(lanes)
+        )
+        ops.append(ComputeOp(setup))
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            nodes = tuple(
+                draw(
+                    st.one_of(
+                        st.none(),
+                        st.lists(
+                            st.integers(min_value=0, max_value=500),
+                            min_size=1,
+                            max_size=20,
+                        ),
+                    )
+                )
+                for _ in range(lanes)
+            )
+            tris = tuple(
+                None if n is None else [] for n in nodes
+            )
+            ops.append(TraceOp(nodes, tris))
+            ops.append(
+                ComputeOp(
+                    tuple(
+                        0 if n is None else draw(st.integers(1, 20))
+                        for n in nodes
+                    )
+                )
+            )
+        ops.append(
+            StoreOp(tuple(0x8000_0000 + 16 * lane for lane in range(lanes)))
+        )
+        live = lanes
+        tasks.append(
+            WarpTask(
+                warp_id=warp_id,
+                pixels=tuple((lane, warp_id) for lane in range(lanes)),
+                ops=ops,
+                live_pixels=live,
+                filtered_pixels=0,
+            )
+        )
+    return tasks
+
+
+@settings(max_examples=30, deadline=None)
+@given(warp_tasks())
+def test_instruction_conservation(tasks):
+    """Executed instructions equal the programs' static totals."""
+    stats = CycleSimulator(MOBILE_SOC, AMAP).run(tasks)
+    expected = sum(task.instruction_count() for task in tasks)
+    assert stats.instructions == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(warp_tasks())
+def test_cycles_cover_the_longest_program(tasks):
+    """The run is at least as long as any single warp's issue demand."""
+    stats = CycleSimulator(MOBILE_SOC, AMAP).run(tasks)
+    longest = max(
+        sum(
+            op.issue_cycles() if isinstance(op, ComputeOp) else 1
+            for op in task.ops
+        )
+        for task in tasks
+    )
+    assert stats.cycles >= longest
+
+
+@settings(max_examples=30, deadline=None)
+@given(warp_tasks())
+def test_rt_accounting_consistent(tasks):
+    """RT steps equal the lock-step maxima of the trace ops; efficiency is
+    bounded by lane counts."""
+    stats = CycleSimulator(MOBILE_SOC, AMAP).run(tasks)
+    expected_steps = sum(
+        op.max_node_steps()
+        for task in tasks
+        for op in task.ops
+        if isinstance(op, TraceOp) and op.active_lanes() > 0
+    )
+    assert stats.rt_traversal_steps == expected_steps
+    if expected_steps:
+        assert 0.0 < stats.rt_efficiency <= 32.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(warp_tasks())
+def test_memory_hierarchy_conservation(tasks):
+    """L2 accesses never exceed L1 misses plus stores; DRAM data is
+    bounded by what the channels could move in the simulated time."""
+    stats = CycleSimulator(MOBILE_SOC, AMAP).run(tasks)
+    assert stats.l1d_misses <= stats.l1d_accesses
+    store_lines_upper = sum(
+        op.active_lanes()
+        for task in tasks
+        for op in task.ops
+        if isinstance(op, StoreOp)
+    )
+    assert stats.l2_accesses <= stats.l1d_misses + store_lines_upper
+    if stats.cycles > 0:
+        capacity = stats.cycles * stats.dram_channels
+        assert stats.dram_data_cycles <= capacity + 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(warp_tasks())
+def test_determinism_property(tasks):
+    sim = CycleSimulator(MOBILE_SOC, AMAP)
+    a, b = sim.run(tasks), sim.run(tasks)
+    assert a.cycles == b.cycles and a.work_units == b.work_units

@@ -1,0 +1,113 @@
+"""Unit and property tests for the vector-math toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scene.vecmath import (
+    clamp,
+    cross,
+    dot,
+    length,
+    lerp,
+    normalize,
+    orthonormal_basis,
+    reflect,
+    spherical_direction,
+    vec3,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+nonzero_vec = st.tuples(finite, finite, finite).filter(
+    lambda v: math.sqrt(v[0] ** 2 + v[1] ** 2 + v[2] ** 2) > 1e-3
+)
+
+
+def test_vec3_builds_float_array():
+    v = vec3(1, 2, 3)
+    assert v.dtype == np.float64
+    assert v.tolist() == [1.0, 2.0, 3.0]
+
+
+def test_length_of_unit_axes():
+    assert length(vec3(1, 0, 0)) == 1.0
+    assert length(vec3(0, 3, 4)) == 5.0
+
+
+def test_normalize_rejects_zero_vector():
+    with pytest.raises(ValueError):
+        normalize(vec3(0, 0, 0))
+
+
+@given(nonzero_vec)
+def test_normalize_yields_unit_length(v):
+    assert abs(length(normalize(vec3(*v))) - 1.0) < 1e-9
+
+
+def test_dot_orthogonal_is_zero():
+    assert dot(vec3(1, 0, 0), vec3(0, 1, 0)) == 0.0
+
+
+def test_cross_right_handed():
+    assert cross(vec3(1, 0, 0), vec3(0, 1, 0)).tolist() == [0.0, 0.0, 1.0]
+
+
+@given(nonzero_vec, nonzero_vec)
+def test_cross_is_orthogonal_to_inputs(a, b):
+    c = cross(vec3(*a), vec3(*b))
+    if length(c) > 1e-6:
+        assert abs(dot(c, vec3(*a))) < 1e-3 * length(c) * length(vec3(*a))
+
+
+def test_reflect_mirrors_about_normal():
+    d = normalize(vec3(1, -1, 0))
+    r = reflect(d, vec3(0, 1, 0))
+    assert np.allclose(r, normalize(vec3(1, 1, 0)))
+
+
+@given(nonzero_vec)
+def test_reflect_preserves_length(v):
+    d = normalize(vec3(*v))
+    r = reflect(d, vec3(0, 1, 0))
+    assert abs(length(r) - 1.0) < 1e-9
+
+
+def test_lerp_endpoints_and_midpoint():
+    a, b = vec3(0, 0, 0), vec3(2, 4, 6)
+    assert np.allclose(lerp(a, b, 0.0), a)
+    assert np.allclose(lerp(a, b, 1.0), b)
+    assert np.allclose(lerp(a, b, 0.5), vec3(1, 2, 3))
+
+
+def test_clamp():
+    assert clamp(-1.0, 0.0, 1.0) == 0.0
+    assert clamp(0.5, 0.0, 1.0) == 0.5
+    assert clamp(2.0, 0.0, 1.0) == 1.0
+
+
+@given(nonzero_vec)
+def test_orthonormal_basis_is_orthonormal(v):
+    n = normalize(vec3(*v))
+    t, b = orthonormal_basis(n)
+    assert abs(length(t) - 1.0) < 1e-6
+    assert abs(length(b) - 1.0) < 1e-6
+    assert abs(dot(t, n)) < 1e-6
+    assert abs(dot(b, n)) < 1e-6
+    assert abs(dot(t, b)) < 1e-6
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    nonzero_vec,
+)
+def test_spherical_direction_in_hemisphere(u, v, n):
+    normal = normalize(vec3(*n))
+    d = spherical_direction(u, v, normal)
+    assert abs(length(d) - 1.0) < 1e-6
+    assert dot(d, normal) >= -1e-9  # never below the surface

@@ -1,0 +1,131 @@
+"""Tests for warp ops and the trace-to-warp kernel front-end."""
+
+import pytest
+
+from repro.gpu import ComputeOp, StoreOp, TraceOp, WarpTask, compile_kernel
+from repro.tracer import FILTER_EXIT_INSTRUCTIONS
+from repro.tracer.trace import FrameTrace, PixelTrace, RaySegment, SegmentKind
+
+
+class TestWarpOps:
+    def test_compute_op_issue_and_instruction_counts(self):
+        op = ComputeOp((10, 0, 4, 8))
+        assert op.issue_cycles() == 10       # lock-step max
+        assert op.instruction_count() == 22  # per-thread sum
+        assert op.active_lanes() == 3
+
+    def test_trace_op_lockstep_steps(self):
+        op = TraceOp(
+            per_thread_nodes=([0, 1, 2], None, [0, 5]),
+            per_thread_tris=([7], None, []),
+        )
+        assert op.max_node_steps() == 3
+        assert op.max_tri_steps() == 1
+        assert op.active_lanes() == 2
+        assert op.instruction_count() == 2  # one traceRayEXT per live lane
+
+    def test_store_op(self):
+        op = StoreOp((0x100, None, 0x200))
+        assert op.active_lanes() == 2
+        assert op.instruction_count() == 2
+
+    def test_warp_task_instruction_total(self):
+        task = WarpTask(
+            warp_id=0,
+            pixels=((0, 0),),
+            ops=[ComputeOp((5,)), StoreOp((0x10,))],
+        )
+        assert task.instruction_count() == 6
+
+
+def make_frame(width=4, height=1, segment_counts=(1, 2, 0, 1)):
+    """A synthetic frame whose pixel i has segment_counts[i] segments."""
+    frame = FrameTrace(
+        width=width, height=height, samples_per_pixel=1, scene_name="synthetic"
+    )
+    for x in range(width):
+        trace = PixelTrace(px=x, py=0, raygen_instructions=20)
+        for s in range(segment_counts[x]):
+            trace.segments.append(
+                RaySegment(
+                    kind=SegmentKind.PRIMARY if s == 0 else SegmentKind.SHADOW,
+                    nodes=[0, 1 + s],
+                    tris=[x],
+                    hit=True,
+                    shade_instructions=7,
+                )
+            )
+        frame.pixels[(x, 0)] = trace
+    return frame
+
+
+class TestCompileKernel:
+    def test_one_warp_per_32_pixels(self, small_frame, small_scene, small_settings):
+        pixels = small_settings.all_pixels()
+        warps = compile_kernel(small_frame, pixels, small_scene.addresses)
+        assert len(warps) == len(pixels) // 32
+
+    def test_slot_structure_alternates(self):
+        frame = make_frame()
+        warps = compile_kernel(frame, [(x, 0) for x in range(4)], _amap())
+        ops = warps[0].ops
+        assert isinstance(ops[0], ComputeOp)          # ray-gen
+        assert isinstance(ops[1], TraceOp)            # segment 0
+        assert isinstance(ops[2], ComputeOp)          # shade 0
+        assert isinstance(ops[3], TraceOp)            # segment 1 (one lane)
+        assert isinstance(ops[4], ComputeOp)
+        assert isinstance(ops[-1], StoreOp)
+
+    def test_lanes_mask_off_after_their_last_segment(self):
+        frame = make_frame()
+        warps = compile_kernel(frame, [(x, 0) for x in range(4)], _amap())
+        second_trace = warps[0].ops[3]
+        # Only pixel 1 has a second segment.
+        live = [n is not None for n in second_trace.per_thread_nodes[:4]]
+        assert live == [False, True, False, False]
+
+    def test_no_filtering_counts_all_live(self):
+        frame = make_frame()
+        warps = compile_kernel(frame, [(x, 0) for x in range(4)], _amap())
+        assert warps[0].live_pixels == 4
+        assert warps[0].filtered_pixels == 0
+
+    def test_filtered_lanes_get_exit_stub(self):
+        frame = make_frame()
+        selected = {(0, 0), (2, 0)}
+        warps = compile_kernel(
+            frame, [(x, 0) for x in range(4)], _amap(), selected=selected
+        )
+        setup = warps[0].ops[0].per_thread_instructions
+        assert setup[1] == FILTER_EXIT_INSTRUCTIONS  # filtered out
+        assert setup[0] == 20 + FILTER_EXIT_INSTRUCTIONS  # survivor pays overhead
+        assert warps[0].live_pixels == 2
+        assert warps[0].filtered_pixels == 2
+
+    def test_filtered_lanes_never_trace_or_store(self):
+        frame = make_frame()
+        warps = compile_kernel(
+            frame, [(x, 0) for x in range(4)], _amap(), selected={(0, 0)}
+        )
+        trace_op = warps[0].ops[1]
+        assert trace_op.per_thread_nodes[1] is None
+        store = warps[0].ops[-1]
+        assert store.per_thread_addresses[1] is None
+        assert store.per_thread_addresses[0] is not None
+
+    def test_partial_last_warp(self):
+        frame = make_frame()
+        warps = compile_kernel(frame, [(0, 0), (1, 0), (2, 0)], _amap())
+        assert len(warps) == 1
+        assert len(warps[0].pixels) == 3
+
+    def test_missing_trace_raises(self):
+        frame = make_frame()
+        with pytest.raises(KeyError):
+            compile_kernel(frame, [(9, 9)], _amap())
+
+
+def _amap():
+    from repro.scene.scene import AddressMap
+
+    return AddressMap()
