@@ -27,11 +27,20 @@ Quickstart::
 """
 
 from .core import (
+    ExecutionPolicy,
     Heatmap,
     Zatel,
     ZatelConfig,
     ZatelResult,
     quantize_heatmap,
+)
+from .errors import (
+    CacheCorruptionError,
+    DegradedResultError,
+    FailureRecord,
+    GroupTimeoutError,
+    SimulationError,
+    WorkerCrashError,
 )
 from .gpu import (
     METRICS,
@@ -58,8 +67,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalyticalModel",
+    "CacheCorruptionError",
     "CycleSimulator",
+    "DegradedResultError",
+    "ExecutionPolicy",
+    "FailureRecord",
     "FrameTrace",
+    "GroupTimeoutError",
+    "SimulationError",
+    "WorkerCrashError",
     "FunctionalTracer",
     "GPUConfig",
     "Heatmap",

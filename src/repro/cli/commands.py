@@ -9,12 +9,25 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from ..core import AdaptiveZatel, Heatmap, Zatel, ZatelConfig, quantize_heatmap
+from ..core import (
+    AdaptiveZatel,
+    ExecutionPolicy,
+    Heatmap,
+    Zatel,
+    ZatelConfig,
+    quantize_heatmap,
+)
 from ..core.extrapolate import fit_power_law
 from ..gpu import METRICS, compile_kernel
 from ..gpu.configfile import resolve_gpu
 from ..gpu.simulator import CycleSimulator
-from ..harness import Workload, format_table, metric_errors, shared_runner
+from ..harness import (
+    Workload,
+    degraded_summary,
+    format_table,
+    metric_errors,
+    shared_runner,
+)
 from ..models import SamplingPredictor
 from ..scene import SCENE_NAMES, make_scene
 from ..scene.library import EXTRA_SCENES
@@ -141,15 +154,26 @@ def cmd_predict(args) -> int:
         distribution=args.distribution,
         fraction_override=args.fraction,
     )
-    predictor_class = AdaptiveZatel if args.adaptive else Zatel
-    result = predictor_class(gpu, config).predict(
-        scene, frame, workers=args.workers
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and args.resume:
+        checkpoint_dir = runner.checkpoint_dir(workload, gpu)
+    policy = ExecutionPolicy(
+        workers=args.workers if args.workers else 1,
+        timeout=args.timeout,
+        retries=args.retries,
+        checkpoint_dir=checkpoint_dir,
+        resume=args.resume,
+        seed=args.seed,
     )
+    predictor_class = AdaptiveZatel if args.adaptive else Zatel
+    result = predictor_class(gpu, config).predict(scene, frame, policy=policy)
     print(
         f"Zatel on {workload.scene_name} / {gpu.name}: "
         f"K={result.downscale_factor}, "
         f"mean traced fraction {result.mean_fraction():.0%}"
     )
+    if result.degraded:
+        print(degraded_summary(result))
     if args.compare:
         full = runner.full_sim(workload, gpu)
         errors = metric_errors(result.metrics, full)

@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..errors import SimulationError
 from .commands import (
     cmd_configs,
     cmd_heatmap,
@@ -107,6 +108,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the K group simulations on this many CPU cores",
     )
     predict.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "per-group-attempt wall-clock budget; a hung worker is "
+            "killed and retried (requires --workers > 1)"
+        ),
+    )
+    predict.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-attempts per group after a crash/timeout/error (default 2)",
+    )
+    predict.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "checkpoint each completed group under the cache dir and "
+            "resume a previously interrupted prediction from there"
+        ),
+    )
+    predict.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help=(
+            "directory for per-group checkpoints (default: derived from "
+            "the workload under .cache/checkpoints/; implies checkpointing)"
+        ),
+    )
+    predict.add_argument(
         "--compare", action="store_true",
         help="also run the full simulation and print per-metric errors",
     )
@@ -152,6 +178,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except SimulationError as error:
+        # Structured execution failures (quorum violations, unrecoverable
+        # corruption, ...) get their own exit code so sweep scripts can
+        # tell "bad arguments" from "run degraded beyond rescue".
+        print(f"execution error: {error}", file=sys.stderr)
+        return 3
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

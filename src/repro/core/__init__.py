@@ -3,8 +3,14 @@ image-plane division, representative-pixel selection, extrapolation,
 combination, and the seven-step pipeline tying them together."""
 
 from .adaptive import AdaptiveConfig, AdaptiveZatel
-from .combine import combine_group_metrics
+from .combine import combine_degraded_metrics, combine_group_metrics
 from .downscale import choose_downscale_factor, downscale_gpu, valid_factors
+from .executor import (
+    ExecutionPolicy,
+    ExecutionReport,
+    GroupExecutor,
+    default_quorum,
+)
 from .extrapolate import (
     exponential_regression,
     fit_power_law,
@@ -35,6 +41,9 @@ __all__ = [
     "AdaptiveConfig",
     "AdaptiveZatel",
     "DISTRIBUTIONS",
+    "ExecutionPolicy",
+    "ExecutionReport",
+    "GroupExecutor",
     "GroupPrediction",
     "HEAT_GRADIENT",
     "Heatmap",
@@ -49,8 +58,10 @@ __all__ = [
     "coarse_partition",
     "color_quotas",
     "color_to_temperature",
+    "combine_degraded_metrics",
     "combine_group_metrics",
     "compute_fraction",
+    "default_quorum",
     "downscale_gpu",
     "exponential_regression",
     "fine_partition",

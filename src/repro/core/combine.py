@@ -8,9 +8,10 @@ simulation cycle count each group independently estimates — average.
 
 from __future__ import annotations
 
+from ..errors import DegradedResultError
 from ..gpu.stats import METRICS, MetricKind
 
-__all__ = ["combine_group_metrics"]
+__all__ = ["combine_group_metrics", "combine_degraded_metrics"]
 
 
 def combine_group_metrics(group_metrics: list[dict[str, float]]) -> dict[str, float]:
@@ -33,4 +34,40 @@ def combine_group_metrics(group_metrics: list[dict[str, float]]) -> dict[str, fl
             combined[name] = sum(values)
         else:
             combined[name] = sum(values) / k
+    return combined
+
+
+def combine_degraded_metrics(
+    group_metrics: list[dict[str, float]], coverage: float
+) -> dict[str, float]:
+    """Combine over *surviving* groups only, renormalized for honesty.
+
+    ``coverage`` is the fraction of the image plane the survivors cover
+    (surviving pixels / total pixels).  ``THROUGHPUT`` metrics would be
+    under-counted by a plain sum — the failed groups' GPUs contribute
+    nothing — so the sum is scaled by ``1 / coverage``.  Rate and
+    absolute metrics are each group's *independent estimate of the full
+    plane* (every group homogeneously samples the scene under
+    fine-grained division), so averaging over survivors remains an
+    unbiased estimate and needs no rescaling.
+
+    Raises:
+        DegradedResultError: if no groups survived.
+        ValueError: for a coverage outside (0, 1].
+    """
+    if not group_metrics:
+        raise DegradedResultError(
+            "no surviving groups to combine — every group simulation "
+            "failed permanently"
+        )
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+    survivors = len(group_metrics)
+    combined: dict[str, float] = {}
+    for name in METRICS:
+        values = [metrics[name] for metrics in group_metrics]
+        if MetricKind.BY_METRIC[name] == MetricKind.THROUGHPUT:
+            combined[name] = sum(values) / coverage
+        else:
+            combined[name] = sum(values) / survivors
     return combined

@@ -20,18 +20,20 @@ Usage::
 
 from __future__ import annotations
 
-import multiprocessing
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
+from ..errors import DegradedResultError, FailureRecord
 from ..gpu.config import GPUConfig
 from ..gpu.frontend import compile_kernel
 from ..gpu.simulator import CycleSimulator
 from ..gpu.stats import SimulationStats
 from ..scene.scene import Scene
 from ..tracer.trace import FrameTrace
-from .combine import combine_group_metrics
+from .combine import combine_degraded_metrics, combine_group_metrics
 from .downscale import downscale_gpu
+from .executor import ExecutionPolicy, GroupExecutor, default_quorum
 from .extrapolate import exponential_regression, linear_extrapolate
 from .heatmap import Heatmap
 from .partition import partition_plane
@@ -106,7 +108,14 @@ class GroupPrediction:
 
 @dataclass
 class ZatelResult:
-    """Zatel's final prediction plus everything needed to audit it."""
+    """Zatel's final prediction plus everything needed to audit it.
+
+    ``degraded``/``failures`` report fault-tolerant runs honestly: when
+    a group fails permanently the combined metrics are renormalized over
+    the survivors (see :func:`~repro.core.combine.combine_degraded_metrics`)
+    and every lost group is audited as a
+    :class:`~repro.errors.FailureRecord`.
+    """
 
     metrics: dict[str, float]
     groups: list[GroupPrediction]
@@ -116,7 +125,17 @@ class ZatelResult:
     heatmap: Heatmap
     quantized: QuantizedHeatmap
     host_seconds: float = 0.0
+    degraded: bool = False
+    failures: list[FailureRecord] = field(default_factory=list)
     _extra: dict = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the image plane covered by surviving groups."""
+        covered = sum(g.pixel_count for g in self.groups)
+        lost = sum(f.pixel_count for f in self.failures)
+        total = covered + lost
+        return covered / total if total else 0.0
 
     @property
     def total_work_units(self) -> int:
@@ -127,6 +146,11 @@ class ZatelResult:
     def max_group_work_units(self) -> int:
         """Slowest group's work — the cost when groups run in parallel on
         separate CPU cores, which is how the paper deploys Zatel."""
+        if not self.groups:
+            raise DegradedResultError(
+                "no surviving groups: work accounting is undefined "
+                f"({len(self.failures)} group(s) failed)"
+            )
         return max(g.work_units for g in self.groups)
 
     def speedup_vs(self, full: SimulationStats, parallel: bool = True) -> float:
@@ -142,6 +166,11 @@ class ZatelResult:
 
     def mean_fraction(self) -> float:
         """Average traced fraction across groups."""
+        if not self.groups:
+            raise DegradedResultError(
+                "no surviving groups: mean fraction is undefined "
+                f"({len(self.failures)} group(s) failed)"
+            )
         return sum(g.fraction for g in self.groups) / len(self.groups)
 
 
@@ -158,7 +187,12 @@ class Zatel:
         self.config = config if config is not None else ZatelConfig()
 
     def predict(
-        self, scene: Scene, frame: FrameTrace, workers: int | None = None
+        self,
+        scene: Scene,
+        frame: FrameTrace,
+        workers: int | None = None,
+        policy: ExecutionPolicy | None = None,
+        fault_plan=None,
     ) -> ZatelResult:
         """Run the full pipeline against a profiled frame.
 
@@ -172,12 +206,29 @@ class Zatel:
         ``fork`` (falls back to serial elsewhere); results are identical
         either way since groups are independent.
 
+        ``policy`` configures the fault-tolerant execution engine
+        (timeouts, retries, checkpoint/resume, quorum); ``workers`` is a
+        shorthand that overrides ``policy.workers`` when both are given.
+        ``fault_plan`` injects deterministic faults for testing (see
+        :mod:`repro.testing.faults`).
+
+        When groups fail permanently despite retries, the result is
+        *degraded*: combined metrics are renormalized over survivors and
+        ``result.degraded``/``result.failures`` report what was lost.  If
+        fewer than the quorum survive (default ``ceil(K/2)``), a
+        :class:`~repro.errors.DegradedResultError` is raised instead of
+        returning silently wrong numbers.
+
         Returns the combined prediction; compare against a full
         :class:`~repro.gpu.simulator.CycleSimulator` run of the same frame
         to measure error.
         """
         start_time = time.perf_counter()
         cfg = self.config
+        if policy is None:
+            policy = ExecutionPolicy(workers=workers if workers else 1)
+        elif workers is not None and workers != policy.workers:
+            policy = dataclasses.replace(policy, workers=workers)
 
         # (1) + (2): profile and quantize.
         heatmap = Heatmap.from_frame(
@@ -202,10 +253,35 @@ class Zatel:
 
         # (5)-(7): select, simulate, extrapolate each group, then combine.
         simulator = CycleSimulator(scaled_gpu, _addresses_of(scene))
-        predictions = self._run_groups(
-            groups, frame, quantized, simulator, scene, workers
+        predictions, failures = self._run_groups(
+            groups, frame, quantized, simulator, scene, policy, fault_plan
         )
-        combined = combine_group_metrics([g.metrics for g in predictions])
+        if failures:
+            failures = [
+                dataclasses.replace(
+                    record, pixel_count=len(groups[record.index])
+                )
+                for record in failures
+            ]
+            quorum = (
+                policy.quorum
+                if policy.quorum is not None
+                else default_quorum(len(groups))
+            )
+            if len(predictions) < quorum:
+                details = "; ".join(record.describe() for record in failures)
+                raise DegradedResultError(
+                    f"only {len(predictions)} of {len(groups)} groups "
+                    f"survived (quorum {quorum}): {details}"
+                )
+            total_pixels = sum(len(pixels) for pixels in groups)
+            surviving_pixels = sum(p.pixel_count for p in predictions)
+            combined = combine_degraded_metrics(
+                [g.metrics for g in predictions],
+                surviving_pixels / total_pixels,
+            )
+        else:
+            combined = combine_group_metrics([g.metrics for g in predictions])
         return ZatelResult(
             metrics=combined,
             groups=predictions,
@@ -215,6 +291,8 @@ class Zatel:
             heatmap=heatmap,
             quantized=quantized,
             host_seconds=time.perf_counter() - start_time,
+            degraded=bool(failures),
+            failures=list(failures),
         )
 
     # ------------------------------------------------------------------
@@ -226,26 +304,30 @@ class Zatel:
         quantized: QuantizedHeatmap,
         simulator: CycleSimulator,
         scene: Scene,
-        workers: int | None,
-    ) -> list[GroupPrediction]:
-        """Run every group's simulation, serially or on forked workers."""
-        if (
-            workers is not None
-            and workers > 1
-            and "fork" in multiprocessing.get_all_start_methods()
-        ):
-            global _FORK_CONTEXT
-            _FORK_CONTEXT = (self, groups, frame, quantized, simulator, scene)
-            try:
-                ctx = multiprocessing.get_context("fork")
-                with ctx.Pool(processes=min(workers, len(groups))) as pool:
-                    return pool.map(_predict_group_by_index, range(len(groups)))
-            finally:
-                _FORK_CONTEXT = None
-        return [
-            self._predict_group(index, pixels, frame, quantized, simulator, scene)
-            for index, pixels in enumerate(groups)
-        ]
+        policy: ExecutionPolicy,
+        fault_plan=None,
+    ) -> tuple[list[GroupPrediction], list[FailureRecord]]:
+        """Run every group's simulation through the fault-tolerant engine.
+
+        Under ``policy.workers > 1`` each attempt runs in a forked worker
+        process (copy-on-write shares the frame trace and scene without
+        pickling them); otherwise attempts run in-process.  Either way the
+        engine provides retries, checkpoint/resume, and failure auditing,
+        and per-group results are deterministic and identical across modes.
+        """
+
+        def task(index: int, attempt: int) -> GroupPrediction:  # noqa: ARG001
+            # Attempts are idempotent: group simulation is a pure function
+            # of (group, frame, config), so retries reproduce bit-identical
+            # results.
+            return self._predict_group(
+                index, groups[index], frame, quantized, simulator, scene
+            )
+
+        executor = GroupExecutor(policy, fault_plan=fault_plan)
+        report = executor.run(task, len(groups))
+        predictions = [report.results[i] for i in sorted(report.results)]
+        return predictions, report.failures
 
     def _group_fraction(
         self, quantized: QuantizedHeatmap, pixels: list[tuple[int, int]]
@@ -340,17 +422,3 @@ class Zatel:
 def _addresses_of(scene: Scene):
     """Scene address map accessor (kept separate for test doubles)."""
     return scene.addresses
-
-
-#: Context handed to forked workers via copy-on-write memory.  Set only for
-#: the duration of a parallel ``predict`` call; fork-based pools inherit it
-#: without pickling the (large) frame trace and scene.
-_FORK_CONTEXT = None
-
-
-def _predict_group_by_index(index: int) -> GroupPrediction:
-    """Worker entry point: predict one group from the forked context."""
-    zatel, groups, frame, quantized, simulator, scene = _FORK_CONTEXT
-    return zatel._predict_group(
-        index, groups[index], frame, quantized, simulator, scene
-    )

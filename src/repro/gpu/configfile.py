@@ -53,6 +53,24 @@ _GPU_FIELDS = (
 #: Cache-valued fields, each serialized as its own section.
 _CACHE_FIELDS = ("l1d", "l2_slice", "icache")
 
+#: Keys every cache section must carry.
+_CACHE_KEYS = ("size_bytes", "line_bytes", "associativity", "latency")
+
+_KNOWN_SECTIONS = ("gpu",) + _CACHE_FIELDS
+
+
+def _parse_int(path: Path, section: str, key: str, raw: str) -> int:
+    """``int(raw)`` with a one-line actionable error naming the file,
+    section and key — a typo in an INI must not surface as a bare
+    ``invalid literal for int()``."""
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{path}: [{section}] key {key!r} must be an integer, "
+            f"got {raw!r}"
+        ) from None
+
 
 def save_config(config: GPUConfig, path: str | Path) -> Path:
     """Write ``config`` as an INI file; returns the path."""
@@ -79,40 +97,65 @@ def save_config(config: GPUConfig, path: str | Path) -> Path:
 def load_config(path: str | Path) -> GPUConfig:
     """Parse an INI file back into a :class:`GPUConfig`.
 
-    Unknown keys are rejected (typos should fail loudly, not silently use
-    a default); missing keys fall back to the dataclass defaults.
+    Unknown sections and keys are rejected (typos should fail loudly, not
+    silently use a default); missing keys fall back to the dataclass
+    defaults.  Every parse failure is a one-line, actionable
+    ``ValueError`` naming the file, section, and key.
 
     Raises:
-        ValueError: on a missing ``[gpu]`` section, unknown keys, or
-            values the :class:`GPUConfig` validators refuse.
+        ValueError: on malformed INI syntax, a missing ``[gpu]`` section,
+            unknown sections or keys, non-numeric values, missing cache
+            keys, or values the :class:`GPUConfig` validators refuse.
         FileNotFoundError: if ``path`` does not exist.
     """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(path)
     parser = configparser.ConfigParser()
-    parser.read(path)
+    try:
+        parser.read(path)
+    except configparser.Error as error:
+        raise ValueError(
+            f"{path}: malformed INI: {error.message.splitlines()[0]}"
+        ) from None
     if "gpu" not in parser:
         raise ValueError(f"{path}: missing [gpu] section")
+    for section in parser.sections():
+        if section not in _KNOWN_SECTIONS:
+            known = ", ".join(f"[{s}]" for s in _KNOWN_SECTIONS)
+            raise ValueError(
+                f"{path}: unknown section [{section}]; expected one of "
+                f"{known}"
+            )
 
     kwargs: dict = {}
     for key, raw in parser["gpu"].items():
         if key not in _GPU_FIELDS:
             raise ValueError(f"{path}: unknown [gpu] key {key!r}")
-        kwargs[key] = raw if key in ("name", "warp_scheduler") else int(raw)
+        kwargs[key] = (
+            raw
+            if key in ("name", "warp_scheduler")
+            else _parse_int(path, "gpu", key, raw)
+        )
 
     for section in _CACHE_FIELDS:
         if section not in parser:
             continue
         values = parser[section]
-        extra = set(values) - {"size_bytes", "line_bytes", "associativity", "latency"}
+        extra = set(values) - set(_CACHE_KEYS)
         if extra:
             raise ValueError(f"{path}: unknown [{section}] keys {sorted(extra)}")
+        missing = [key for key in _CACHE_KEYS if key not in values]
+        if missing:
+            raise ValueError(
+                f"{path}: [{section}] missing required key(s) "
+                f"{', '.join(repr(k) for k in missing)}"
+            )
         kwargs[section] = CacheConfig(
-            size_bytes=int(values["size_bytes"]),
-            line_bytes=int(values["line_bytes"]),
-            associativity=int(values["associativity"]),
-            latency=int(values["latency"]),
+            **{
+                key: _parse_int(path, section, key, values[key])
+                for key in _CACHE_KEYS
+            }
         )
     return GPUConfig(**kwargs)
 

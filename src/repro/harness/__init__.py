@@ -1,6 +1,14 @@
 """Experiment harness: cached runners, error metrics, report formatting."""
 
-from .metrics import RATE_METRICS, mae, metric_error, metric_errors, percent_error
+from .metrics import (
+    RATE_METRICS,
+    degraded_summary,
+    mae,
+    metric_error,
+    metric_errors,
+    percent_error,
+    result_errors,
+)
 from .reporting import format_table, format_value, results_dir, save_result
 from .runner import (
     DEFAULT_HEIGHT,
@@ -15,6 +23,7 @@ __all__ = [
     "DEFAULT_WIDTH",
     "Runner",
     "Workload",
+    "degraded_summary",
     "format_table",
     "format_value",
     "mae",
@@ -22,6 +31,7 @@ __all__ = [
     "metric_errors",
     "percent_error",
     "RATE_METRICS",
+    "result_errors",
     "results_dir",
     "save_result",
     "shared_runner",

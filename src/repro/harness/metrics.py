@@ -15,9 +15,18 @@ matching how each metric is naturally expressed:
 
 from __future__ import annotations
 
+from ..errors import DegradedResultError
 from ..gpu.stats import METRICS, SimulationStats
 
-__all__ = ["RATE_METRICS", "percent_error", "metric_error", "metric_errors", "mae"]
+__all__ = [
+    "RATE_METRICS",
+    "percent_error",
+    "metric_error",
+    "metric_errors",
+    "mae",
+    "result_errors",
+    "degraded_summary",
+]
 
 #: Metrics whose values live in [0, 1]; errors are percentage points.
 RATE_METRICS = frozenset(
@@ -54,6 +63,44 @@ def metric_errors(
         name: metric_error(name, predicted[name], reference[name])
         for name in metrics
     }
+
+
+def result_errors(
+    result,
+    actual: SimulationStats | dict[str, float],
+    metrics: tuple[str, ...] = METRICS,
+    require_full_coverage: bool = False,
+) -> dict[str, float]:
+    """Per-metric errors of a :class:`~repro.core.pipeline.ZatelResult`,
+    aware of degraded (partial-coverage) runs.
+
+    A degraded result's metrics are renormalized estimates over the
+    surviving groups, so its errors are still comparable — but a
+    benchmark that must not silently mix full and partial runs can pass
+    ``require_full_coverage=True`` to get a
+    :class:`~repro.errors.DegradedResultError` instead.
+    """
+    if require_full_coverage and getattr(result, "degraded", False):
+        raise DegradedResultError(
+            "degraded result (plane coverage "
+            f"{result.coverage:.0%}) where full coverage is required; "
+            f"{len(result.failures)} group(s) failed"
+        )
+    return metric_errors(result.metrics, actual, metrics)
+
+
+def degraded_summary(result) -> str:
+    """Human-readable account of a degraded run's lost groups, for
+    benchmark reports that must state coverage honestly."""
+    if not getattr(result, "degraded", False):
+        return "full coverage (no group failures)"
+    lines = [
+        f"DEGRADED: {len(result.groups)} of "
+        f"{len(result.groups) + len(result.failures)} groups survived "
+        f"({result.coverage:.0%} plane coverage); metrics renormalized"
+    ]
+    lines += [f"  {record.describe()}" for record in result.failures]
+    return "\n".join(lines)
 
 
 def mae(errors: dict[str, float] | list[float]) -> float:

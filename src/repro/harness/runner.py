@@ -13,11 +13,15 @@ C++ simulator; see DESIGN.md's scale discussion).
 
 from __future__ import annotations
 
+import logging
+import os
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..core.executor import ExecutionPolicy
 from ..core.pipeline import Zatel, ZatelConfig, ZatelResult
+from ..errors import CacheCorruptionError
 from ..gpu.config import GPUConfig
 from ..gpu.frontend import compile_kernel
 from ..gpu.simulator import CycleSimulator
@@ -29,11 +33,61 @@ from ..tracer.trace import FrameTrace
 
 __all__ = ["Workload", "Runner", "shared_runner", "DEFAULT_WIDTH", "DEFAULT_HEIGHT"]
 
+logger = logging.getLogger("repro.harness")
+
 #: Bump to invalidate on-disk caches after model-affecting code changes.
 CACHE_VERSION = 5
 
 DEFAULT_WIDTH = 128
 DEFAULT_HEIGHT = 128
+
+#: Unpickling failure modes treated as "corrupt cache file, recompute".
+_CORRUPT_PICKLE_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    ValueError,
+)
+
+
+def _atomic_pickle(obj, path: Path) -> None:
+    """Pickle ``obj`` to ``path`` via a temp file + ``os.replace``, so an
+    interrupted writer can never leave a truncated cache entry behind."""
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    try:
+        with tmp.open("wb") as handle:
+            pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _load_pickle(path: Path):
+    """Unpickle ``path``, or ``None`` if it is missing or corrupt.
+
+    A corrupt file (truncated pickle from an interrupted run, stale class
+    layout, ...) is deleted and logged as a
+    :class:`~repro.errors.CacheCorruptionError` so the caller recomputes
+    instead of crashing — one bad file must not poison every later
+    benchmark.
+    """
+    if not path.exists():
+        return None
+    try:
+        with path.open("rb") as handle:
+            return pickle.load(handle)
+    except _CORRUPT_PICKLE_ERRORS as error:
+        logger.warning(
+            "%s",
+            CacheCorruptionError(
+                f"corrupt cache file {path} ({type(error).__name__}: "
+                f"{error}); deleted, recomputing"
+            ),
+        )
+        path.unlink(missing_ok=True)
+        return None
 
 
 @dataclass(frozen=True)
@@ -85,15 +139,12 @@ class Runner:
         if key in self._frames:
             return self._frames[key]
         path = self.cache_dir / f"frame_{key}.pkl"
-        if path.exists():
-            with path.open("rb") as f:
-                frame = pickle.load(f)
-        else:
+        frame = _load_pickle(path)
+        if frame is None:
             frame = FunctionalTracer(
                 self.scene(workload.scene_name), workload.settings()
             ).trace_frame()
-            with path.open("wb") as f:
-                pickle.dump(frame, f, protocol=pickle.HIGHEST_PROTOCOL)
+            _atomic_pickle(frame, path)
         self._frames[key] = frame
         return frame
 
@@ -103,17 +154,14 @@ class Runner:
         if key in self._full_sims:
             return self._full_sims[key]
         path = self.cache_dir / f"full_{workload.key()}_{gpu.name}.pkl"
-        if path.exists():
-            with path.open("rb") as f:
-                stats = pickle.load(f)
-        else:
+        stats = _load_pickle(path)
+        if stats is None:
             scene = self.scene(workload.scene_name)
             frame = self.frame(workload)
             pixels = workload.settings().all_pixels()
             warps = compile_kernel(frame, pixels, scene.addresses)
             stats = CycleSimulator(gpu, scene.addresses).run(warps)
-            with path.open("wb") as f:
-                pickle.dump(stats, f, protocol=pickle.HIGHEST_PROTOCOL)
+            _atomic_pickle(stats, path)
         self._full_sims[key] = stats
         return stats
 
@@ -124,12 +172,21 @@ class Runner:
         workload: Workload,
         gpu: GPUConfig,
         config: ZatelConfig | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> ZatelResult:
         """Run the Zatel pipeline on a workload (not cached: it is the
-        system under test and is cheap relative to ground truth)."""
+        system under test and is cheap relative to ground truth).
+
+        ``policy`` threads through to the fault-tolerant execution engine
+        (workers, timeouts, retries, checkpoint/resume)."""
         scene = self.scene(workload.scene_name)
         frame = self.frame(workload)
-        return Zatel(gpu, config).predict(scene, frame)
+        return Zatel(gpu, config).predict(scene, frame, policy=policy)
+
+    def checkpoint_dir(self, workload: Workload, gpu: GPUConfig) -> Path:
+        """Canonical per-(workload, GPU) checkpoint directory for
+        resumable predictions."""
+        return self.cache_dir / "checkpoints" / f"{workload.key()}_{gpu.name}"
 
 
 _shared: Runner | None = None

@@ -1,0 +1,12 @@
+"""Deterministic test harnesses (fault injection for the executor)."""
+
+from .faults import FaultPlan, FaultSpec, crash, exception, hang, corrupt_checkpoint
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "corrupt_checkpoint",
+    "crash",
+    "exception",
+    "hang",
+]

@@ -1,0 +1,143 @@
+"""Deterministic fault injection for :class:`~repro.core.executor.GroupExecutor`.
+
+Tests of crash isolation, timeouts, retries, and degraded combining must
+not depend on real flakiness, so faults are *declared* per group index
+and attempt, and fire deterministically:
+
+* ``crash`` — the worker process dies via ``os._exit`` without
+  reporting (simulates a segfault / OOM kill);
+* ``hang`` — the worker sleeps past any reasonable timeout (simulates a
+  deadlocked simulation);
+* ``exception`` — the task raises a :class:`~repro.errors.SimulationError`;
+* ``corrupt-checkpoint`` — the group's checkpoint file is truncated
+  after being written (simulates an interrupted non-atomic writer).
+
+``attempts`` bounds how many leading attempts fault: ``attempts=1``
+fails the first try and lets the retry succeed; ``ALWAYS`` (-1) fails
+every attempt, forcing a permanent failure.  Under in-process execution
+(``workers <= 1``) ``crash`` and ``hang`` degrade to exceptions — killing
+or hanging the host process would take the test runner down with it.
+
+Usage::
+
+    plan = FaultPlan([crash(1), exception(2, attempts=ALWAYS)])
+    result = Zatel(gpu).predict(scene, frame, policy=policy, fault_plan=plan)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+__all__ = [
+    "ALWAYS",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "corrupt_checkpoint",
+    "crash",
+    "exception",
+    "hang",
+]
+
+#: Sentinel for ``FaultSpec.attempts``: fault every attempt.
+ALWAYS = -1
+
+FAULT_KINDS = ("crash", "hang", "exception", "corrupt-checkpoint")
+
+#: Exit code injected crashes die with (recognizable in worker reports).
+CRASH_EXIT_CODE = 41
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declared fault: ``kind`` fired for ``group`` on its first
+    ``attempts`` attempts (:data:`ALWAYS` = every attempt)."""
+
+    kind: str
+    group: int
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if self.group < 0:
+            raise ValueError("group index must be >= 0")
+        if self.attempts == 0 or self.attempts < ALWAYS:
+            raise ValueError("attempts must be >= 1, or ALWAYS (-1)")
+
+    def fires_on(self, attempt: int) -> bool:
+        return self.attempts == ALWAYS or attempt < self.attempts
+
+
+def crash(group: int, attempts: int = 1) -> FaultSpec:
+    """Worker dies without reporting (``os._exit``)."""
+    return FaultSpec("crash", group, attempts)
+
+
+def hang(group: int, attempts: int = 1) -> FaultSpec:
+    """Worker sleeps past the timeout."""
+    return FaultSpec("hang", group, attempts)
+
+
+def exception(group: int, attempts: int = 1) -> FaultSpec:
+    """Task raises a :class:`SimulationError`."""
+    return FaultSpec("exception", group, attempts)
+
+
+def corrupt_checkpoint(group: int) -> FaultSpec:
+    """Group's checkpoint file is truncated after it is written."""
+    return FaultSpec("corrupt-checkpoint", group, ALWAYS)
+
+
+class FaultPlan:
+    """The executor-facing fault oracle (duck-typed; the executor never
+    imports this module)."""
+
+    def __init__(
+        self, specs: list[FaultSpec] | tuple[FaultSpec, ...], hang_seconds: float = 3600.0
+    ) -> None:
+        self.specs = tuple(specs)
+        self.hang_seconds = hang_seconds
+
+    def _spec_for(self, index: int, attempt: int) -> FaultSpec | None:
+        for spec in self.specs:
+            if (
+                spec.group == index
+                and spec.kind != "corrupt-checkpoint"
+                and spec.fires_on(attempt)
+            ):
+                return spec
+        return None
+
+    def apply(self, index: int, attempt: int, in_process: bool) -> None:
+        """Fire the declared fault for ``(index, attempt)``, if any.
+
+        Called by the executor immediately before each task attempt —
+        inside the forked worker under process isolation, inline
+        otherwise.
+        """
+        spec = self._spec_for(index, attempt)
+        if spec is None:
+            return
+        if spec.kind == "exception" or in_process:
+            raise SimulationError(
+                f"injected {spec.kind} fault for group {index} "
+                f"(attempt {attempt})"
+            )
+        if spec.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if spec.kind == "hang":
+            time.sleep(self.hang_seconds)
+
+    def corrupts_checkpoint(self, index: int) -> bool:
+        """Whether ``index``'s checkpoint should be truncated post-write."""
+        return any(
+            spec.group == index and spec.kind == "corrupt-checkpoint"
+            for spec in self.specs
+        )

@@ -91,6 +91,36 @@ class TestSimulationCommands:
         assert main(["predict", "SPRNG", "--size", "32", "--adaptive"]) == 0
         assert "traced fraction" in capsys.readouterr().out
 
+    def test_predict_fault_tolerance_flags_parse(self):
+        args = build_parser().parse_args(
+            ["predict", "PARK", "--workers", "2", "--timeout", "30",
+             "--retries", "1", "--resume"]
+        )
+        assert args.workers == 2
+        assert args.timeout == 30.0
+        assert args.retries == 1
+        assert args.resume is True
+        assert args.checkpoint_dir is None
+
+    def test_predict_checkpoints_and_resumes(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        first = main(
+            ["predict", "SPRNG", "--size", "32",
+             "--checkpoint-dir", str(ckpt)]
+        )
+        assert first == 0
+        assert sorted(p.name for p in ckpt.iterdir()) == [
+            f"group_{i:04d}.pkl" for i in range(4)
+        ]
+        first_out = capsys.readouterr().out
+        # Resuming replays the checkpoints and prints the same summary.
+        again = main(
+            ["predict", "SPRNG", "--size", "32", "--resume",
+             "--checkpoint-dir", str(ckpt)]
+        )
+        assert again == 0
+        assert capsys.readouterr().out == first_out
+
     def test_simulate_with_config_file(self, capsys):
         from pathlib import Path
 

@@ -158,3 +158,39 @@ class TestCombine:
         combined = combine_group_metrics(groups)
         assert min(values) - 1e-9 <= combined["l2_miss_rate"] <= max(values) + 1e-9
         assert combined["ipc"] == pytest.approx(sum(values))
+
+
+class TestDegradedCombine:
+    def test_full_coverage_matches_plain_combine(self):
+        from repro.core import combine_degraded_metrics
+
+        groups = [{name: float(v) for name in METRICS} for v in (10, 20, 30, 40)]
+        assert combine_degraded_metrics(groups, 1.0) == combine_group_metrics(
+            groups
+        )
+
+    def test_throughput_rescaled_by_coverage(self):
+        from repro.core import combine_degraded_metrics
+
+        survivors = [{name: 10.0 for name in METRICS} for _ in range(3)]
+        combined = combine_degraded_metrics(survivors, 0.75)
+        # IPC sums to 30 over 75% of the plane -> 40 projected to the full
+        # plane; rate/absolute metrics stay at the survivor average.
+        assert combined["ipc"] == pytest.approx(40.0)
+        assert combined["cycles"] == pytest.approx(10.0)
+        assert combined["l1d_miss_rate"] == pytest.approx(10.0)
+
+    def test_no_survivors_raises_degraded_error(self):
+        from repro.core import combine_degraded_metrics
+        from repro.errors import DegradedResultError
+
+        with pytest.raises(DegradedResultError):
+            combine_degraded_metrics([], 0.5)
+
+    def test_bad_coverage_rejected(self):
+        from repro.core import combine_degraded_metrics
+
+        group = [{name: 1.0 for name in METRICS}]
+        for coverage in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                combine_degraded_metrics(group, coverage)

@@ -1,0 +1,278 @@
+"""Fault-tolerant pipeline behaviour: retries, degraded combine, quorum,
+checkpoint resume.  Uses the small 32x32 scene (K = 4 groups on the
+Mobile SoC) with deterministic fault injection."""
+
+import pytest
+
+from repro.core import ExecutionPolicy, Zatel, combine_degraded_metrics
+from repro.core.pipeline import ZatelResult
+from repro.errors import DegradedResultError
+from repro.gpu import MOBILE_SOC, METRICS
+from repro.gpu.stats import MetricKind
+from repro.testing import FaultPlan, crash, exception, hang
+from repro.testing.faults import ALWAYS
+
+FAST = {"backoff_base": 0.0, "backoff_cap": 0.0}
+
+
+@pytest.fixture(scope="module")
+def baseline(small_scene, small_frame):
+    """The no-fault prediction every fault-injected run is compared to."""
+    return Zatel(MOBILE_SOC).predict(small_scene, small_frame)
+
+
+class TestRetriedToSuccess:
+    def test_crashed_worker_is_retried_bit_identically(
+        self, small_scene, small_frame, baseline
+    ):
+        plan = FaultPlan([crash(1)])
+        policy = ExecutionPolicy(workers=2, retries=2, **FAST)
+        result = Zatel(MOBILE_SOC).predict(
+            small_scene, small_frame, policy=policy, fault_plan=plan
+        )
+        assert not result.degraded
+        assert result.failures == []
+        assert result.metrics == baseline.metrics
+        assert [g.selected_count for g in result.groups] == [
+            g.selected_count for g in baseline.groups
+        ]
+
+    def test_every_single_group_crash_is_survivable(
+        self, small_scene, small_frame, baseline
+    ):
+        # Acceptance criterion: killing ANY single group worker still
+        # yields the bit-identical result after a retry.
+        for group in range(len(baseline.groups)):
+            plan = FaultPlan([crash(group)])
+            policy = ExecutionPolicy(workers=2, retries=1, **FAST)
+            result = Zatel(MOBILE_SOC).predict(
+                small_scene, small_frame, policy=policy, fault_plan=plan
+            )
+            assert result.metrics == baseline.metrics, f"group {group}"
+            assert not result.degraded
+
+    def test_hung_worker_is_killed_and_retried(
+        self, small_scene, small_frame, baseline
+    ):
+        plan = FaultPlan([hang(0, attempts=1)])
+        policy = ExecutionPolicy(workers=2, retries=1, timeout=5.0, **FAST)
+        result = Zatel(MOBILE_SOC).predict(
+            small_scene, small_frame, policy=policy, fault_plan=plan
+        )
+        assert not result.degraded
+        assert result.metrics == baseline.metrics
+
+    def test_transient_exception_serial_path(
+        self, small_scene, small_frame, baseline
+    ):
+        plan = FaultPlan([exception(3, attempts=1)])
+        policy = ExecutionPolicy(workers=1, retries=1, **FAST)
+        result = Zatel(MOBILE_SOC).predict(
+            small_scene, small_frame, policy=policy, fault_plan=plan
+        )
+        assert result.metrics == baseline.metrics
+
+
+class TestDegradedCombine:
+    @pytest.fixture(scope="class")
+    def degraded(self, small_scene, small_frame):
+        plan = FaultPlan([exception(2, attempts=ALWAYS)])
+        policy = ExecutionPolicy(workers=1, retries=1, **FAST)
+        return Zatel(MOBILE_SOC).predict(
+            small_scene, small_frame, policy=policy, fault_plan=plan
+        )
+
+    def test_flags_and_audit_trail(self, degraded):
+        assert degraded.degraded is True
+        assert len(degraded.groups) == 3
+        (record,) = degraded.failures
+        assert record.index == 2
+        assert record.error == "SimulationError"
+        assert record.attempts == 2
+        assert record.pixel_count == 256  # one fine-grained 32x32 group
+        assert degraded.coverage == pytest.approx(0.75)
+
+    def test_metrics_renormalized_over_survivors(self, degraded, baseline):
+        survivors = [g.metrics for g in baseline.groups if g.index != 2]
+        coverage = 3 / 4
+        expected = combine_degraded_metrics(survivors, coverage)
+        assert degraded.metrics == expected
+        for name in METRICS:
+            values = [m[name] for m in survivors]
+            if MetricKind.BY_METRIC[name] == MetricKind.THROUGHPUT:
+                assert degraded.metrics[name] == pytest.approx(
+                    sum(values) / coverage
+                )
+            else:
+                assert degraded.metrics[name] == pytest.approx(
+                    sum(values) / len(values)
+                )
+
+    def test_degraded_estimate_stays_close_to_full(self, degraded, baseline):
+        # Renormalization keeps the degraded estimate in the same ballpark
+        # as the full combine (fine-grained groups sample homogeneously).
+        for name in ("cycles", "ipc"):
+            assert degraded.metrics[name] == pytest.approx(
+                baseline.metrics[name], rel=0.25
+            )
+
+    def test_work_accounting_still_defined_for_survivors(self, degraded):
+        assert degraded.total_work_units > 0
+        assert degraded.max_group_work_units > 0
+        assert 0.3 <= degraded.mean_fraction() <= 0.6
+
+
+class TestQuorum:
+    def test_below_default_quorum_raises(self, small_scene, small_frame):
+        plan = FaultPlan(
+            [exception(i, attempts=ALWAYS) for i in (0, 1, 2)]
+        )
+        policy = ExecutionPolicy(workers=1, retries=0, **FAST)
+        with pytest.raises(DegradedResultError, match="quorum"):
+            Zatel(MOBILE_SOC).predict(
+                small_scene, small_frame, policy=policy, fault_plan=plan
+            )
+
+    def test_quorum_override_allows_deeper_degradation(
+        self, small_scene, small_frame
+    ):
+        plan = FaultPlan(
+            [exception(i, attempts=ALWAYS) for i in (0, 1, 2)]
+        )
+        policy = ExecutionPolicy(workers=1, retries=0, quorum=1, **FAST)
+        result = Zatel(MOBILE_SOC).predict(
+            small_scene, small_frame, policy=policy, fault_plan=plan
+        )
+        assert result.degraded
+        assert len(result.groups) == 1
+        assert len(result.failures) == 3
+        assert result.coverage == pytest.approx(0.25)
+
+    def test_stricter_quorum_rejects_single_failure(
+        self, small_scene, small_frame
+    ):
+        plan = FaultPlan([exception(0, attempts=ALWAYS)])
+        policy = ExecutionPolicy(workers=1, retries=0, quorum=4, **FAST)
+        with pytest.raises(DegradedResultError):
+            Zatel(MOBILE_SOC).predict(
+                small_scene, small_frame, policy=policy, fault_plan=plan
+            )
+
+
+class TestCheckpointResume:
+    def test_interrupted_run_resumes_missing_groups_only(
+        self, small_scene, small_frame, baseline, tmp_path, monkeypatch
+    ):
+        # "Interrupt" a strict run: group 3 fails permanently, quorum 4
+        # aborts the predict — but groups 0-2 are already checkpointed.
+        plan = FaultPlan([exception(3, attempts=ALWAYS)])
+        strict = ExecutionPolicy(
+            workers=1, retries=0, quorum=4, checkpoint_dir=tmp_path, **FAST
+        )
+        with pytest.raises(DegradedResultError):
+            Zatel(MOBILE_SOC).predict(
+                small_scene, small_frame, policy=strict, fault_plan=plan
+            )
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "group_0000.pkl",
+            "group_0001.pkl",
+            "group_0002.pkl",
+        ]
+
+        # Resume without faults: only the missing group simulates.
+        from repro.gpu.simulator import CycleSimulator
+
+        runs = []
+        original = CycleSimulator.run
+
+        def counting_run(self, warps):
+            runs.append(1)
+            return original(self, warps)
+
+        monkeypatch.setattr(CycleSimulator, "run", counting_run)
+        resumed = Zatel(MOBILE_SOC).predict(
+            small_scene,
+            small_frame,
+            policy=ExecutionPolicy(checkpoint_dir=tmp_path, resume=True),
+        )
+        assert len(runs) == 1  # one simulation: group 3 only
+        assert resumed.metrics == baseline.metrics
+        assert not resumed.degraded
+
+    def test_full_checkpointed_rerun_simulates_nothing(
+        self, small_scene, small_frame, baseline, tmp_path, monkeypatch
+    ):
+        policy = ExecutionPolicy(checkpoint_dir=tmp_path)
+        Zatel(MOBILE_SOC).predict(small_scene, small_frame, policy=policy)
+
+        from repro.gpu.simulator import CycleSimulator
+
+        def forbidden_run(self, warps):
+            raise AssertionError("fully-checkpointed rerun must not simulate")
+
+        monkeypatch.setattr(CycleSimulator, "run", forbidden_run)
+        resumed = Zatel(MOBILE_SOC).predict(
+            small_scene,
+            small_frame,
+            policy=ExecutionPolicy(checkpoint_dir=tmp_path, resume=True),
+        )
+        assert resumed.metrics == baseline.metrics
+
+
+class TestSerialParallelEquivalence:
+    def test_policy_paths_are_bit_identical(
+        self, small_scene, small_frame, baseline
+    ):
+        for policy in (
+            ExecutionPolicy(workers=1),
+            ExecutionPolicy(workers=2),
+            ExecutionPolicy(workers=4, retries=3),
+        ):
+            result = Zatel(MOBILE_SOC).predict(
+                small_scene, small_frame, policy=policy
+            )
+            assert result.metrics == baseline.metrics
+            assert [g.fraction for g in result.groups] == [
+                g.fraction for g in baseline.groups
+            ]
+
+    def test_workers_argument_overrides_policy(self, small_scene, small_frame):
+        # Back-compat: predict(..., workers=N) still works and equals the
+        # policy path.
+        a = Zatel(MOBILE_SOC).predict(small_scene, small_frame, workers=2)
+        b = Zatel(MOBILE_SOC).predict(
+            small_scene, small_frame, policy=ExecutionPolicy(workers=2)
+        )
+        assert a.metrics == b.metrics
+
+
+class TestEmptyResultGuards:
+    def _empty_result(self, baseline):
+        from repro.errors import FailureRecord
+
+        return ZatelResult(
+            metrics={},
+            groups=[],
+            downscale_factor=4,
+            gpu_name="MobileSoC",
+            scaled_gpu_name="MobileSoC_K4",
+            heatmap=baseline.heatmap,
+            quantized=baseline.quantized,
+            degraded=True,
+            failures=[
+                FailureRecord(0, "WorkerCrashError", "boom", 3, 256)
+            ],
+        )
+
+    def test_max_group_work_units_raises_clearly(self, baseline):
+        result = self._empty_result(baseline)
+        with pytest.raises(DegradedResultError, match="no surviving groups"):
+            result.max_group_work_units
+
+    def test_mean_fraction_raises_clearly(self, baseline):
+        result = self._empty_result(baseline)
+        with pytest.raises(DegradedResultError, match="no surviving groups"):
+            result.mean_fraction()
+
+    def test_coverage_of_empty_result(self, baseline):
+        assert self._empty_result(baseline).coverage == 0.0

@@ -87,6 +87,55 @@ class TestWorkload:
         assert settings.seed == 3
 
 
+class TestDegradedAccounting:
+    class _FakeResult:
+        def __init__(self, metrics, degraded, coverage=1.0, failures=()):
+            self.metrics = metrics
+            self.degraded = degraded
+            self.coverage = coverage
+            self.failures = list(failures)
+            self.groups = []
+
+    def test_result_errors_passthrough_for_full_runs(self):
+        stats = SimulationStats(cycles=100.0, instructions=1000)
+        result = self._FakeResult(stats.metrics(), degraded=False)
+        from repro.harness import result_errors
+
+        assert result_errors(result, stats)["cycles"] == 0.0
+        assert result_errors(result, stats, require_full_coverage=True)
+
+    def test_result_errors_rejects_degraded_when_strict(self):
+        from repro.errors import DegradedResultError, FailureRecord
+        from repro.harness import result_errors
+
+        stats = SimulationStats(cycles=100.0, instructions=1000)
+        result = self._FakeResult(
+            stats.metrics(),
+            degraded=True,
+            coverage=0.75,
+            failures=[FailureRecord(1, "WorkerCrashError", "boom", 3, 256)],
+        )
+        assert result_errors(result, stats)  # tolerant by default
+        with pytest.raises(DegradedResultError, match="75%"):
+            result_errors(result, stats, require_full_coverage=True)
+
+    def test_degraded_summary_reports_coverage_and_failures(self):
+        from repro.errors import FailureRecord
+        from repro.harness import degraded_summary
+
+        full = self._FakeResult({}, degraded=False)
+        assert "full coverage" in degraded_summary(full)
+        degraded = self._FakeResult(
+            {},
+            degraded=True,
+            coverage=0.5,
+            failures=[FailureRecord(2, "GroupTimeoutError", "slow", 2, 64)],
+        )
+        text = degraded_summary(degraded)
+        assert "DEGRADED" in text and "50%" in text
+        assert "group 2: GroupTimeoutError" in text
+
+
 class TestRunner:
     @pytest.fixture()
     def runner(self, tmp_path):
@@ -114,3 +163,63 @@ class TestRunner:
         result = runner.zatel(workload, MOBILE_SOC)
         assert result.downscale_factor == 4
         assert result.metrics["cycles"] > 0
+
+    def test_zatel_accepts_execution_policy(self, runner, tmp_path):
+        from repro.core import ExecutionPolicy
+
+        workload = Workload("SPRNG", width=32, height=32)
+        policy = ExecutionPolicy(
+            checkpoint_dir=runner.checkpoint_dir(workload, MOBILE_SOC)
+        )
+        result = runner.zatel(workload, MOBILE_SOC, policy=policy)
+        assert not result.degraded
+        assert any(
+            runner.checkpoint_dir(workload, MOBILE_SOC).iterdir()
+        )
+
+
+class TestCacheRobustness:
+    """One truncated file from an interrupted run must never poison a
+    later benchmark: corrupt caches are deleted and recomputed."""
+
+    WORKLOAD = Workload("SPRNG", width=16, height=16)
+
+    def _frame_path(self, cache_dir):
+        frames = [p for p in cache_dir.iterdir() if p.name.startswith("frame_")]
+        assert len(frames) == 1
+        return frames[0]
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        runner = Runner(cache_dir=tmp_path)
+        runner.frame(self.WORKLOAD)
+        runner.full_sim(self.WORKLOAD, MOBILE_SOC)
+        assert not [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+
+    def test_corrupt_frame_cache_is_recomputed(self, tmp_path, caplog):
+        first = Runner(cache_dir=tmp_path).frame(self.WORKLOAD)
+        path = self._frame_path(tmp_path)
+        path.write_bytes(b"not a pickle at all")
+        with caplog.at_level("WARNING", logger="repro.harness"):
+            reloaded = Runner(cache_dir=tmp_path).frame(self.WORKLOAD)
+        assert reloaded.pixels.keys() == first.pixels.keys()
+        assert "corrupt cache file" in caplog.text
+        # The healed file round-trips again.
+        assert (
+            Runner(cache_dir=tmp_path).frame(self.WORKLOAD).pixels.keys()
+            == first.pixels.keys()
+        )
+
+    def test_truncated_full_sim_cache_is_recomputed(self, tmp_path):
+        runner = Runner(cache_dir=tmp_path)
+        stats = runner.full_sim(self.WORKLOAD, MOBILE_SOC)
+        path = next(p for p in tmp_path.iterdir() if p.name.startswith("full_"))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # interrupted writer
+        fresh = Runner(cache_dir=tmp_path)
+        assert fresh.full_sim(self.WORKLOAD, MOBILE_SOC).cycles == stats.cycles
+
+    def test_empty_cache_file_is_recomputed(self, tmp_path):
+        first = Runner(cache_dir=tmp_path).frame(self.WORKLOAD)
+        self._frame_path(tmp_path).write_bytes(b"")
+        reloaded = Runner(cache_dir=tmp_path).frame(self.WORKLOAD)
+        assert reloaded.pixels.keys() == first.pixels.keys()
