@@ -11,10 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core import Zatel, ZatelConfig
+from repro.core import SweepPoint, ZatelConfig
+from repro.core.stages.sweep import SweepResult
 from repro.gpu import MOBILE_SOC, RTX_2060, GPUConfig, SimulationStats
 from repro.harness import Runner, Workload
-from repro.models import SamplingPredictor
 from repro.scene import SCENE_NAMES
 
 __all__ = [
@@ -50,6 +50,9 @@ class SamplingSweep:
     gpu: GPUConfig
     points: dict[str, dict[int, object]]
     full: dict[str, SimulationStats]
+    #: Planner execution audit (stage counters, dedup stats); ``None``
+    #: only for hand-built sweeps.
+    sweep: SweepResult | None = None
 
 
 def run_sampling_sweep(
@@ -59,20 +62,33 @@ def run_sampling_sweep(
     percentages: tuple[int, ...] = PERCENTAGES,
     seed: int = 0,
 ) -> SamplingSweep:
-    """Section IV-D's experiment: sample without downscaling, extrapolate."""
+    """Section IV-D's experiment: sample without downscaling, extrapolate.
+
+    The whole grid executes as one deduplicated stage DAG: every
+    percentage of a scene shares that scene's profile and quantization,
+    so those stages run once per scene instead of once per point.
+    """
+    config = ZatelConfig(seed=seed)
+    grid = [
+        (scene_name, perc)
+        for scene_name in scenes
+        for perc in percentages
+    ]
+    sweep_points = [
+        SweepPoint(
+            scene_name, gpu, config=config, mode="sampling", fraction=perc / 100.0
+        )
+        for scene_name, perc in grid
+    ]
+    sweep = runner.sweep(sweep_points)
     points: dict[str, dict[int, object]] = {}
-    full: dict[str, SimulationStats] = {}
-    for scene_name in scenes:
-        workload = workload_for(scene_name)
-        scene = runner.scene(scene_name)
-        frame = runner.frame(workload)
-        full[scene_name] = runner.full_sim(workload, gpu)
-        predictor = SamplingPredictor(gpu, seed=seed)
-        points[scene_name] = {
-            perc: predictor.predict(scene, frame, perc / 100.0)
-            for perc in percentages
-        }
-    return SamplingSweep(gpu=gpu, points=points, full=full)
+    for (scene_name, perc), point in zip(grid, sweep_points):
+        points.setdefault(scene_name, {})[perc] = sweep.value(point)
+    full = {
+        scene_name: runner.full_sim(workload_for(scene_name), gpu)
+        for scene_name in scenes
+    }
+    return SamplingSweep(gpu=gpu, points=points, full=full, sweep=sweep)
 
 
 @dataclass
@@ -88,6 +104,9 @@ class DownscaleSweep:
     results: dict[tuple[str, str, int], object]
     full: dict[str, SimulationStats]
     factors: tuple[int, ...]
+    #: Planner execution audit (stage counters, dedup stats); ``None``
+    #: only for hand-built sweeps.
+    sweep: SweepResult | None = None
 
 
 def run_downscale_sweep(
@@ -96,23 +115,41 @@ def run_downscale_sweep(
     scenes: tuple[str, ...],
     divisions: tuple[str, ...] = ("fine", "coarse"),
 ) -> DownscaleSweep:
-    """Section IV-E's experiment: groups on downscaled GPUs, no sampling."""
+    """Section IV-E's experiment: groups on downscaled GPUs, no sampling.
+
+    Planned as one stage DAG: the (division, K) grid of a scene shares
+    one profile/quantize, and the two divisions share them too — only
+    partition/select/simulate/combine differ per cell.
+    """
     from repro.core import valid_factors
 
     factors = tuple(k for k in valid_factors(gpu) if k > 1)
-    results: dict[tuple[str, str, int], object] = {}
-    full: dict[str, SimulationStats] = {}
-    for scene_name in scenes:
-        workload = workload_for(scene_name)
-        full[scene_name] = runner.full_sim(workload, gpu)
-        for division in divisions:
-            for k in factors:
-                config = ZatelConfig(
-                    division=division,
-                    fraction_override=1.0,  # trace every pixel of each group
-                    downscale_factor=k,
-                )
-                results[(scene_name, division, k)] = runner.zatel(
-                    workload, gpu, config
-                )
-    return DownscaleSweep(gpu=gpu, results=results, full=full, factors=factors)
+    grid = [
+        (scene_name, division, k)
+        for scene_name in scenes
+        for division in divisions
+        for k in factors
+    ]
+    sweep_points = [
+        SweepPoint(
+            scene_name,
+            gpu,
+            config=ZatelConfig(
+                division=division,
+                fraction_override=1.0,  # trace every pixel of each group
+                downscale_factor=k,
+            ),
+        )
+        for scene_name, division, k in grid
+    ]
+    sweep = runner.sweep(sweep_points)
+    results: dict[tuple[str, str, int], object] = {
+        cell: sweep.value(point) for cell, point in zip(grid, sweep_points)
+    }
+    full = {
+        scene_name: runner.full_sim(workload_for(scene_name), gpu)
+        for scene_name in scenes
+    }
+    return DownscaleSweep(
+        gpu=gpu, results=results, full=full, factors=factors, sweep=sweep
+    )

@@ -167,6 +167,8 @@ def cmd_predict(args) -> int:
     )
     predictor_class = AdaptiveZatel if args.adaptive else Zatel
     result = predictor_class(gpu, config).predict(scene, frame, policy=policy)
+    if getattr(args, "json", False):
+        return _print_predict_json(args, workload, gpu, runner, result)
     print(
         f"Zatel on {workload.scene_name} / {gpu.name}: "
         f"K={result.downscale_factor}, "
@@ -191,6 +193,47 @@ def cmd_predict(args) -> int:
     else:
         for name in METRICS:
             print(f"  {name:16s} {result.metrics[name]:12.4f}")
+    return 0
+
+
+def _print_predict_json(args, workload, gpu, runner, result) -> int:
+    """``predict --json``: machine-readable result for scripting.
+
+    The payload mirrors :class:`~repro.core.pipeline.ZatelResult`'s audit
+    surface — metrics plus the degraded flag, plane coverage, and one
+    entry per permanently-failed group — so callers can gate on quality
+    without parsing tables.
+    """
+    import json
+
+    payload = {
+        "scene": workload.scene_name,
+        "gpu": gpu.name,
+        "scaled_gpu": result.scaled_gpu_name,
+        "downscale_factor": result.downscale_factor,
+        "mean_fraction": result.mean_fraction(),
+        "metrics": {name: result.metrics[name] for name in result.metrics},
+        "degraded": result.degraded,
+        "coverage": result.coverage,
+        "failures": [
+            {
+                "group": record.index,
+                "error": record.error,
+                "message": record.message,
+                "attempts": record.attempts,
+                "pixel_count": record.pixel_count,
+            }
+            for record in result.failures
+        ],
+        "host_seconds": result.host_seconds,
+    }
+    if args.compare:
+        full = runner.full_sim(workload, gpu)
+        errors = metric_errors(result.metrics, full)
+        payload["full_sim"] = {name: full.metric(name) for name in METRICS}
+        payload["errors"] = errors
+        payload["speedup"] = result.speedup_vs(full)
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 

@@ -39,7 +39,7 @@ from .commands import (
     cmd_trace,
 )
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "console_main", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,6 +137,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the full simulation and print per-metric errors",
     )
     predict.add_argument(
+        "--json", action="store_true",
+        help=(
+            "emit the result as JSON on stdout (metrics, degraded flag, "
+            "plane coverage, failure audit) instead of tables"
+        ),
+    )
+    predict.add_argument(
         "--adaptive", action="store_true",
         help=(
             "use the adaptive sample-complexity controller instead of the "
@@ -187,3 +194,8 @@ def main(argv: list[str] | None = None) -> int:
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+
+def console_main() -> None:
+    """``zatel`` console-script entry point (exits with :func:`main`'s code)."""
+    sys.exit(main())

@@ -26,6 +26,18 @@ from .partition import (
 )
 from .pipeline import GroupPrediction, Zatel, ZatelConfig, ZatelResult
 from .quantize import QuantizedHeatmap, kmeans, quantize_heatmap
+from .stages import (
+    Artifact,
+    ArtifactStore,
+    Stage,
+    StageContext,
+    StageCounters,
+    StageGraph,
+    SweepPlanner,
+    SweepPoint,
+    SweepResult,
+    stable_hash,
+)
 from .selection import (
     DISTRIBUTIONS,
     MAX_FRACTION,
@@ -40,6 +52,8 @@ from .selection import (
 __all__ = [
     "AdaptiveConfig",
     "AdaptiveZatel",
+    "Artifact",
+    "ArtifactStore",
     "DISTRIBUTIONS",
     "ExecutionPolicy",
     "ExecutionReport",
@@ -51,6 +65,13 @@ __all__ = [
     "MIN_FRACTION",
     "QuantizedHeatmap",
     "SectionBlock",
+    "Stage",
+    "StageContext",
+    "StageCounters",
+    "StageGraph",
+    "SweepPlanner",
+    "SweepPoint",
+    "SweepResult",
     "Zatel",
     "ZatelConfig",
     "ZatelResult",
@@ -73,6 +94,7 @@ __all__ = [
     "power_law",
     "quantize_heatmap",
     "select_pixels",
+    "stable_hash",
     "temperature_to_color",
     "tile_grid_shape",
     "valid_factors",

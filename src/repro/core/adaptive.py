@@ -74,6 +74,17 @@ class AdaptiveZatel(Zatel):
         super().__init__(gpu_config, config)
         self.adaptive = adaptive if adaptive is not None else AdaptiveConfig()
 
+    def _simulate_params(self):
+        """Extend the fingerprint with the controller's knobs: two adaptive
+        predictors only share simulation artifacts when their escalation
+        schedules match."""
+        return super()._simulate_params() + (
+            self.adaptive.pilot_fraction,
+            self.adaptive.growth,
+            self.adaptive.tolerance,
+            self.adaptive.max_fraction,
+        )
+
     def _predict_group(
         self,
         index: int,
@@ -82,6 +93,7 @@ class AdaptiveZatel(Zatel):
         quantized: QuantizedHeatmap,
         simulator: CycleSimulator,
         scene: Scene,
+        fraction: float | None = None,  # noqa: ARG002 - the controller escalates
     ) -> GroupPrediction:
         """Escalate the traced fraction until the cycle estimate settles."""
         controller = self.adaptive

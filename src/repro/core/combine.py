@@ -9,9 +9,22 @@ simulation cycle count each group independently estimates — average.
 from __future__ import annotations
 
 from ..errors import DegradedResultError
-from ..gpu.stats import METRICS, MetricKind
+from ..gpu.stats import EXTENDED_METRICS, METRICS, MetricKind
 
 __all__ = ["combine_group_metrics", "combine_degraded_metrics"]
+
+
+def _combinable_names(group_metrics: list[dict[str, float]]) -> list[str]:
+    """Metric names present in *every* group, in canonical order.
+
+    Table I metrics are always there; extended metrics combine only when
+    all groups carry them (tolerating callers that build Table-I-only
+    dicts)."""
+    return [
+        name
+        for name in METRICS + EXTENDED_METRICS
+        if all(name in metrics for metrics in group_metrics)
+    ]
 
 
 def combine_group_metrics(group_metrics: list[dict[str, float]]) -> dict[str, float]:
@@ -28,7 +41,7 @@ def combine_group_metrics(group_metrics: list[dict[str, float]]) -> dict[str, fl
         raise ValueError("cannot combine zero groups")
     combined: dict[str, float] = {}
     k = len(group_metrics)
-    for name in METRICS:
+    for name in _combinable_names(group_metrics):
         values = [metrics[name] for metrics in group_metrics]
         if MetricKind.BY_METRIC[name] == MetricKind.THROUGHPUT:
             combined[name] = sum(values)
@@ -64,7 +77,7 @@ def combine_degraded_metrics(
         raise ValueError(f"coverage must be in (0, 1], got {coverage}")
     survivors = len(group_metrics)
     combined: dict[str, float] = {}
-    for name in METRICS:
+    for name in _combinable_names(group_metrics):
         values = [metrics[name] for metrics in group_metrics]
         if MetricKind.BY_METRIC[name] == MetricKind.THROUGHPUT:
             combined[name] = sum(values) / coverage

@@ -19,7 +19,7 @@ import warnings
 import numpy as np
 from scipy.optimize import OptimizeWarning, curve_fit
 
-from ..gpu.stats import METRICS, MetricKind, SimulationStats
+from ..gpu.stats import EXTENDED_METRICS, METRICS, MetricKind, SimulationStats
 
 __all__ = [
     "linear_extrapolate",
@@ -43,7 +43,7 @@ def linear_extrapolate(stats: SimulationStats, fraction: float) -> dict[str, flo
     if not 0.0 < fraction <= 1.0:
         raise ValueError(f"traced fraction must be in (0, 1], got {fraction}")
     predicted: dict[str, float] = {}
-    for name in METRICS:
+    for name in METRICS + EXTENDED_METRICS:
         value = stats.metric(name)
         if MetricKind.BY_METRIC[name] == MetricKind.ABSOLUTE:
             value = value / fraction
@@ -77,7 +77,14 @@ def exponential_regression(
     fractions = np.array([f for f, _ in samples], dtype=np.float64)
     fallback = max(samples, key=lambda s: s[0])[1]
     predicted: dict[str, float] = {}
-    for name in METRICS:
+    # Tolerate Table-I-only sample dicts; extended metrics are fit only
+    # when every sample carries them.
+    names = [
+        name
+        for name in METRICS + EXTENDED_METRICS
+        if all(name in metrics for _, metrics in samples)
+    ]
+    for name in names:
         y = np.array([m[name] for _, m in samples], dtype=np.float64)
         try:
             with warnings.catch_warnings():

@@ -31,19 +31,32 @@ from ..gpu.simulator import CycleSimulator
 from ..gpu.stats import SimulationStats
 from ..scene.scene import Scene
 from ..tracer.trace import FrameTrace
-from .combine import combine_degraded_metrics, combine_group_metrics
-from .downscale import downscale_gpu
-from .executor import ExecutionPolicy, GroupExecutor, default_quorum
+from .executor import ExecutionPolicy
 from .extrapolate import exponential_regression, linear_extrapolate
 from .heatmap import Heatmap
-from .partition import partition_plane
-from .quantize import QuantizedHeatmap, quantize_heatmap
+from .quantize import QuantizedHeatmap
 from .selection import (
     MAX_FRACTION,
     MIN_FRACTION,
     compute_fraction,
     select_pixels,
 )
+from .stages.base import StageContext, StageGraph, StageNode, source
+from .stages.concrete import (
+    CombineStage,
+    DownscaleStage,
+    PartitionStage,
+    ProfileStage,
+    QuantizeStage,
+    SelectStage,
+    SimulateGroupStage,
+)
+from .stages.fingerprint import (
+    frame_fingerprint,
+    gpu_fingerprint,
+    scene_fingerprint,
+)
+from .stages.store import ArtifactStore
 
 __all__ = ["ZatelConfig", "GroupPrediction", "ZatelResult", "Zatel"]
 
@@ -193,6 +206,7 @@ class Zatel:
         workers: int | None = None,
         policy: ExecutionPolicy | None = None,
         fault_plan=None,
+        store: ArtifactStore | None = None,
     ) -> ZatelResult:
         """Run the full pipeline against a profiled frame.
 
@@ -219,115 +233,120 @@ class Zatel:
         :class:`~repro.errors.DegradedResultError` is raised instead of
         returning silently wrong numbers.
 
+        ``store`` is an optional :class:`~repro.core.stages.store.
+        ArtifactStore`: when given, every stage output (heatmap,
+        quantization, group simulations) is memoized by its content
+        fingerprint, so repeated or overlapping predictions reuse shared
+        work.  Without one, an ephemeral in-memory store is used and the
+        call behaves exactly like the historical monolithic pipeline.
+
         Returns the combined prediction; compare against a full
         :class:`~repro.gpu.simulator.CycleSimulator` run of the same frame
         to measure error.
         """
         start_time = time.perf_counter()
-        cfg = self.config
         if policy is None:
             policy = ExecutionPolicy(workers=workers if workers else 1)
         elif workers is not None and workers != policy.workers:
             policy = dataclasses.replace(policy, workers=workers)
-
-        # (1) + (2): profile and quantize.
-        heatmap = Heatmap.from_frame(
-            frame,
-            percentile=cfg.heatmap_percentile,
-            warp_width=cfg.heatmap_warp_width,
+        ctx = StageContext(
+            store=store if store is not None else ArtifactStore(),
+            policy=policy,
+            fault_plan=fault_plan,
         )
-        quantized = quantize_heatmap(heatmap, cfg.quantize_colors, seed=cfg.seed)
-
-        # (3): downscale the GPU.
-        scaled_gpu, k = downscale_gpu(self.gpu_config, cfg.downscale_factor)
-
-        # (4): divide the image plane.
-        groups = partition_plane(
-            frame.width,
-            frame.height,
-            k,
-            method=cfg.division,
-            chunk_width=cfg.block_width,
-            chunk_height=cfg.block_height,
-        )
-
-        # (5)-(7): select, simulate, extrapolate each group, then combine.
-        simulator = CycleSimulator(scaled_gpu, _addresses_of(scene))
-        predictions, failures = self._run_groups(
-            groups, frame, quantized, simulator, scene, policy, fault_plan
-        )
-        if failures:
-            failures = [
-                dataclasses.replace(
-                    record, pixel_count=len(groups[record.index])
-                )
-                for record in failures
-            ]
-            quorum = (
-                policy.quorum
-                if policy.quorum is not None
-                else default_quorum(len(groups))
-            )
-            if len(predictions) < quorum:
-                details = "; ".join(record.describe() for record in failures)
-                raise DegradedResultError(
-                    f"only {len(predictions)} of {len(groups)} groups "
-                    f"survived (quorum {quorum}): {details}"
-                )
-            total_pixels = sum(len(pixels) for pixels in groups)
-            surviving_pixels = sum(p.pixel_count for p in predictions)
-            combined = combine_degraded_metrics(
-                [g.metrics for g in predictions],
-                surviving_pixels / total_pixels,
-            )
-        else:
-            combined = combine_group_metrics([g.metrics for g in predictions])
-        return ZatelResult(
-            metrics=combined,
-            groups=predictions,
-            downscale_factor=k,
-            gpu_name=self.gpu_config.name,
-            scaled_gpu_name=scaled_gpu.name,
-            heatmap=heatmap,
-            quantized=quantized,
-            host_seconds=time.perf_counter() - start_time,
-            degraded=bool(failures),
-            failures=list(failures),
-        )
+        graph, terminal = self.build_graph(scene, frame, quorum=policy.quorum)
+        result: ZatelResult = graph.resolve(terminal, ctx).value
+        result.host_seconds = time.perf_counter() - start_time
+        return result
 
     # ------------------------------------------------------------------
 
-    def _run_groups(
+    def build_graph(
         self,
-        groups: list[list[tuple[int, int]]],
-        frame: FrameTrace,
-        quantized: QuantizedHeatmap,
-        simulator: CycleSimulator,
         scene: Scene,
-        policy: ExecutionPolicy,
-        fault_plan=None,
-    ) -> tuple[list[GroupPrediction], list[FailureRecord]]:
-        """Run every group's simulation through the fault-tolerant engine.
+        frame: FrameTrace,
+        quorum: int | None = None,
+    ) -> tuple[StageGraph, StageNode]:
+        """The seven-step pipeline as a typed stage graph.
 
-        Under ``policy.workers > 1`` each attempt runs in a forked worker
-        process (copy-on-write shares the frame trace and scene without
-        pickling them); otherwise attempts run in-process.  Either way the
-        engine provides retries, checkpoint/resume, and failure auditing,
-        and per-group results are deterministic and identical across modes.
+        Returns the graph and its terminal (:class:`~repro.core.stages.
+        concrete.CombineStage`) node, whose resolved artifact is the
+        :class:`ZatelResult`.  Exposed so the sweep planner can merge
+        many predictions' graphs and deduplicate shared nodes by
+        fingerprint.
         """
+        cfg = self.config
+        graph = StageGraph()
+        frame_src = source("frame", frame, key=frame_fingerprint(frame))
+        scene_src = source("scene", scene, key=scene_fingerprint(scene))
+        gpu_src = source(
+            "gpu", self.gpu_config, key=gpu_fingerprint(self.gpu_config)
+        )
+        heatmap = graph.add(
+            ProfileStage(cfg.heatmap_percentile, cfg.heatmap_warp_width),
+            frame=frame_src,
+        )
+        quantized = graph.add(
+            QuantizeStage(cfg.quantize_colors, cfg.seed), heatmap=heatmap
+        )
+        scaled = graph.add(DownscaleStage(cfg.downscale_factor), gpu=gpu_src)
+        groups = graph.add(
+            PartitionStage(cfg.division, cfg.block_width, cfg.block_height),
+            frame=frame_src,
+            scaled=scaled,
+        )
+        fractions = graph.add(
+            SelectStage(cfg.min_fraction, cfg.max_fraction, cfg.fraction_override),
+            quantized=quantized,
+            groups=groups,
+        )
+        simulated = graph.add(
+            SimulateGroupStage(self),
+            frame=frame_src,
+            quantized=quantized,
+            groups=groups,
+            scaled=scaled,
+            fractions=fractions,
+            scene=scene_src,
+        )
+        combined = graph.add(
+            CombineStage(quorum),
+            simulated=simulated,
+            groups=groups,
+            scaled=scaled,
+            heatmap=heatmap,
+            quantized=quantized,
+            gpu=gpu_src,
+        )
+        return graph, combined
 
-        def task(index: int, attempt: int) -> GroupPrediction:  # noqa: ARG001
-            # Attempts are idempotent: group simulation is a pure function
-            # of (group, frame, config), so retries reproduce bit-identical
-            # results.
-            return self._predict_group(
-                index, groups[index], frame, quantized, simulator, scene
-            )
+    def _resolve_policy(self, policy: ExecutionPolicy | None) -> ExecutionPolicy:
+        """The policy a simulate stage should run under (default: serial)."""
+        return policy if policy is not None else ExecutionPolicy()
 
-        executor = GroupExecutor(policy, fault_plan=fault_plan)
-        report = executor.run(task, len(groups))
-        predictions = [report.results[i] for i in sorted(report.results)]
-        return predictions, report.failures
+    def _simulate_params(self):
+        """Methodology knobs that determine group-simulation *content*.
+
+        This is :class:`~repro.core.stages.concrete.SimulateGroupStage`'s
+        fingerprint contribution: everything that changes what the group
+        simulations compute (selection seeds/distribution, extrapolation
+        mode), plus the predictor class so subclasses with different
+        per-group logic never share artifacts.  Execution-policy knobs
+        are deliberately absent.
+        """
+        cfg = self.config
+        return (
+            type(self).__module__ + "." + type(self).__qualname__,
+            cfg.distribution,
+            cfg.block_width,
+            cfg.block_height,
+            cfg.seed,
+            cfg.extrapolation,
+            cfg.regression_fractions,
+            cfg.min_fraction,
+            cfg.max_fraction,
+            cfg.fraction_override,
+        )
 
     def _group_fraction(
         self, quantized: QuantizedHeatmap, pixels: list[tuple[int, int]]
@@ -348,10 +367,17 @@ class Zatel:
         quantized: QuantizedHeatmap,
         simulator: CycleSimulator,
         scene: Scene,
+        fraction: float | None = None,
     ) -> GroupPrediction:
-        """Steps 5-6 for one group, plus its extrapolation."""
+        """Steps 5-6 for one group, plus its extrapolation.
+
+        ``fraction`` is the group's traced fraction as planned by the
+        select stage; ``None`` recomputes it from equation (1) (identical
+        by determinism — the parameter only avoids redundant work).
+        """
         cfg = self.config
-        fraction = self._group_fraction(quantized, pixels)
+        if fraction is None:
+            fraction = self._group_fraction(quantized, pixels)
         group_seed = cfg.seed * 10007 + index
 
         if cfg.extrapolation == "linear":

@@ -1,0 +1,66 @@
+"""Composable pipeline stages, content-addressed artifacts, sweeps.
+
+The seven-step Zatel pipeline decomposed into typed :class:`Stage` nodes
+with deterministic fingerprints, executed through a :class:`StageGraph`
+against a content-addressed :class:`ArtifactStore`, and planned at sweep
+scale by the :class:`SweepPlanner` (which deduplicates shared stages
+across sweep points before running them through the fault-tolerant
+group executor).
+"""
+
+from .base import (
+    Artifact,
+    Stage,
+    StageContext,
+    StageCounters,
+    StageGraph,
+    StageNode,
+    source,
+)
+from .concrete import (
+    CombineStage,
+    DownscaleStage,
+    PartitionStage,
+    ProfileStage,
+    QuantizeStage,
+    SamplingSimulateStage,
+    SelectStage,
+    SimulateGroupStage,
+)
+from .fingerprint import (
+    frame_fingerprint,
+    gpu_fingerprint,
+    scene_fingerprint,
+    stable_hash,
+)
+from .store import ArtifactStore, StoreStats
+from .sweep import SweepOutcome, SweepPlan, SweepPlanner, SweepPoint, SweepResult
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "CombineStage",
+    "DownscaleStage",
+    "PartitionStage",
+    "ProfileStage",
+    "QuantizeStage",
+    "SamplingSimulateStage",
+    "SelectStage",
+    "SimulateGroupStage",
+    "Stage",
+    "StageContext",
+    "StageCounters",
+    "StageGraph",
+    "StageNode",
+    "StoreStats",
+    "SweepOutcome",
+    "SweepPlan",
+    "SweepPlanner",
+    "SweepPoint",
+    "SweepResult",
+    "frame_fingerprint",
+    "gpu_fingerprint",
+    "scene_fingerprint",
+    "source",
+    "stable_hash",
+]

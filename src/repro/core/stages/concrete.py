@@ -1,0 +1,336 @@
+"""Concrete stages: the seven steps of Fig. 3 as composable graph nodes.
+
+Each stage wraps one existing methodology function without changing its
+behaviour — for a fixed seed, a prediction assembled from these stages
+is bit-identical to the pre-stage-graph monolith (pinned by the golden
+tests).  What the decomposition adds is *identity*: every intermediate
+artifact gets a content address, so sweeps reuse whatever upstream work
+their points share.
+
+==================  ====================================================
+stage               computes
+==================  ====================================================
+``ProfileStage``    execution-time heatmap from the frame trace (step 1)
+``QuantizeStage``   K-Means color quantization of the heatmap (step 2)
+``DownscaleStage``  GPU config divided by K (step 3)
+``PartitionStage``  K image-plane groups (step 4)
+``SelectStage``     per-group traced fraction, equation (1) (step 5)
+``SimulateGroup-    per-group downscaled simulation + extrapolation
+Stage``             through the fault-tolerant executor (steps 5-6)
+``CombineStage``    quorum check + cross-group combination into a
+                    :class:`~repro.core.pipeline.ZatelResult` (step 7)
+``SamplingSimulate- the sampling-only baseline's single full-GPU
+Stage``             sampled simulation (Section IV-D)
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from ...errors import DegradedResultError
+from ...gpu.frontend import compile_kernel
+from ...gpu.simulator import CycleSimulator
+from ..combine import combine_degraded_metrics, combine_group_metrics
+from ..downscale import downscale_gpu
+from ..executor import GroupExecutor, default_quorum
+from ..extrapolate import linear_extrapolate
+from ..heatmap import Heatmap
+from ..partition import partition_plane
+from ..quantize import quantize_heatmap
+from ..selection import compute_fraction, select_pixels
+from .base import Stage, StageContext
+
+__all__ = [
+    "ProfileStage",
+    "QuantizeStage",
+    "DownscaleStage",
+    "PartitionStage",
+    "SelectStage",
+    "SimulateGroupStage",
+    "CombineStage",
+    "SamplingSimulateStage",
+]
+
+
+class ProfileStage(Stage):
+    """Step 1: frame trace -> execution-time heatmap."""
+
+    name = "profile"
+    code_version = "1"
+    cacheable = True
+
+    def __init__(self, percentile: float = 99.5, warp_width: int = 32) -> None:
+        self.percentile = percentile
+        self.warp_width = warp_width
+
+    def params(self) -> Any:
+        return (self.percentile, self.warp_width)
+
+    def run(self, ctx: StageContext, frame) -> Heatmap:  # noqa: ARG002
+        return Heatmap.from_frame(
+            frame, percentile=self.percentile, warp_width=self.warp_width
+        )
+
+
+class QuantizeStage(Stage):
+    """Step 2: heatmap -> K-Means quantized heatmap."""
+
+    name = "quantize"
+    code_version = "1"
+    cacheable = True
+
+    def __init__(self, colors: int = 8, seed: int = 0) -> None:
+        self.colors = colors
+        self.seed = seed
+
+    def params(self) -> Any:
+        return (self.colors, self.seed)
+
+    def run(self, ctx: StageContext, heatmap):  # noqa: ARG002
+        return quantize_heatmap(heatmap, self.colors, seed=self.seed)
+
+
+class DownscaleStage(Stage):
+    """Step 3: target GPU -> (downscaled GPU, factor K)."""
+
+    name = "downscale"
+    code_version = "1"
+
+    def __init__(self, factor: int | None = None) -> None:
+        self.factor = factor
+
+    def params(self) -> Any:
+        return (self.factor,)
+
+    def run(self, ctx: StageContext, gpu):  # noqa: ARG002
+        return downscale_gpu(gpu, self.factor)
+
+
+class PartitionStage(Stage):
+    """Step 4: image plane -> K pixel groups (fine or coarse)."""
+
+    name = "partition"
+    code_version = "1"
+
+    def __init__(
+        self, division: str = "fine", block_width: int = 32, block_height: int = 2
+    ) -> None:
+        self.division = division
+        self.block_width = block_width
+        self.block_height = block_height
+
+    def params(self) -> Any:
+        return (self.division, self.block_width, self.block_height)
+
+    def run(self, ctx: StageContext, frame, scaled):  # noqa: ARG002
+        _, k = scaled
+        return partition_plane(
+            frame.width,
+            frame.height,
+            k,
+            method=self.division,
+            chunk_width=self.block_width,
+            chunk_height=self.block_height,
+        )
+
+
+class SelectStage(Stage):
+    """Step 5 (planning half): per-group traced fraction via equation (1)."""
+
+    name = "select"
+    code_version = "1"
+
+    def __init__(
+        self,
+        min_fraction: float,
+        max_fraction: float,
+        fraction_override: float | None = None,
+    ) -> None:
+        self.min_fraction = min_fraction
+        self.max_fraction = max_fraction
+        self.fraction_override = fraction_override
+
+    def params(self) -> Any:
+        return (self.min_fraction, self.max_fraction, self.fraction_override)
+
+    def run(self, ctx: StageContext, quantized, groups) -> list[float]:  # noqa: ARG002
+        if self.fraction_override is not None:
+            return [self.fraction_override for _ in groups]
+        return [
+            compute_fraction(
+                quantized, pixels, self.min_fraction, self.max_fraction
+            )
+            for pixels in groups
+        ]
+
+
+class SimulateGroupStage(Stage):
+    """Steps 5-6: simulate every group through the fault-tolerant engine.
+
+    The per-group prediction logic stays on the predictor object (so
+    :class:`~repro.core.adaptive.AdaptiveZatel` keeps overriding
+    ``_predict_group``); this stage owns scheduling, retries and failure
+    auditing via :class:`~repro.core.executor.GroupExecutor`.  Its
+    fingerprint includes the predictor's methodology parameters — but
+    not the execution policy, which changes how groups run, never what
+    they compute.
+    """
+
+    name = "simulate_groups"
+    code_version = "1"
+    cacheable = True
+
+    def __init__(self, predictor) -> None:
+        self.predictor = predictor
+
+    def params(self) -> Any:
+        return self.predictor._simulate_params()
+
+    def should_cache(self, result: Any) -> bool:
+        # A run with permanent group failures is execution noise, not
+        # content — never let it shadow a clean artifact.
+        _, failures = result
+        return not failures
+
+    def run(self, ctx: StageContext, frame, quantized, groups, scaled, fractions, scene):
+        scaled_gpu, _ = scaled
+        simulator = CycleSimulator(scaled_gpu, scene.addresses)
+        predictor = self.predictor
+
+        def task(index: int, attempt: int):  # noqa: ARG001
+            # Attempts are idempotent: group simulation is a pure function
+            # of (group, frame, config), so retries reproduce bit-identical
+            # results.
+            return predictor._predict_group(
+                index,
+                groups[index],
+                frame,
+                quantized,
+                simulator,
+                scene,
+                fraction=fractions[index],
+            )
+
+        executor = GroupExecutor(
+            predictor._resolve_policy(ctx.policy), fault_plan=ctx.fault_plan
+        )
+        report = executor.run(task, len(groups))
+        predictions = [report.results[i] for i in sorted(report.results)]
+        return predictions, report.failures
+
+
+class CombineStage(Stage):
+    """Step 7: quorum check, degraded renormalization, final combination.
+
+    Produces the :class:`~repro.core.pipeline.ZatelResult` (with
+    ``host_seconds`` left at zero for the driver to fill in).
+    """
+
+    name = "combine"
+    code_version = "1"
+
+    def __init__(self, quorum: int | None = None) -> None:
+        self.quorum = quorum
+
+    def params(self) -> Any:
+        return (self.quorum,)
+
+    def run(self, ctx: StageContext, simulated, groups, scaled, heatmap, quantized, gpu):  # noqa: ARG002
+        from ..pipeline import ZatelResult
+
+        predictions, failures = simulated
+        scaled_gpu, k = scaled
+        if failures:
+            failures = [
+                dataclasses.replace(record, pixel_count=len(groups[record.index]))
+                for record in failures
+            ]
+            quorum = (
+                self.quorum if self.quorum is not None else default_quorum(len(groups))
+            )
+            if len(predictions) < quorum:
+                details = "; ".join(record.describe() for record in failures)
+                raise DegradedResultError(
+                    f"only {len(predictions)} of {len(groups)} groups "
+                    f"survived (quorum {quorum}): {details}"
+                )
+            total_pixels = sum(len(pixels) for pixels in groups)
+            surviving_pixels = sum(p.pixel_count for p in predictions)
+            combined = combine_degraded_metrics(
+                [g.metrics for g in predictions],
+                surviving_pixels / total_pixels,
+            )
+        else:
+            combined = combine_group_metrics([g.metrics for g in predictions])
+        return ZatelResult(
+            metrics=combined,
+            groups=predictions,
+            downscale_factor=k,
+            gpu_name=gpu.name,
+            scaled_gpu_name=scaled_gpu.name,
+            heatmap=heatmap,
+            quantized=quantized,
+            degraded=bool(failures),
+            failures=list(failures),
+        )
+
+
+class SamplingSimulateStage(Stage):
+    """The Section IV-D baseline: one sampled run on the *full* GPU.
+
+    Selection, filtering and linear extrapolation over the whole plane as
+    a single group — no downscaling, no partitioning.
+    """
+
+    name = "sampling_simulate"
+    code_version = "1"
+    cacheable = True
+
+    def __init__(
+        self,
+        fraction: float,
+        distribution: str = "uniform",
+        block_width: int = 32,
+        block_height: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.fraction = fraction
+        self.distribution = distribution
+        self.block_width = block_width
+        self.block_height = block_height
+        self.seed = seed
+
+    def params(self) -> Any:
+        return (
+            self.fraction,
+            self.distribution,
+            self.block_width,
+            self.block_height,
+            self.seed,
+        )
+
+    def run(self, ctx: StageContext, frame, quantized, gpu, scene):  # noqa: ARG002
+        from ...models.sampling_only import SamplingPrediction
+
+        pixels = [
+            (px, py) for py in range(frame.height) for px in range(frame.width)
+        ]
+        selected = select_pixels(
+            quantized,
+            pixels,
+            self.fraction,
+            distribution=self.distribution,
+            block_width=self.block_width,
+            block_height=self.block_height,
+            seed=self.seed,
+        )
+        warps = compile_kernel(frame, pixels, scene.addresses, selected=selected)
+        stats = CycleSimulator(gpu, scene.addresses).run(warps)
+        return SamplingPrediction(
+            fraction=self.fraction,
+            selected_count=len(selected),
+            stats=stats,
+            metrics=linear_extrapolate(stats, self.fraction),
+        )

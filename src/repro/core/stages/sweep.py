@@ -1,0 +1,346 @@
+"""Sweep planning: many predictions as one deduplicated stage DAG.
+
+The evaluation sweeps (Figs. 13-20) run grids of (scene x GPU config x
+methodology variation).  Run naively, every sweep point re-profiles and
+re-quantizes its scene from scratch even though those artifacts depend
+only on the frame and a handful of knobs.  The :class:`SweepPlanner`
+merges every point's stage graph, deduplicates nodes by fingerprint
+*before executing anything* (fingerprints are static — see
+:meth:`~.base.StageNode.fingerprint_static`), and then runs the unique
+nodes level-by-level through the fault-tolerant
+:class:`~repro.core.executor.GroupExecutor`.
+
+A Fig 16-style sweep — one scene, many traced percentages — therefore
+profiles and quantizes the scene exactly once; only the simulate stages
+differ per point.  The per-stage execution/hit counters on the result
+make that auditable (and testable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ...gpu.config import GPUConfig
+from ..executor import ExecutionPolicy, GroupExecutor
+from .base import Artifact, StageContext, StageCounters, StageNode
+from .store import ArtifactStore
+
+__all__ = ["SweepPoint", "SweepPlan", "SweepOutcome", "SweepResult", "SweepPlanner"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a sweep grid.
+
+    ``mode="zatel"`` runs the full seven-step pipeline under ``config``;
+    ``mode="sampling"`` runs the Section IV-D sampling-only baseline at
+    ``fraction`` of pixels on the full GPU (``config`` then contributes
+    only the profiling/quantization/selection knobs).
+    """
+
+    scene: str
+    gpu: GPUConfig
+    config: Any = None  # ZatelConfig; None means defaults
+    mode: str = "zatel"
+    fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("zatel", "sampling"):
+            raise ValueError(f"unknown sweep mode {self.mode!r}")
+        if self.mode == "sampling":
+            if self.fraction is None or not 0.0 < self.fraction <= 1.0:
+                raise ValueError(
+                    "sampling-mode points need a fraction in (0, 1]"
+                )
+
+    def describe(self) -> str:
+        suffix = (
+            f"sampling@{self.fraction:.0%}" if self.mode == "sampling" else "zatel"
+        )
+        return f"{self.scene}/{self.gpu.name}/{suffix}"
+
+
+@dataclass
+class SweepPlan:
+    """A merged, deduplicated DAG ready to execute.
+
+    ``total_nodes`` counts stage invocations a naive point-by-point run
+    would make; ``unique`` holds one representative node per distinct
+    fingerprint.  The difference is work the planner eliminated before
+    running anything.
+    """
+
+    points: list[SweepPoint]
+    terminals: dict[SweepPoint, StageNode]
+    terminal_keys: dict[SweepPoint, str]
+    unique: dict[str, StageNode]
+    levels: list[list[str]]
+    total_nodes: int
+
+    @property
+    def unique_nodes(self) -> int:
+        return len(self.unique)
+
+    @property
+    def deduplicated_nodes(self) -> int:
+        return self.total_nodes - self.unique_nodes
+
+
+@dataclass
+class SweepOutcome:
+    """One point's result — a value or an audited failure."""
+
+    point: SweepPoint
+    value: Any = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep execution produced and observed."""
+
+    outcomes: dict[SweepPoint, SweepOutcome]
+    counters: StageCounters
+    plan: SweepPlan
+    failures: list[Any] = field(default_factory=list)
+
+    def value(self, point: SweepPoint) -> Any:
+        """The result for ``point``; raises if that point failed."""
+        outcome = self.outcomes[point]
+        if not outcome.ok:
+            raise RuntimeError(
+                f"sweep point {point.describe()} failed: {outcome.error}"
+            )
+        return outcome.value
+
+    @property
+    def succeeded(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes.values())
+
+    def executions_of(self, stage_name: str) -> int:
+        return self.counters.executions.get(stage_name, 0)
+
+
+class SweepPlanner:
+    """Plans and executes sweep grids over a shared artifact store.
+
+    Args:
+        store: artifact store shared across the sweep (and, when backed
+            by disk, across runs); defaults to an ephemeral in-memory
+            store.
+        policy: execution policy for the *planner-level* task runs —
+            each DAG level's unique stages execute as indexed tasks
+            through :class:`~repro.core.executor.GroupExecutor` under
+            this policy (retries, timeouts, optional forked workers).
+        stage_policy: policy handed down to the per-group executor
+            *inside* each simulate stage.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore | None = None,
+        policy: ExecutionPolicy | None = None,
+        stage_policy: ExecutionPolicy | None = None,
+    ) -> None:
+        self.store = store if store is not None else ArtifactStore()
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.stage_policy = stage_policy
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        points: list[SweepPoint],
+        scenes: Mapping[str, Any],
+        frames: Mapping[str, Any],
+    ) -> SweepPlan:
+        """Merge every point's stage graph and deduplicate by fingerprint.
+
+        ``scenes``/``frames`` map scene names to the loaded
+        :class:`~repro.scene.scene.Scene` and full-plane
+        :class:`~repro.tracer.trace.FrameTrace` each point needs.
+        """
+        from ...models.sampling_only import SamplingPredictor
+        from ..pipeline import Zatel, ZatelConfig
+
+        terminals: dict[SweepPoint, StageNode] = {}
+        terminal_keys: dict[SweepPoint, str] = {}
+        unique: dict[str, StageNode] = {}
+        fp_cache: dict[int, str] = {}
+        total_nodes = 0
+
+        for point in points:
+            scene = scenes[point.scene]
+            frame = frames[point.scene]
+            config = point.config if point.config is not None else ZatelConfig()
+            if point.mode == "zatel":
+                predictor = Zatel(point.gpu, config)
+                graph, terminal = predictor.build_graph(scene, frame)
+            else:
+                predictor = SamplingPredictor(
+                    point.gpu,
+                    distribution=config.distribution,
+                    block_width=config.block_width,
+                    block_height=config.block_height,
+                    quantize_colors=config.quantize_colors,
+                    seed=config.seed,
+                )
+                graph, terminal = predictor.build_graph(
+                    scene, frame, point.fraction
+                )
+            terminals[point] = terminal
+            terminal_keys[point] = terminal.fingerprint_static(fp_cache)
+            total_nodes += len(graph.nodes)
+            for node in graph.nodes:
+                unique.setdefault(node.fingerprint_static(fp_cache), node)
+
+        return SweepPlan(
+            points=list(points),
+            terminals=terminals,
+            terminal_keys=terminal_keys,
+            unique=unique,
+            levels=self._levels(unique, fp_cache),
+            total_nodes=total_nodes,
+        )
+
+    @staticmethod
+    def _levels(
+        unique: dict[str, StageNode], fp_cache: dict[int, str]
+    ) -> list[list[str]]:
+        """Unique node keys grouped by dependency depth.
+
+        Depth is computed over *fingerprints* so equivalent nodes from
+        different points collapse to one scheduling slot.
+        """
+        depth: dict[str, int] = {}
+
+        def key_depth(key: str) -> int:
+            if key not in depth:
+                node = unique[key]
+                dep_keys = [
+                    dep.fingerprint_static(fp_cache)
+                    for dep in node.dependencies()
+                ]
+                depth[key] = (
+                    0 if not dep_keys else 1 + max(key_depth(k) for k in dep_keys)
+                )
+            return depth[key]
+
+        levels: dict[int, list[str]] = {}
+        for key in unique:
+            levels.setdefault(key_depth(key), []).append(key)
+        return [sorted(levels[d]) for d in sorted(levels)]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        points: list[SweepPoint],
+        scenes: Mapping[str, Any],
+        frames: Mapping[str, Any],
+    ) -> SweepResult:
+        """Plan and execute in one call."""
+        return self.execute(self.plan(points, scenes, frames))
+
+    def execute(self, plan: SweepPlan) -> SweepResult:
+        """Run the deduplicated DAG level-by-level through the executor.
+
+        Within a level no node depends on another, so a level's stages
+        run as independent indexed tasks under the planner's execution
+        policy — crash isolation, retries and failure auditing included.
+        A node whose upstream failed permanently is skipped, and every
+        sweep point depending on it reports a failure outcome instead of
+        poisoning the rest of the sweep.
+        """
+        ctx = StageContext(
+            store=self.store,
+            counters=StageCounters(),
+            policy=self.stage_policy,
+        )
+        fp_cache: dict[int, str] = {}
+        failed: dict[str, str] = {}
+        all_failures: list[Any] = []
+
+        for level in plan.levels:
+            pending: list[str] = []
+            for key in level:
+                blocker = self._failed_upstream(plan.unique[key], failed, fp_cache)
+                if blocker is not None:
+                    failed[key] = blocker
+                    continue
+                pending.append(key)
+            if not pending:
+                continue
+
+            def task(index: int, attempt: int):  # noqa: ARG001
+                key = pending[index]
+                node = plan.unique[key]
+                inputs = {
+                    name: self._resolve_input(upstream, fp_cache)
+                    for name, upstream in node.inputs.items()
+                }
+                artifact = node.stage.execute(ctx, inputs)
+                return artifact.value
+
+            executor = GroupExecutor(self.policy)
+            report = executor.run(task, len(pending))
+            for index, value in report.results.items():
+                key = pending[index]
+                node = plan.unique[key]
+                # Re-put covers forked workers, whose stage.execute wrote
+                # only to the child process's copy of the store.
+                ctx.store.put(
+                    key,
+                    value,
+                    persist=node.stage.cacheable
+                    and node.stage.should_cache(value),
+                )
+            for record in report.failures:
+                key = pending[record.index]
+                failed[key] = record.describe()
+                all_failures.append(record)
+
+        outcomes: dict[SweepPoint, SweepOutcome] = {}
+        for point in plan.points:
+            key = plan.terminal_keys[point]
+            if key in failed:
+                outcomes[point] = SweepOutcome(point, error=failed[key])
+            else:
+                outcomes[point] = SweepOutcome(point, value=ctx.store.get(key))
+        return SweepResult(
+            outcomes=outcomes,
+            counters=ctx.counters,
+            plan=plan,
+            failures=all_failures,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _resolve_input(
+        self, upstream: StageNode | Artifact, fp_cache: dict[int, str]
+    ) -> Artifact:
+        if isinstance(upstream, Artifact):
+            return upstream
+        key = upstream.fingerprint_static(fp_cache)
+        return Artifact(key, self.store.get(key))
+
+    def _failed_upstream(
+        self,
+        node: StageNode,
+        failed: dict[str, str],
+        fp_cache: dict[int, str],
+    ) -> str | None:
+        for dep in node.dependencies():
+            key = dep.fingerprint_static(fp_cache)
+            if key in failed:
+                return f"upstream stage {dep.stage.name} failed: {failed[key]}"
+        return None

@@ -11,7 +11,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-__all__ = ["SimulationStats", "METRICS", "METRIC_DESCRIPTIONS", "MetricKind"]
+__all__ = [
+    "SimulationStats",
+    "METRICS",
+    "EXTENDED_METRICS",
+    "METRIC_DESCRIPTIONS",
+    "MetricKind",
+]
 
 #: Canonical metric keys, in the paper's Table I order.
 METRICS = (
@@ -27,8 +33,9 @@ METRICS = (
 #: Supplementary metrics beyond Table I ("Zatel ... can estimate any
 #: metric that Vulkan-Sim provides, as desired by the user" — these are
 #: the extra ones our simulator provides).  They are not part of the
-#: paper's evaluation, so Zatel's extrapolation/combination tables cover
-#: only :data:`METRICS`.
+#: paper's evaluation tables, but they carry through extrapolation and
+#: combination like any other rate metric, so a full ``predict`` reports
+#: them alongside Table I.
 EXTENDED_METRICS = (
     "simd_efficiency",
     "warp_occupancy",
@@ -78,6 +85,9 @@ class MetricKind:
         "rt_efficiency": RATE,
         "dram_efficiency": RATE,
         "bw_utilization": RATE,
+        # extended metrics: both are normalized utilizations, i.e. rates
+        "simd_efficiency": RATE,
+        "warp_occupancy": RATE,
     }
 
 
@@ -211,9 +221,10 @@ class SimulationStats:
 def _validate_metric_tables() -> None:
     """Keep METRICS, descriptions and kinds in lock-step."""
     assert set(METRIC_DESCRIPTIONS) == set(METRICS)
-    assert set(MetricKind.BY_METRIC) == set(METRICS)
+    assert set(MetricKind.BY_METRIC) == set(METRICS) | set(EXTENDED_METRICS)
     assert all(
-        isinstance(getattr(SimulationStats, name), property) for name in METRICS
+        isinstance(getattr(SimulationStats, name), property)
+        for name in METRICS + EXTENDED_METRICS
         if name != "cycles"
     )
 

@@ -1,10 +1,20 @@
-"""Experiment runner with frame-trace and full-simulation caching.
+"""Experiment runner backed by the content-addressed artifact store.
 
 Every experiment needs (a) a functional frame trace per scene and (b) a
 ground-truth full simulation per (scene, GPU config).  Both are
-deterministic and expensive, so the runner memoizes them in memory and —
-for the frame traces and full sims — pickles them under ``.cache/`` so
-re-running the benchmark suite is cheap.
+deterministic and expensive, so the runner memoizes them — in memory and
+on disk — through a :class:`~repro.core.stages.store.ArtifactStore`
+rooted at ``.cache/``, which provides atomic writes and corrupt-entry
+recovery.  Cache keys are content fingerprints: the full-simulation key
+hashes the *entire* :class:`~repro.gpu.config.GPUConfig` (not just its
+name), so editing a config under an unchanged name can never serve a
+stale simulation.
+
+The runner is also the convenient entry into sweep planning:
+:meth:`Runner.sweep` executes a grid of
+:class:`~repro.core.stages.sweep.SweepPoint`\\ s as a deduplicated stage
+DAG over the shared store, so overlapping points (same scene, same
+profiling knobs) profile and quantize exactly once.
 
 The canonical experiment plane is
 :data:`DEFAULT_WIDTH` x :data:`DEFAULT_HEIGHT` (the paper uses 512x512 on a
@@ -13,15 +23,14 @@ C++ simulator; see DESIGN.md's scale discussion).
 
 from __future__ import annotations
 
-import logging
-import os
-import pickle
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.executor import ExecutionPolicy
 from ..core.pipeline import Zatel, ZatelConfig, ZatelResult
-from ..errors import CacheCorruptionError
+from ..core.stages.fingerprint import gpu_fingerprint, stable_hash
+from ..core.stages.store import ArtifactStore
+from ..core.stages.sweep import SweepPlanner, SweepPoint, SweepResult
 from ..gpu.config import GPUConfig
 from ..gpu.frontend import compile_kernel
 from ..gpu.simulator import CycleSimulator
@@ -33,61 +42,11 @@ from ..tracer.trace import FrameTrace
 
 __all__ = ["Workload", "Runner", "shared_runner", "DEFAULT_WIDTH", "DEFAULT_HEIGHT"]
 
-logger = logging.getLogger("repro.harness")
-
 #: Bump to invalidate on-disk caches after model-affecting code changes.
-CACHE_VERSION = 5
+CACHE_VERSION = 6
 
 DEFAULT_WIDTH = 128
 DEFAULT_HEIGHT = 128
-
-#: Unpickling failure modes treated as "corrupt cache file, recompute".
-_CORRUPT_PICKLE_ERRORS = (
-    pickle.UnpicklingError,
-    EOFError,
-    AttributeError,
-    ImportError,
-    IndexError,
-    ValueError,
-)
-
-
-def _atomic_pickle(obj, path: Path) -> None:
-    """Pickle ``obj`` to ``path`` via a temp file + ``os.replace``, so an
-    interrupted writer can never leave a truncated cache entry behind."""
-    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-    try:
-        with tmp.open("wb") as handle:
-            pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
-
-
-def _load_pickle(path: Path):
-    """Unpickle ``path``, or ``None`` if it is missing or corrupt.
-
-    A corrupt file (truncated pickle from an interrupted run, stale class
-    layout, ...) is deleted and logged as a
-    :class:`~repro.errors.CacheCorruptionError` so the caller recomputes
-    instead of crashing — one bad file must not poison every later
-    benchmark.
-    """
-    if not path.exists():
-        return None
-    try:
-        with path.open("rb") as handle:
-            return pickle.load(handle)
-    except _CORRUPT_PICKLE_ERRORS as error:
-        logger.warning(
-            "%s",
-            CacheCorruptionError(
-                f"corrupt cache file {path} ({type(error).__name__}: "
-                f"{error}); deleted, recomputing"
-            ),
-        )
-        path.unlink(missing_ok=True)
-        return None
 
 
 @dataclass(frozen=True)
@@ -109,7 +68,7 @@ class Workload:
         )
 
     def key(self) -> str:
-        """Stable cache key."""
+        """Stable human-readable cache key component."""
         return (
             f"{self.scene_name}_{self.width}x{self.height}"
             f"_spp{self.samples_per_pixel}_s{self.seed}_v{CACHE_VERSION}"
@@ -124,8 +83,28 @@ class Runner:
             cache_dir = Path(__file__).resolve().parents[3] / ".cache"
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self._frames: dict[str, FrameTrace] = {}
-        self._full_sims: dict[tuple[str, str], SimulationStats] = {}
+        self.store = ArtifactStore(self.cache_dir)
+
+    # ------------------------------------------------------------------
+    # cache keys
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def frame_key(workload: Workload) -> str:
+        """Content address of a workload's full-plane frame trace."""
+        return stable_hash("harness_frame", workload, CACHE_VERSION)
+
+    @staticmethod
+    def full_sim_key(workload: Workload, gpu: GPUConfig) -> str:
+        """Content address of a ground-truth simulation.
+
+        Hashes every field of ``gpu`` (via :func:`gpu_fingerprint`), not
+        just its name: two configs sharing a name but differing in any
+        architectural knob get distinct entries.
+        """
+        return stable_hash(
+            "harness_full_sim", workload, gpu_fingerprint(gpu), CACHE_VERSION
+        )
 
     # ------------------------------------------------------------------
 
@@ -135,35 +114,26 @@ class Runner:
 
     def frame(self, workload: Workload) -> FrameTrace:
         """Full-plane functional trace of a workload, cached to disk."""
-        key = workload.key()
-        if key in self._frames:
-            return self._frames[key]
-        path = self.cache_dir / f"frame_{key}.pkl"
-        frame = _load_pickle(path)
-        if frame is None:
-            frame = FunctionalTracer(
+        return self.store.get_or_compute(
+            self.frame_key(workload),
+            lambda: FunctionalTracer(
                 self.scene(workload.scene_name), workload.settings()
-            ).trace_frame()
-            _atomic_pickle(frame, path)
-        self._frames[key] = frame
-        return frame
+            ).trace_frame(),
+        )
 
     def full_sim(self, workload: Workload, gpu: GPUConfig) -> SimulationStats:
         """Ground truth: simulate every pixel on the full configuration."""
-        key = (workload.key(), gpu.name)
-        if key in self._full_sims:
-            return self._full_sims[key]
-        path = self.cache_dir / f"full_{workload.key()}_{gpu.name}.pkl"
-        stats = _load_pickle(path)
-        if stats is None:
+
+        def compute() -> SimulationStats:
             scene = self.scene(workload.scene_name)
             frame = self.frame(workload)
             pixels = workload.settings().all_pixels()
             warps = compile_kernel(frame, pixels, scene.addresses)
-            stats = CycleSimulator(gpu, scene.addresses).run(warps)
-            _atomic_pickle(stats, path)
-        self._full_sims[key] = stats
-        return stats
+            return CycleSimulator(gpu, scene.addresses).run(warps)
+
+        return self.store.get_or_compute(
+            self.full_sim_key(workload, gpu), compute
+        )
 
     # ------------------------------------------------------------------
 
@@ -173,15 +143,46 @@ class Runner:
         gpu: GPUConfig,
         config: ZatelConfig | None = None,
         policy: ExecutionPolicy | None = None,
+        store: ArtifactStore | None = None,
     ) -> ZatelResult:
-        """Run the Zatel pipeline on a workload (not cached: it is the
-        system under test and is cheap relative to ground truth).
+        """Run the Zatel pipeline on a workload.
+
+        Not cached by default: it is the system under test and is cheap
+        relative to ground truth.  Pass ``store=runner.store`` (or any
+        other) to memoize stage artifacts across calls — what the sweep
+        planner does for whole grids.
 
         ``policy`` threads through to the fault-tolerant execution engine
         (workers, timeouts, retries, checkpoint/resume)."""
         scene = self.scene(workload.scene_name)
         frame = self.frame(workload)
-        return Zatel(gpu, config).predict(scene, frame, policy=policy)
+        return Zatel(gpu, config).predict(scene, frame, policy=policy, store=store)
+
+    def sweep(
+        self,
+        points: list[SweepPoint],
+        policy: ExecutionPolicy | None = None,
+        stage_policy: ExecutionPolicy | None = None,
+        width: int = DEFAULT_WIDTH,
+        height: int = DEFAULT_HEIGHT,
+    ) -> SweepResult:
+        """Execute a sweep grid as a deduplicated stage DAG.
+
+        Loads each point's scene and frame through the runner's caches,
+        then plans and runs the merged graph over the shared store — so
+        shared profiling/quantization work executes exactly once per
+        scene, and repeated sweeps reuse on-disk artifacts.
+        """
+        names = sorted({point.scene for point in points})
+        scenes = {name: self.scene(name) for name in names}
+        frames = {
+            name: self.frame(Workload(name, width=width, height=height))
+            for name in names
+        }
+        planner = SweepPlanner(
+            store=self.store, policy=policy, stage_policy=stage_policy
+        )
+        return planner.run(points, scenes, frames)
 
     def checkpoint_dir(self, workload: Workload, gpu: GPUConfig) -> Path:
         """Canonical per-(workload, GPU) checkpoint directory for

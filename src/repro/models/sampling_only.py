@@ -10,13 +10,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.extrapolate import linear_extrapolate
-from ..core.quantize import quantize_heatmap
-from ..core.heatmap import Heatmap
-from ..core.selection import select_pixels
+from ..core.stages.base import StageContext, StageGraph, StageNode, source
+from ..core.stages.concrete import (
+    ProfileStage,
+    QuantizeStage,
+    SamplingSimulateStage,
+)
+from ..core.stages.fingerprint import (
+    frame_fingerprint,
+    gpu_fingerprint,
+    scene_fingerprint,
+)
+from ..core.stages.store import ArtifactStore
 from ..gpu.config import GPUConfig
-from ..gpu.frontend import compile_kernel
-from ..gpu.simulator import CycleSimulator
 from ..gpu.stats import SimulationStats
 from ..scene.scene import Scene
 from ..tracer.trace import FrameTrace
@@ -64,33 +70,59 @@ class SamplingPredictor:
         self.seed = seed
 
     def predict(
-        self, scene: Scene, frame: FrameTrace, fraction: float
+        self,
+        scene: Scene,
+        frame: FrameTrace,
+        fraction: float,
+        store: ArtifactStore | None = None,
     ) -> SamplingPrediction:
         """Run the sampled simulation at ``fraction`` and extrapolate.
 
         The whole plane is treated as a single group: heatmap, quantize,
         select section blocks, simulate with the non-selected pixels
         filtered, then scale absolute metrics by ``1 / fraction``.
+
+        ``store`` optionally memoizes stage outputs by content
+        fingerprint, so a percentage sweep re-profiles and re-quantizes
+        nothing after its first point.
         """
-        heatmap = Heatmap.from_frame(frame)
-        quantized = quantize_heatmap(heatmap, self.quantize_colors, seed=self.seed)
-        pixels = [
-            (px, py) for py in range(frame.height) for px in range(frame.width)
-        ]
-        selected = select_pixels(
-            quantized,
-            pixels,
-            fraction,
-            distribution=self.distribution,
-            block_width=self.block_width,
-            block_height=self.block_height,
-            seed=self.seed,
+        ctx = StageContext(
+            store=store if store is not None else ArtifactStore()
         )
-        warps = compile_kernel(frame, pixels, scene.addresses, selected=selected)
-        stats = CycleSimulator(self.gpu_config, scene.addresses).run(warps)
-        return SamplingPrediction(
-            fraction=fraction,
-            selected_count=len(selected),
-            stats=stats,
-            metrics=linear_extrapolate(stats, fraction),
+        graph, terminal = self.build_graph(scene, frame, fraction)
+        return graph.resolve(terminal, ctx).value
+
+    def build_graph(
+        self, scene: Scene, frame: FrameTrace, fraction: float
+    ) -> tuple[StageGraph, StageNode]:
+        """This baseline as a three-stage graph (profile, quantize,
+        sampled simulate).
+
+        The profile/quantize nodes carry the same fingerprints as the
+        Zatel pipeline's when the knobs coincide, which is what lets a
+        sweep planner share them across predictors.
+        """
+        graph = StageGraph()
+        frame_src = source("frame", frame, key=frame_fingerprint(frame))
+        scene_src = source("scene", scene, key=scene_fingerprint(scene))
+        gpu_src = source(
+            "gpu", self.gpu_config, key=gpu_fingerprint(self.gpu_config)
         )
+        heatmap = graph.add(ProfileStage(), frame=frame_src)
+        quantized = graph.add(
+            QuantizeStage(self.quantize_colors, self.seed), heatmap=heatmap
+        )
+        simulated = graph.add(
+            SamplingSimulateStage(
+                fraction,
+                distribution=self.distribution,
+                block_width=self.block_width,
+                block_height=self.block_height,
+                seed=self.seed,
+            ),
+            frame=frame_src,
+            quantized=quantized,
+            gpu=gpu_src,
+            scene=scene_src,
+        )
+        return graph, simulated

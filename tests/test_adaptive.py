@@ -28,7 +28,9 @@ class TestAdaptiveZatel:
         return AdaptiveZatel(MOBILE_SOC).predict(small_scene, small_frame)
 
     def test_produces_complete_metrics(self, result):
-        assert set(result.metrics) == set(METRICS)
+        from repro.gpu import EXTENDED_METRICS
+
+        assert set(result.metrics) == set(METRICS) | set(EXTENDED_METRICS)
         assert result.metrics["cycles"] > 0
 
     def test_fractions_within_controller_bounds(self, result):

@@ -87,6 +87,30 @@ class TestSimulationCommands:
         assert code == 0
         assert "traced fraction 50%" in capsys.readouterr().out
 
+    def test_predict_json(self, capsys):
+        import json
+
+        from repro.gpu import EXTENDED_METRICS, METRICS
+
+        assert main(["predict", "SPRNG", "--size", "32", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scene"] == "SPRNG"
+        assert payload["degraded"] is False
+        assert payload["coverage"] == 1.0
+        assert payload["failures"] == []
+        assert set(payload["metrics"]) == set(METRICS) | set(EXTENDED_METRICS)
+
+    def test_predict_json_compare_includes_errors(self, capsys):
+        import json
+
+        assert (
+            main(["predict", "SPRNG", "--size", "32", "--json", "--compare"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["speedup"] > 1.0
+        assert set(payload["errors"]) == set(payload["full_sim"])
+
     def test_predict_adaptive(self, capsys):
         assert main(["predict", "SPRNG", "--size", "32", "--adaptive"]) == 0
         assert "traced fraction" in capsys.readouterr().out

@@ -76,3 +76,37 @@ class TestMeasuredValues:
         mobile = CycleSimulator(MOBILE_SOC, small_scene.addresses).run(warps)
         rtx = CycleSimulator(RTX_2060, small_scene.addresses).run(warps)
         assert rtx.warp_occupancy < mobile.warp_occupancy
+
+
+class TestSurviveFullPipeline:
+    """Extended metrics must flow through extrapolation and combination,
+    not just raw simulator output (both are rates: pass through per
+    group, then average across groups)."""
+
+    def test_zatel_predict_reports_extended_metrics(
+        self, small_scene, small_frame
+    ):
+        from repro.core import Zatel
+
+        result = Zatel(MOBILE_SOC).predict(small_scene, small_frame)
+        for name in EXTENDED_METRICS:
+            assert name in result.metrics
+            assert 0.0 < result.metrics[name] <= 1.0
+        # Rate combine: the final value is the mean of the group values.
+        for name in EXTENDED_METRICS:
+            group_values = [g.metrics[name] for g in result.groups]
+            assert result.metrics[name] == pytest.approx(
+                sum(group_values) / len(group_values)
+            )
+
+    def test_sampling_predictor_reports_extended_metrics(
+        self, small_scene, small_frame
+    ):
+        from repro.models import SamplingPredictor
+
+        prediction = SamplingPredictor(MOBILE_SOC).predict(
+            small_scene, small_frame, 0.3
+        )
+        for name in EXTENDED_METRICS:
+            assert name in prediction.metrics
+            assert 0.0 < prediction.metrics[name] <= 1.0

@@ -145,11 +145,12 @@ class TestRunner:
         workload = Workload("SPRNG", width=16, height=16)
         first = runner.frame(workload)
         assert runner.frame(workload) is first  # memory cache
-        assert any(p.name.startswith("frame_") for p in tmp_path.iterdir())
+        assert runner.store.path_for(Runner.frame_key(workload)).exists()
         # A fresh runner reloads from disk rather than re-tracing.
         fresh = Runner(cache_dir=tmp_path)
         reloaded = fresh.frame(workload)
         assert reloaded.pixels.keys() == first.pixels.keys()
+        assert fresh.store.stats.disk_hits >= 1
 
     def test_full_sim_cached_and_deterministic(self, runner, tmp_path):
         workload = Workload("SPRNG", width=16, height=16)
@@ -157,6 +158,23 @@ class TestRunner:
         assert stats.cycles > 0
         fresh = Runner(cache_dir=tmp_path)
         assert fresh.full_sim(workload, MOBILE_SOC).cycles == stats.cycles
+
+    def test_full_sim_key_hashes_entire_gpu_config(self, runner):
+        """Regression: the old cache keyed ground truth by ``gpu.name``
+        only, so editing a config under an unchanged name served stale
+        simulations.  The key must cover every architectural field."""
+        from dataclasses import replace
+
+        workload = Workload("SPRNG", width=16, height=16)
+        baseline = runner.full_sim(workload, MOBILE_SOC)
+        edited = replace(MOBILE_SOC, num_sms=1)
+        assert edited.name == MOBILE_SOC.name
+        assert Runner.full_sim_key(workload, edited) != Runner.full_sim_key(
+            workload, MOBILE_SOC
+        )
+        resimulated = runner.full_sim(workload, edited)
+        # One SM must not round-trip the stale eight-SM entry.
+        assert resimulated.cycles > baseline.cycles
 
     def test_zatel_runs_through_runner(self, runner):
         workload = Workload("SPRNG", width=32, height=32)
@@ -185,21 +203,23 @@ class TestCacheRobustness:
     WORKLOAD = Workload("SPRNG", width=16, height=16)
 
     def _frame_path(self, cache_dir):
-        frames = [p for p in cache_dir.iterdir() if p.name.startswith("frame_")]
-        assert len(frames) == 1
-        return frames[0]
+        path = Runner(cache_dir=cache_dir).store.path_for(
+            Runner.frame_key(self.WORKLOAD)
+        )
+        assert path.exists()
+        return path
 
     def test_no_temp_files_left_behind(self, tmp_path):
         runner = Runner(cache_dir=tmp_path)
         runner.frame(self.WORKLOAD)
         runner.full_sim(self.WORKLOAD, MOBILE_SOC)
-        assert not [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert not [p for p in tmp_path.rglob("*") if ".tmp" in p.name]
 
     def test_corrupt_frame_cache_is_recomputed(self, tmp_path, caplog):
         first = Runner(cache_dir=tmp_path).frame(self.WORKLOAD)
         path = self._frame_path(tmp_path)
         path.write_bytes(b"not a pickle at all")
-        with caplog.at_level("WARNING", logger="repro.harness"):
+        with caplog.at_level("WARNING", logger="repro.stages"):
             reloaded = Runner(cache_dir=tmp_path).frame(self.WORKLOAD)
         assert reloaded.pixels.keys() == first.pixels.keys()
         assert "corrupt cache file" in caplog.text
@@ -212,7 +232,9 @@ class TestCacheRobustness:
     def test_truncated_full_sim_cache_is_recomputed(self, tmp_path):
         runner = Runner(cache_dir=tmp_path)
         stats = runner.full_sim(self.WORKLOAD, MOBILE_SOC)
-        path = next(p for p in tmp_path.iterdir() if p.name.startswith("full_"))
+        path = runner.store.path_for(
+            Runner.full_sim_key(self.WORKLOAD, MOBILE_SOC)
+        )
         data = path.read_bytes()
         path.write_bytes(data[: len(data) // 2])  # interrupted writer
         fresh = Runner(cache_dir=tmp_path)

@@ -60,7 +60,9 @@ class TestPipelineStructure:
         assert result.gpu_name == "MobileSoC"
 
     def test_metrics_complete(self, result):
-        assert set(result.metrics) == set(METRICS)
+        from repro.gpu import EXTENDED_METRICS
+
+        assert set(result.metrics) == set(METRICS) | set(EXTENDED_METRICS)
         assert all(v >= 0 for v in result.metrics.values())
 
 
