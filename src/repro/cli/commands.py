@@ -55,6 +55,7 @@ def _workload(args) -> Workload:
     return Workload(
         name, width=args.size, height=args.size,
         samples_per_pixel=args.spp, seed=args.seed,
+        backend=getattr(args, "backend", "packet"),
     )
 
 
@@ -208,6 +209,7 @@ def _print_predict_json(args, workload, gpu, runner, result) -> int:
 
     payload = {
         "scene": workload.scene_name,
+        "backend": workload.backend,
         "gpu": gpu.name,
         "scaled_gpu": result.scaled_gpu_name,
         "downscale_factor": result.downscale_factor,

@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="image plane side length")
         p.add_argument("--spp", type=int, default=1, help="samples per pixel")
         p.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+        p.add_argument(
+            "--backend", choices=("packet", "scalar"), default="packet",
+            help=(
+                "tracing backend: batched wavefront kernels (packet) or "
+                "one ray at a time (scalar); traces are byte-identical"
+            ),
+        )
 
     render = subparsers.add_parser("render", help="render a scene to PPM")
     add_workload_args(render)

@@ -442,7 +442,11 @@ class Zatel:
         warps = compile_kernel(
             frame, pixels, _addresses_of(scene), selected=selected
         )
-        return simulator.run(warps), len(selected)
+        stats = simulator.run(warps)
+        # Provenance: which tracing backend produced the replayed trace
+        # (getattr: traces cached before the field existed are "scalar").
+        stats.backend = getattr(frame, "backend", "scalar")
+        return stats, len(selected)
 
 
 def _addresses_of(scene: Scene):

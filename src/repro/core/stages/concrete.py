@@ -58,7 +58,11 @@ class ProfileStage(Stage):
     """Step 1: frame trace -> execution-time heatmap."""
 
     name = "profile"
-    code_version = "1"
+    # v2: frame traces may now come from the packet (wavefront) tracing
+    # backend.  Traces are byte-identical across backends, but the bump
+    # keeps artifacts produced before the equivalence suite existed from
+    # being served to it.
+    code_version = "2"
     cacheable = True
 
     def __init__(self, percentile: float = 99.5, warp_width: int = 32) -> None:
@@ -179,7 +183,8 @@ class SimulateGroupStage(Stage):
     """
 
     name = "simulate_groups"
-    code_version = "1"
+    # v2: group stats now carry tracing-backend provenance.
+    code_version = "2"
     cacheable = True
 
     def __init__(self, predictor) -> None:
@@ -328,6 +333,7 @@ class SamplingSimulateStage(Stage):
         )
         warps = compile_kernel(frame, pixels, scene.addresses, selected=selected)
         stats = CycleSimulator(gpu, scene.addresses).run(warps)
+        stats.backend = getattr(frame, "backend", "scalar")
         return SamplingPrediction(
             fraction=self.fraction,
             selected_count=len(selected),

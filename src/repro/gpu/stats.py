@@ -124,6 +124,10 @@ class SimulationStats:
     warps: int = 0
     pixels_traced: int = 0
     pixels_filtered: int = 0
+    #: Tracing backend that produced the replayed frame trace ("scalar"
+    #: or "packet").  Provenance only — backends are byte-identical, so
+    #: it never affects any metric.
+    backend: str = ""
     #: Deterministic simulation-work proxy (events processed); stands in
     #: for host wall-clock when computing speedups reproducibly.
     work_units: int = 0
@@ -205,10 +209,11 @@ class SimulationStats:
 
     def summary(self) -> str:
         """Human-readable one-run report."""
+        backend = f", {self.backend} trace" if self.backend else ""
         rows = [
             f"simulation of {self.pixels_traced} pixels "
             f"({self.pixels_filtered} filtered) on {self.config_name}: "
-            f"{self.warps} warps"
+            f"{self.warps} warps{backend}"
         ]
         for name, value in self.metrics().items():
             rows.append(f"  {name:16s} {value:12.4f}")

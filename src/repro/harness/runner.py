@@ -43,7 +43,7 @@ from ..tracer.trace import FrameTrace
 __all__ = ["Workload", "Runner", "shared_runner", "DEFAULT_WIDTH", "DEFAULT_HEIGHT"]
 
 #: Bump to invalidate on-disk caches after model-affecting code changes.
-CACHE_VERSION = 6
+CACHE_VERSION = 7
 
 DEFAULT_WIDTH = 128
 DEFAULT_HEIGHT = 128
@@ -58,6 +58,9 @@ class Workload:
     height: int = DEFAULT_HEIGHT
     samples_per_pixel: int = 1
     seed: int = 0
+    #: Tracing backend ("packet" or "scalar").  Backends emit byte-identical
+    #: traces, so this selects execution strategy and provenance only.
+    backend: str = "packet"
 
     def settings(self) -> RenderSettings:
         return RenderSettings(
@@ -65,13 +68,15 @@ class Workload:
             height=self.height,
             samples_per_pixel=self.samples_per_pixel,
             seed=self.seed,
+            tracing_backend=self.backend,
         )
 
     def key(self) -> str:
         """Stable human-readable cache key component."""
         return (
             f"{self.scene_name}_{self.width}x{self.height}"
-            f"_spp{self.samples_per_pixel}_s{self.seed}_v{CACHE_VERSION}"
+            f"_spp{self.samples_per_pixel}_s{self.seed}"
+            f"_{self.backend}_v{CACHE_VERSION}"
         )
 
 
@@ -129,7 +134,9 @@ class Runner:
             frame = self.frame(workload)
             pixels = workload.settings().all_pixels()
             warps = compile_kernel(frame, pixels, scene.addresses)
-            return CycleSimulator(gpu, scene.addresses).run(warps)
+            stats = CycleSimulator(gpu, scene.addresses).run(warps)
+            stats.backend = getattr(frame, "backend", "scalar")
+            return stats
 
         return self.store.get_or_compute(
             self.full_sim_key(workload, gpu), compute

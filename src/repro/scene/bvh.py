@@ -166,9 +166,12 @@ class BVH:
             float(ray.direction[1]),
             float(ray.direction[2]),
         )
-        idx = 1.0 / dx if dx != 0.0 else _INF
-        idy = 1.0 / dy if dy != 0.0 else _INF
-        idz = 1.0 / dz if dz != 0.0 else _INF
+        # copysign keeps the slab signs right for -0.0 components: plain
+        # ``dx != 0.0`` is False for -0.0, which used to yield +inf where
+        # -inf was meant.
+        idx = 1.0 / dx if dx != 0.0 else math.copysign(_INF, dx)
+        idy = 1.0 / dy if dy != 0.0 else math.copysign(_INF, dy)
+        idz = 1.0 / dz if dz != 0.0 else math.copysign(_INF, dz)
         dir_nonneg = (dx >= 0.0, dy >= 0.0, dz >= 0.0)
         t_min = ray.t_min
         t_max = ray.t_max
@@ -250,9 +253,9 @@ class BVH:
             float(ray.direction[1]),
             float(ray.direction[2]),
         )
-        idx = 1.0 / dx if dx != 0.0 else _INF
-        idy = 1.0 / dy if dy != 0.0 else _INF
-        idz = 1.0 / dz if dz != 0.0 else _INF
+        idx = 1.0 / dx if dx != 0.0 else math.copysign(_INF, dx)
+        idy = 1.0 / dy if dy != 0.0 else math.copysign(_INF, dy)
+        idz = 1.0 / dz if dz != 0.0 else math.copysign(_INF, dz)
         t_min = ray.t_min
         t_max = ray.t_max
         rec_nodes = record.nodes_visited if record is not None else None

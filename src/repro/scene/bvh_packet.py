@@ -1,0 +1,658 @@
+"""Packet (wavefront) BVH traversal: batched kernels over SoA node arrays.
+
+:class:`PackedBVH` re-expresses a built :class:`~repro.scene.bvh.BVH` as
+contiguous NumPy structure-of-arrays — node bounds, child/leaf indices and
+pre-gathered Möller–Trumbore triangle operands — and traverses *batches* of
+rays at once.  Each traversal step pops one node per active ray from a
+vectorized per-ray stack, runs the AABB slab test across the whole batch
+with masked NumPy ops, expands leaf hits into (ray, triangle) pairs and
+intersects them with a batched Möller–Trumbore kernel.
+
+Correctness contract
+--------------------
+
+The timing simulator replays per-ray node/triangle visit sequences, so the
+packet kernels are built to be **byte-identical** to the scalar backend
+(:meth:`BVH.intersect` / :meth:`BVH.occluded`):
+
+* every ray keeps its *own* traversal stack, popped in exactly the scalar
+  order (near-child-first for closest-hit, left-first for any-hit), so the
+  per-ray visit sequence is the scalar sequence — only the *interleaving
+  across rays* changes, which nothing observes;
+* all arithmetic maps 1:1 onto the scalar expressions (same operand order,
+  same IEEE double ops), so hit distances, points and normals carry the
+  same bits;
+* within a leaf, the sequential "accept if ``t <= best_t``" rule resolves
+  to *min t, ties to the last slot*, which the batched reduction replicates
+  exactly;
+* rays with a zero direction component (where the scalar slab test leans
+  on ±inf corner cases that NumPy min/max reductions do not share) are
+  routed through the scalar backend unchanged.
+
+Path-prediction cache
+---------------------
+
+:class:`PathPredictionCache` implements hash-based ray path prediction
+(Demoullin, Gubran, Aamodt): a quantized (origin, direction) key maps to
+the leaf that last terminated a matching ray.  A predicted leaf is
+*validated* by a direct any-hit test before being trusted; misses fall
+back to full traversal, which re-trains the entry.  Because a validated
+prediction skips the traversal walk entirely, it changes the node-visit
+*record* — so the cache is only consulted when no
+:class:`~repro.scene.bvh.TraversalRecord` collection was requested (e.g.
+``occluded()`` any-hit shadow rays during pure image rendering).  The
+occlusion *answer* is unchanged either way: a validated hit is a real hit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bvh import BVH, TraversalRecord
+from .geometry import Ray
+
+__all__ = ["PackedBVH", "BatchIntersection", "BatchOcclusion", "PathPredictionCache"]
+
+_INF = float("inf")
+
+#: Epsilon window of the scalar Möller–Trumbore determinant test.
+_DET_EPS = 1e-12
+
+
+class BatchIntersection:
+    """Closest-hit results for a batch of rays (SoA).
+
+    ``t``/``tri`` are per-ray arrays (``tri == -1`` means miss);
+    ``nodes``/``tris`` are per-ray Python lists of visited node / tested
+    triangle indices in scalar visit order (``None`` when records were not
+    requested).
+    """
+
+    __slots__ = ("t", "tri", "nodes", "tris")
+
+    def __init__(self, t, tri, nodes, tris) -> None:
+        self.t = t
+        self.tri = tri
+        self.nodes = nodes
+        self.tris = tris
+
+
+class BatchOcclusion:
+    """Any-hit results for a batch of shadow rays (SoA).
+
+    ``occluded`` is a per-ray bool array; ``nodes``/``tris`` as in
+    :class:`BatchIntersection`; ``hit_leaf`` records, for occluded rays,
+    the leaf node whose triangle produced the hit (-1 otherwise) — the
+    training signal for :class:`PathPredictionCache`.
+    """
+
+    __slots__ = ("occluded", "nodes", "tris", "hit_leaf")
+
+    def __init__(self, occluded, nodes, tris, hit_leaf) -> None:
+        self.occluded = occluded
+        self.nodes = nodes
+        self.tris = tris
+        self.hit_leaf = hit_leaf
+
+
+def _gather_rays(rays: list[Ray]):
+    """Split a ray list into SoA arrays (origins, dirs, t_min, t_max)."""
+    origins = np.array([r.origin for r in rays], dtype=np.float64)
+    dirs = np.array([r.direction for r in rays], dtype=np.float64)
+    t_min = np.array([r.t_min for r in rays], dtype=np.float64)
+    t_max = np.array([r.t_max for r in rays], dtype=np.float64)
+    return origins, dirs, t_min, t_max
+
+
+def _assemble_records(steps, ray_count: int) -> list[list[int]]:
+    """Turn per-step (ray_ids, values) arrays into per-ray ordered lists.
+
+    Steps were appended in traversal order and each ray contributes its
+    values in-order within a step, so a stable sort by ray id yields every
+    ray's scalar-identical visit sequence.  One bulk ``tolist`` plus plain
+    list slicing beats ``np.split`` (which materializes thousands of array
+    views) by a wide margin on frame-sized batches.
+    """
+    if not steps:
+        return [[] for _ in range(ray_count)]
+    ray_ids = np.concatenate([s[0] for s in steps])
+    values = np.concatenate([s[1] for s in steps])
+    order = np.argsort(ray_ids, kind="stable")
+    flat = values[order].tolist()
+    bounds = np.cumsum(np.bincount(ray_ids, minlength=ray_count)).tolist()
+    out = []
+    start = 0
+    for stop in bounds:
+        out.append(flat[start:stop])
+        start = stop
+    return out
+
+
+def _segment_local_index(counts: np.ndarray) -> np.ndarray:
+    """``[0..c0-1, 0..c1-1, ...]`` for group sizes ``counts``."""
+    total = int(counts.sum())
+    starts = np.cumsum(counts) - counts
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+class PackedBVH:
+    """A :class:`BVH` flattened into SoA arrays with packet kernels.
+
+    The arrays are materialized from the scalar backend's own flattened
+    scalar tuples (``BVH._flatten``), so both backends compute from the
+    exact same float values.
+    """
+
+    def __init__(self, bvh: BVH) -> None:
+        self.bvh = bvh
+        flat = np.array(bvh._flat_nodes, dtype=np.float64)
+        self.node_lo = np.ascontiguousarray(flat[:, 0:3])
+        self.node_hi = np.ascontiguousarray(flat[:, 3:6])
+        self.node_left = flat[:, 6].astype(np.int32)
+        self.node_right = flat[:, 7].astype(np.int32)
+        self.node_first = flat[:, 8].astype(np.int64)
+        self.node_count = flat[:, 9].astype(np.int64)
+        hints = bvh._order_hints
+        self.hint_axis = np.array([h[0] for h in hints], dtype=np.int64)
+        self.hint_left_lower = np.array([h[1] for h in hints], dtype=bool)
+        self.order = np.array(bvh.primitive_order, dtype=np.int64)
+        tris = np.array(bvh._flat_tris, dtype=np.float64)
+        self.tri_v0 = np.ascontiguousarray(tris[:, 0:3])
+        self.tri_e1 = np.ascontiguousarray(tris[:, 3:6])
+        self.tri_e2 = np.ascontiguousarray(tris[:, 6:9])
+        self.tri_normal = np.array(
+            [tri.normal for tri in bvh.triangles], dtype=np.float64
+        )
+        self.tri_material = np.array(
+            [tri.material_id for tri in bvh.triangles], dtype=np.int64
+        )
+        # Stack bound: near-first traversal holds at most one deferred far
+        # child per tree level.
+        self._stack_depth = bvh.depth() + 2
+
+    # ------------------------------------------------------------------
+    # batched Möller–Trumbore over (ray, triangle) pairs
+    # ------------------------------------------------------------------
+
+    def _moller_trumbore_pairs(self, tri_idx, o, d, t_lo, t_hi):
+        """Vectorized scalar-equivalent MT test for (ray, triangle) pairs.
+
+        Returns ``(t, valid)``: the hit parameter per pair and whether the
+        pair passes every scalar acceptance test against ``[t_lo, t_hi]``.
+        Arithmetic mirrors :func:`~repro.scene.bvh._moller_trumbore`
+        operand-for-operand so accepted ``t`` values are bit-identical.
+        """
+        e1 = self.tri_e1[tri_idx]
+        e2 = self.tri_e2[tri_idx]
+        v0 = self.tri_v0[tri_idx]
+        dx, dy, dz = d[:, 0], d[:, 1], d[:, 2]
+        px = dy * e2[:, 2] - dz * e2[:, 1]
+        py = dz * e2[:, 0] - dx * e2[:, 2]
+        pz = dx * e2[:, 1] - dy * e2[:, 0]
+        det = e1[:, 0] * px + e1[:, 1] * py + e1[:, 2] * pz
+        valid = ~((det > -_DET_EPS) & (det < _DET_EPS))
+        inv_det = 1.0 / np.where(valid, det, 1.0)
+        tvx = o[:, 0] - v0[:, 0]
+        tvy = o[:, 1] - v0[:, 1]
+        tvz = o[:, 2] - v0[:, 2]
+        u = (tvx * px + tvy * py + tvz * pz) * inv_det
+        valid &= (u >= 0.0) & (u <= 1.0)
+        qx = tvy * e1[:, 2] - tvz * e1[:, 1]
+        qy = tvz * e1[:, 0] - tvx * e1[:, 2]
+        qz = tvx * e1[:, 1] - tvy * e1[:, 0]
+        v = (dx * qx + dy * qy + dz * qz) * inv_det
+        valid &= (v >= 0.0) & (u + v <= 1.0)
+        t = (e2[:, 0] * qx + e2[:, 1] * qy + e2[:, 2] * qz) * inv_det
+        valid &= (t >= t_lo) & (t <= t_hi)
+        return t, valid
+
+    # ------------------------------------------------------------------
+    # closest hit
+    # ------------------------------------------------------------------
+
+    def intersect_batch(
+        self, rays: list[Ray], want_records: bool = True
+    ) -> BatchIntersection:
+        """Closest-hit traversal of a list of :class:`Ray` objects."""
+        origins, dirs, t_min, t_max = _gather_rays(rays)
+        return self.intersect_arrays(
+            origins, dirs, t_min, t_max, want_records=want_records
+        )
+
+    def intersect_arrays(
+        self, origins, dirs, t_min, t_max, want_records: bool = True
+    ) -> BatchIntersection:
+        """Closest-hit traversal of a ray batch given as SoA arrays.
+
+        Per-ray results (and, when ``want_records``, per-ray visit
+        records) are byte-identical to calling :meth:`BVH.intersect` on
+        each ray in turn.
+        """
+        n = origins.shape[0]
+        nodes_out: list[list[int]] | None = None
+        tris_out: list[list[int]] | None = None
+
+        # Zero direction components hit the scalar backend's ±inf slab
+        # corner cases; delegate those rays to it verbatim.
+        scalar_mask = np.any(dirs == 0.0, axis=1)
+        if not scalar_mask.any():
+            best_t, best_tri, node_steps, tri_steps = self._traverse_closest(
+                origins, dirs, t_min, t_max.copy(), want_records
+            )
+            if want_records:
+                nodes_out = _assemble_records(node_steps, n)
+                tris_out = _assemble_records(tri_steps, n)
+            return BatchIntersection(best_t, best_tri, nodes_out, tris_out)
+
+        best_t = t_max.copy()
+        best_tri = np.full(n, -1, dtype=np.int64)
+        if want_records:
+            nodes_out = [[] for _ in range(n)]
+            tris_out = [[] for _ in range(n)]
+        for i in np.nonzero(scalar_mask)[0]:
+            ray = Ray(
+                origin=origins[i], direction=dirs[i],
+                t_min=float(t_min[i]), t_max=float(t_max[i]),
+            )
+            record = TraversalRecord() if want_records else None
+            hit = self.bvh.intersect(ray, record)
+            if hit is not None:
+                best_t[i] = hit.t
+                best_tri[i] = hit.primitive_index
+            if record is not None:
+                nodes_out[i] = record.nodes_visited  # type: ignore[index]
+                tris_out[i] = record.tris_tested  # type: ignore[index]
+
+        packet = np.nonzero(~scalar_mask)[0]
+        if packet.size:
+            t_p, tri_p, node_steps, tri_steps = self._traverse_closest(
+                origins[packet], dirs[packet], t_min[packet],
+                t_max[packet].copy(), want_records,
+            )
+            best_t[packet] = t_p
+            best_tri[packet] = tri_p
+            if want_records:
+                for local, lst in enumerate(
+                    _assemble_records(node_steps, packet.size)
+                ):
+                    nodes_out[int(packet[local])] = lst  # type: ignore[index]
+                for local, lst in enumerate(
+                    _assemble_records(tri_steps, packet.size)
+                ):
+                    tris_out[int(packet[local])] = lst  # type: ignore[index]
+        return BatchIntersection(best_t, best_tri, nodes_out, tris_out)
+
+    def _traverse_closest(self, origins, dirs, t_min, best_t, want_records):
+        """Packet core: per-ray stacks stepped in lock-step (no zero dirs).
+
+        ``best_t`` starts as the per-ray ``t_max`` budget and is tightened
+        in place as hits land.
+        """
+        n = origins.shape[0]
+        inv = 1.0 / dirs
+        nonneg = dirs >= 0.0
+        best_tri = np.full(n, -1, dtype=np.int64)
+        stack = np.empty((n, self._stack_depth), dtype=np.int32)
+        stack[:, 0] = 0
+        sp = np.ones(n, dtype=np.int32)
+        node_steps: list = []
+        tri_steps: list = []
+
+        while True:
+            alive = np.nonzero(sp > 0)[0]
+            if alive.size == 0:
+                break
+            sp[alive] -= 1
+            node = stack[alive, sp[alive]].astype(np.int64)
+            if want_records:
+                node_steps.append((alive, node))
+
+            lo = self.node_lo[node]
+            hi = self.node_hi[node]
+            o = origins[alive]
+            iv = inv[alive]
+            t0 = (lo - o) * iv
+            t1 = (hi - o) * iv
+            near = np.minimum(t0, t1)
+            far = np.maximum(t0, t1)
+            enter = np.maximum(near.max(axis=1), t_min[alive])
+            exit_ = np.minimum(far.min(axis=1), best_t[alive])
+            passed = enter <= exit_
+            count = self.node_count[node]
+
+            interior = np.nonzero(passed & (count == 0))[0]
+            if interior.size:
+                ridx = alive[interior]
+                nd = node[interior]
+                axis = self.hint_axis[nd]
+                left = self.node_left[nd]
+                right = self.node_right[nd]
+                left_first = nonneg[ridx, axis] == self.hint_left_lower[nd]
+                near_child = np.where(left_first, left, right)
+                far_child = np.where(left_first, right, left)
+                s = sp[ridx]
+                stack[ridx, s] = far_child
+                stack[ridx, s + 1] = near_child
+                sp[ridx] = s + 2
+
+            leaves = np.nonzero(passed & (count > 0))[0]
+            if leaves.size:
+                ridx = alive[leaves]
+                nd = node[leaves]
+                c = count[leaves]
+                slots = np.repeat(self.node_first[nd], c)
+                slots += _segment_local_index(c)
+                tri_idx = self.order[slots]
+                pair_ray = np.repeat(ridx, c)
+                if want_records:
+                    tri_steps.append((pair_ray, tri_idx))
+                t, valid = self._moller_trumbore_pairs(
+                    tri_idx,
+                    origins[pair_ray],
+                    dirs[pair_ray],
+                    t_min[pair_ray],
+                    best_t[pair_ray],
+                )
+                tval = np.where(valid, t, _INF)
+                starts = np.cumsum(c) - c
+                gmin = np.minimum.reduceat(tval, starts)
+                has_hit = np.nonzero(gmin < _INF)[0]
+                if has_hit.size:
+                    # Scalar tie rule: equal-t hits overwrite, so the last
+                    # slot achieving the group minimum wins.
+                    pair_pos = np.arange(tval.shape[0], dtype=np.int64)
+                    cand = np.where(
+                        tval == np.repeat(gmin, c), pair_pos, -1
+                    )
+                    glast = np.maximum.reduceat(cand, starts)
+                    winners = ridx[has_hit]
+                    best_t[winners] = gmin[has_hit]
+                    best_tri[winners] = tri_idx[glast[has_hit]]
+        return best_t, best_tri, node_steps, tri_steps
+
+    # ------------------------------------------------------------------
+    # any hit
+    # ------------------------------------------------------------------
+
+    def occluded_batch(
+        self,
+        rays: list[Ray],
+        want_records: bool = True,
+        cache: "PathPredictionCache | None" = None,
+    ) -> BatchOcclusion:
+        """Any-hit traversal of a list of :class:`Ray` shadow rays."""
+        origins, dirs, t_min, t_max = _gather_rays(rays)
+        return self.occluded_arrays(
+            origins, dirs, t_min, t_max, want_records=want_records, cache=cache
+        )
+
+    def occluded_arrays(
+        self,
+        origins,
+        dirs,
+        t_min,
+        t_max,
+        want_records: bool = True,
+        cache: "PathPredictionCache | None" = None,
+    ) -> BatchOcclusion:
+        """Any-hit traversal of a shadow-ray batch given as SoA arrays.
+
+        With ``want_records`` the per-ray visit/test records are
+        byte-identical to scalar :meth:`BVH.occluded` (including stopping
+        a leaf's triangle record at the first hit).  ``cache`` may only be
+        supplied when records are off: validated predictions skip the
+        traversal walk (identical occlusion answer, different walk).
+        """
+        if cache is not None and want_records:
+            raise ValueError(
+                "the path-prediction cache changes node-visit records; "
+                "enable it only when records are not collected"
+            )
+        n = origins.shape[0]
+        occluded = np.zeros(n, dtype=bool)
+        hit_leaf = np.full(n, -1, dtype=np.int64)
+        nodes_out: list[list[int]] | None = None
+        tris_out: list[list[int]] | None = None
+
+        scalar_mask = np.any(dirs == 0.0, axis=1)
+        if scalar_mask.any():
+            if want_records:
+                nodes_out = [[] for _ in range(n)]
+                tris_out = [[] for _ in range(n)]
+            for i in np.nonzero(scalar_mask)[0]:
+                ray = Ray(
+                    origin=origins[i], direction=dirs[i],
+                    t_min=float(t_min[i]), t_max=float(t_max[i]),
+                )
+                record = TraversalRecord() if want_records else None
+                occluded[i] = self.bvh.occluded(ray, record)
+                if record is not None:
+                    nodes_out[i] = record.nodes_visited  # type: ignore[index]
+                    tris_out[i] = record.tris_tested  # type: ignore[index]
+            pending = np.nonzero(~scalar_mask)[0]
+            full_batch = False
+        else:
+            pending = np.arange(n)
+            full_batch = True
+
+        keys = None
+        if cache is not None and pending.size:
+            keys = cache.keys(origins[pending], dirs[pending])
+            predicted = cache.lookup(keys)
+            candidates = np.nonzero(predicted >= 0)[0]
+            if candidates.size:
+                rows = pending[candidates]
+                confirmed = self._leaf_any_hit(
+                    predicted[candidates],
+                    origins[rows],
+                    dirs[rows],
+                    t_min[rows],
+                    t_max[rows],
+                )
+                hit_rows = rows[confirmed]
+                occluded[hit_rows] = True
+                hit_leaf[hit_rows] = predicted[candidates[confirmed]]
+                cache.hits += int(confirmed.sum())
+                cache.mispredictions += int(candidates.size - confirmed.sum())
+                keep = np.ones(pending.size, dtype=bool)
+                keep[candidates[confirmed]] = False
+                pending = pending[keep]
+                keys = keys[keep]
+                full_batch = False
+
+        if pending.size:
+            occ_p, leaf_p, node_steps, tri_steps = self._traverse_any(
+                origins[pending], dirs[pending], t_min[pending],
+                t_max[pending], want_records,
+            )
+            occluded[pending] = occ_p
+            hit_leaf[pending] = leaf_p
+            if want_records:
+                if full_batch:
+                    nodes_out = _assemble_records(node_steps, n)
+                    tris_out = _assemble_records(tri_steps, n)
+                else:
+                    if nodes_out is None:
+                        nodes_out = [[] for _ in range(n)]
+                        tris_out = [[] for _ in range(n)]
+                    for local, lst in enumerate(
+                        _assemble_records(node_steps, pending.size)
+                    ):
+                        nodes_out[int(pending[local])] = lst
+                    for local, lst in enumerate(
+                        _assemble_records(tri_steps, pending.size)
+                    ):
+                        tris_out[int(pending[local])] = lst
+            if cache is not None and keys is not None:
+                cache.train(keys, occ_p, leaf_p)
+        elif want_records and nodes_out is None:
+            nodes_out = [[] for _ in range(n)]
+            tris_out = [[] for _ in range(n)]
+        return BatchOcclusion(occluded, nodes_out, tris_out, hit_leaf)
+
+    def _traverse_any(self, origins, dirs, t_min, t_max, want_records):
+        """Any-hit packet core (scalar push order: right then left)."""
+        n = origins.shape[0]
+        inv = 1.0 / dirs
+        occluded = np.zeros(n, dtype=bool)
+        hit_leaf = np.full(n, -1, dtype=np.int64)
+        stack = np.empty((n, self._stack_depth), dtype=np.int32)
+        stack[:, 0] = 0
+        sp = np.ones(n, dtype=np.int32)
+        node_steps: list = []
+        tri_steps: list = []
+
+        while True:
+            alive = np.nonzero(sp > 0)[0]
+            if alive.size == 0:
+                break
+            sp[alive] -= 1
+            node = stack[alive, sp[alive]].astype(np.int64)
+            if want_records:
+                node_steps.append((alive, node))
+
+            lo = self.node_lo[node]
+            hi = self.node_hi[node]
+            o = origins[alive]
+            iv = inv[alive]
+            t0 = (lo - o) * iv
+            t1 = (hi - o) * iv
+            near = np.minimum(t0, t1)
+            far = np.maximum(t0, t1)
+            enter = np.maximum(near.max(axis=1), t_min[alive])
+            exit_ = np.minimum(far.min(axis=1), t_max[alive])
+            passed = enter <= exit_
+            count = self.node_count[node]
+
+            interior = np.nonzero(passed & (count == 0))[0]
+            if interior.size:
+                ridx = alive[interior]
+                nd = node[interior]
+                s = sp[ridx]
+                stack[ridx, s] = self.node_right[nd]
+                stack[ridx, s + 1] = self.node_left[nd]
+                sp[ridx] = s + 2
+
+            leaves = np.nonzero(passed & (count > 0))[0]
+            if leaves.size:
+                ridx = alive[leaves]
+                nd = node[leaves]
+                c = count[leaves]
+                slots = np.repeat(self.node_first[nd], c)
+                slots += _segment_local_index(c)
+                tri_idx = self.order[slots]
+                pair_ray = np.repeat(ridx, c)
+                _, valid = self._moller_trumbore_pairs(
+                    tri_idx,
+                    origins[pair_ray],
+                    dirs[pair_ray],
+                    t_min[pair_ray],
+                    t_max[pair_ray],
+                )
+                total = int(c.sum())
+                pair_pos = np.arange(total, dtype=np.int64)
+                starts = np.cumsum(c) - c
+                # First hitting slot per ray; the scalar loop records
+                # triangles up to (and including) it, then returns.
+                first_hit = np.minimum.reduceat(
+                    np.where(valid, pair_pos, total), starts
+                )
+                if want_records:
+                    keep = pair_pos <= np.repeat(first_hit, c)
+                    tri_steps.append((pair_ray[keep], tri_idx[keep]))
+                hits = np.nonzero(first_hit < total)[0]
+                if hits.size:
+                    winners = ridx[hits]
+                    occluded[winners] = True
+                    hit_leaf[winners] = nd[hits]
+                    sp[winners] = 0  # terminate: scalar returns immediately
+        return occluded, hit_leaf, node_steps, tri_steps
+
+    def _leaf_any_hit(self, leaf_nodes, origins, dirs, t_min, t_max):
+        """Any-hit test restricted to given leaf nodes (cache validation)."""
+        c = self.node_count[leaf_nodes]
+        slots = np.repeat(self.node_first[leaf_nodes], c)
+        slots += _segment_local_index(c)
+        tri_idx = self.order[slots]
+        group = np.repeat(np.arange(leaf_nodes.shape[0]), c)
+        _, valid = self._moller_trumbore_pairs(
+            tri_idx, origins[group], dirs[group], t_min[group], t_max[group]
+        )
+        starts = np.cumsum(c) - c
+        return np.maximum.reduceat(valid.astype(np.int8), starts) > 0
+
+
+class PathPredictionCache:
+    """Hash-based ray path prediction for any-hit queries.
+
+    Quantizes ray origin (relative to the scene's root bounds) and
+    direction into an integer key, and remembers the leaf that occluded
+    the last matching ray.  Predictions are always *validated* with a
+    direct leaf test before being trusted, so a stale or colliding entry
+    costs one extra leaf test and never a wrong answer.
+    """
+
+    def __init__(
+        self,
+        packed: PackedBVH,
+        origin_cells: int = 64,
+        direction_cells: int = 32,
+        max_entries: int = 1 << 18,
+    ) -> None:
+        self.packed = packed
+        self.origin_cells = origin_cells
+        self.direction_cells = direction_cells
+        self.max_entries = max_entries
+        root_lo = packed.node_lo[0]
+        root_hi = packed.node_hi[0]
+        extent = np.maximum(root_hi - root_lo, 1e-9)
+        self._lo = root_lo
+        self._inv_extent = 1.0 / extent
+        self.table: dict[int, int] = {}
+        self.lookups = 0
+        self.hits = 0
+        self.mispredictions = 0
+
+    def keys(self, origins: np.ndarray, dirs: np.ndarray) -> np.ndarray:
+        """Quantized int64 keys for a batch of rays."""
+        oc = self.origin_cells
+        dc = self.direction_cells
+        cell = ((origins - self._lo) * self._inv_extent * oc).astype(np.int64)
+        np.clip(cell, 0, oc - 1, out=cell)
+        dq = ((dirs + 1.0) * 0.5 * dc).astype(np.int64)
+        np.clip(dq, 0, dc - 1, out=dq)
+        key = cell[:, 0]
+        key = key * oc + cell[:, 1]
+        key = key * oc + cell[:, 2]
+        key = key * dc + dq[:, 0]
+        key = key * dc + dq[:, 1]
+        key = key * dc + dq[:, 2]
+        return key
+
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Predicted leaf per key (-1 for cold entries)."""
+        table = self.table
+        self.lookups += keys.shape[0]
+        return np.array(
+            [table.get(k, -1) for k in keys.tolist()], dtype=np.int64
+        )
+
+    def train(
+        self, keys: np.ndarray, occluded: np.ndarray, hit_leaf: np.ndarray
+    ) -> None:
+        """Learn from full-traversal outcomes (and unlearn dead entries)."""
+        if len(self.table) >= self.max_entries:
+            self.table.clear()
+        table = self.table
+        for key, occ, leaf in zip(
+            keys.tolist(), occluded.tolist(), hit_leaf.tolist()
+        ):
+            if occ:
+                table[key] = leaf
+            else:
+                table.pop(key, None)
+
+    @property
+    def hit_rate(self) -> float:
+        """Validated-hit fraction of all lookups."""
+        return self.hits / self.lookups if self.lookups else 0.0

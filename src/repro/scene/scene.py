@@ -91,6 +91,19 @@ class Scene:
         self.max_bounces = max_bounces
         self.bvh: BVH = build_bvh(triangles, method=bvh_method)
         self.addresses = AddressMap()
+        self._packed_bvh = None
+
+    @property
+    def packed_bvh(self):
+        """SoA view of the BVH for the packet backend (built lazily).
+
+        Imported lazily so scalar-only users never pay the array build.
+        """
+        if self._packed_bvh is None:
+            from .bvh_packet import PackedBVH
+
+            self._packed_bvh = PackedBVH(self.bvh)
+        return self._packed_bvh
 
     @property
     def triangles(self) -> list[Triangle]:

@@ -47,6 +47,8 @@ def save_frame(frame: FrameTrace, path: str | Path) -> Path:
             "spp": frame.samples_per_pixel,
             "scene": frame.scene_name,
             "pixels": len(frame.pixels),
+            # Provenance only; older readers ignore unknown header keys.
+            "backend": getattr(frame, "backend", "scalar"),
         }
     ).encode()
 
@@ -115,6 +117,8 @@ def load_frame(path: str | Path) -> FrameTrace:
         height=header["height"],
         samples_per_pixel=header["spp"],
         scene_name=header["scene"],
+        # Files written before the key existed were all scalar-traced.
+        backend=header.get("backend", "scalar"),
     )
     cursor = 0
     try:

@@ -113,6 +113,10 @@ class FrameTrace:
     samples_per_pixel: int
     scene_name: str
     pixels: dict[tuple[int, int], PixelTrace] = field(default_factory=dict)
+    #: Which tracer produced this trace ("scalar" or "packet").  Provenance
+    #: only — both backends emit byte-identical traces, so it is excluded
+    #: from equality.
+    backend: str = field(default="scalar", compare=False)
 
     def get(self, px: int, py: int) -> PixelTrace:
         """Trace of pixel ``(px, py)``; raises ``KeyError`` if not traced."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -52,19 +53,37 @@ class RenderSettings:
     height: int = 64
     samples_per_pixel: int = 1
     seed: int = 0
+    #: Which traversal implementation traces this frame: ``"packet"``
+    #: (batched wavefront kernels) or ``"scalar"`` (one ray at a time).
+    #: Both produce byte-identical traces; this only selects execution
+    #: strategy.
+    tracing_backend: str = "packet"
 
     def __post_init__(self) -> None:
         if self.width <= 0 or self.height <= 0:
             raise ValueError("image dimensions must be positive")
         if self.samples_per_pixel <= 0:
             raise ValueError("samples_per_pixel must be positive")
+        if self.tracing_backend not in ("scalar", "packet"):
+            raise ValueError(
+                f"unknown tracing backend: {self.tracing_backend!r} "
+                "(expected 'scalar' or 'packet')"
+            )
 
     def pixel_count(self) -> int:
         return self.width * self.height
 
-    def all_pixels(self) -> list[tuple[int, int]]:
-        """All plane coordinates in row-major order."""
-        return [(x, y) for y in range(self.height) for x in range(self.width)]
+    @cached_property
+    def _pixel_tuple(self) -> tuple[tuple[int, int], ...]:
+        # cached_property stores into the instance __dict__, which is legal
+        # on a frozen dataclass and keeps eq/hash (field-based) unaffected.
+        return tuple(
+            (x, y) for y in range(self.height) for x in range(self.width)
+        )
+
+    def all_pixels(self) -> tuple[tuple[int, int], ...]:
+        """All plane coordinates in row-major order (cached, immutable)."""
+        return self._pixel_tuple
 
 
 def _sky_color(direction: np.ndarray) -> np.ndarray:
@@ -207,8 +226,15 @@ class FunctionalTracer:
 
         Returns a :class:`FrameTrace`; radiance values are discarded here —
         use :meth:`render_image` when colours are wanted.
+
+        With ``settings.tracing_backend == "packet"`` the work is delegated
+        to the wavefront driver, which produces a byte-identical trace.
         """
         settings = self.settings
+        if settings.tracing_backend == "packet":
+            from .wavefront import WavefrontTracer
+
+            return WavefrontTracer(self.scene, settings).trace_frame(pixels)
         frame = FrameTrace(
             width=settings.width,
             height=settings.height,
@@ -223,6 +249,10 @@ class FunctionalTracer:
     def render_image(self) -> np.ndarray:
         """Render the full plane to an ``(H, W, 3)`` float RGB image."""
         settings = self.settings
+        if settings.tracing_backend == "packet":
+            from .wavefront import WavefrontTracer
+
+            return WavefrontTracer(self.scene, settings).render_image()
         image = np.zeros((settings.height, settings.width, 3), dtype=np.float64)
         for px, py in settings.all_pixels():
             _, color = self.trace_pixel(px, py)

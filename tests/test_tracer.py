@@ -91,10 +91,17 @@ class TestRenderSettings:
 
     def test_all_pixels_row_major(self):
         settings = RenderSettings(width=3, height=2)
-        assert settings.all_pixels() == [
+        assert list(settings.all_pixels()) == [
             (0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1),
         ]
         assert settings.pixel_count() == 6
+
+    def test_all_pixels_cached(self):
+        settings = RenderSettings(width=3, height=2)
+        # The plane is immutable and cached: repeated calls return the
+        # same tuple instead of materializing a fresh list.
+        assert settings.all_pixels() is settings.all_pixels()
+        assert isinstance(settings.all_pixels(), tuple)
 
 
 class TestFunctionalTracer:
