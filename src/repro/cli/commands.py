@@ -240,7 +240,10 @@ def _print_predict_json(args, workload, gpu, runner, result) -> int:
 
 
 def cmd_trace(args) -> int:
-    """Export a scene's functional frame trace as a .ztrace file."""
+    """Export a frame trace (.ztrace), or with ``--timeline`` a telemetry
+    timeline trace (.zperf)."""
+    if getattr(args, "timeline", False):
+        return _cmd_trace_timeline(args)
     from ..tracer import save_frame
 
     workload = _workload(args)
@@ -256,6 +259,48 @@ def cmd_trace(args) -> int:
         f"wrote {out} ({size_kb:.0f} KB, {len(frame.pixels)} pixels, "
         f"{sum(t.total_nodes() for t in frame.pixels.values())} node visits)"
     )
+    return 0
+
+
+def _cmd_trace_timeline(args) -> int:
+    """``trace --timeline``: simulate with the telemetry bus on and write
+    a ``.zperf`` JSON-lines file, then render the timeline to the
+    terminal."""
+    from ..gpu.telemetry import export_zperf
+    from ..viz.timeline import render_interval_activity, render_timeline
+
+    workload = _workload(args)
+    if args.interval <= 0:
+        raise ValueError("--interval must be a positive cycle count")
+    gpu = resolve_gpu(args.gpu)
+    runner = shared_runner()
+    stats = runner.telemetry_sim(workload, gpu, interval=args.interval)
+    record = stats.telemetry
+    out = Path(
+        args.out
+        or f"{workload.scene_name.lower()}_{args.size}x{args.size}.zperf"
+    )
+    export_zperf(
+        out,
+        stats,
+        meta={
+            "scene": workload.scene_name,
+            "width": workload.width,
+            "height": workload.height,
+            "spp": workload.samples_per_pixel,
+            "seed": workload.seed,
+        },
+    )
+    size_kb = out.stat().st_size / 1024
+    print(
+        f"wrote {out} ({size_kb:.0f} KB, {len(record.snapshots)} interval "
+        f"snapshots @ {record.interval} cycles, "
+        f"{len(record.events)} timeline events)"
+    )
+    print()
+    print(render_timeline(record.events, stats.cycles))
+    print()
+    print(render_interval_activity(record.deltas()))
     return 0
 
 

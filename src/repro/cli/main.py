@@ -12,7 +12,9 @@ Subcommands cover the workflows a downstream user runs most:
 ``predict``    run the Zatel pipeline (optionally validating against a
                full simulation)
 ``sweep``      the accuracy/speedup trade-off sweep of §IV-D
-``trace``      export a frame trace as a portable ``.ztrace`` file
+``trace``      export a frame trace as a portable ``.ztrace`` file, or —
+               with ``--timeline`` — run the simulator with telemetry on
+               and export a ``.zperf`` timeline trace
 ``inspect``    summarize a ``.ztrace`` file
 =============  ==========================================================
 
@@ -171,10 +173,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(func=cmd_sweep)
 
     trace = subparsers.add_parser(
-        "trace", help="export a frame trace (.ztrace)"
+        "trace",
+        help=(
+            "export a frame trace (.ztrace), or with --timeline a "
+            "telemetry timeline trace (.zperf)"
+        ),
     )
     add_workload_args(trace)
-    trace.add_argument("--out", default=None, help="output .ztrace path")
+    trace.add_argument("--out", default=None,
+                       help="output .ztrace/.zperf path")
+    trace.add_argument(
+        "--timeline", action="store_true",
+        help=(
+            "run the cycle simulator with the telemetry bus enabled and "
+            "export a .zperf timeline trace (JSON lines: interval "
+            "snapshots, contention windows, summary) instead of a .ztrace"
+        ),
+    )
+    trace.add_argument(
+        "--gpu", default="mobile",
+        help="GPU preset or INI path for --timeline (default mobile)",
+    )
+    trace.add_argument(
+        "--interval", type=int, default=1024, metavar="CYCLES",
+        help=(
+            "cycles between telemetry interval snapshots for --timeline "
+            "(default 1024)"
+        ),
+    )
     trace.set_defaults(func=cmd_trace)
 
     inspect = subparsers.add_parser(

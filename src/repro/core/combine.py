@@ -4,27 +4,20 @@ Section III-H's rules: the groups' GPUs conceptually run *in parallel*, so
 throughput metrics add (the paper's example: group IPCs of 20 and 50 sum to
 70), while encapsulated metrics — cache miss rates, efficiencies, and the
 simulation cycle count each group independently estimates — average.
+
+Both combiners are thin wrappers over the telemetry metric registry's
+generic semantics-aware aggregator
+(:func:`~repro.gpu.telemetry.aggregate_metrics`): each metric's
+sum-vs-average behaviour is declared once on its
+:class:`~repro.gpu.telemetry.MetricSpec`, not re-encoded here.
 """
 
 from __future__ import annotations
 
 from ..errors import DegradedResultError
-from ..gpu.stats import EXTENDED_METRICS, METRICS, MetricKind
+from ..gpu.telemetry import aggregate_metrics
 
 __all__ = ["combine_group_metrics", "combine_degraded_metrics"]
-
-
-def _combinable_names(group_metrics: list[dict[str, float]]) -> list[str]:
-    """Metric names present in *every* group, in canonical order.
-
-    Table I metrics are always there; extended metrics combine only when
-    all groups carry them (tolerating callers that build Table-I-only
-    dicts)."""
-    return [
-        name
-        for name in METRICS + EXTENDED_METRICS
-        if all(name in metrics for metrics in group_metrics)
-    ]
 
 
 def combine_group_metrics(group_metrics: list[dict[str, float]]) -> dict[str, float]:
@@ -32,22 +25,15 @@ def combine_group_metrics(group_metrics: list[dict[str, float]]) -> dict[str, fl
 
     ``THROUGHPUT`` metrics sum; everything else averages.  With
     fine-grained division each group homogeneously samples the scene, which
-    is what justifies both rules.
+    is what justifies both rules.  Extended metrics combine only when all
+    groups carry them (tolerating callers that build Table-I-only dicts).
 
     Raises:
         ValueError: for an empty group list.
     """
     if not group_metrics:
         raise ValueError("cannot combine zero groups")
-    combined: dict[str, float] = {}
-    k = len(group_metrics)
-    for name in _combinable_names(group_metrics):
-        values = [metrics[name] for metrics in group_metrics]
-        if MetricKind.BY_METRIC[name] == MetricKind.THROUGHPUT:
-            combined[name] = sum(values)
-        else:
-            combined[name] = sum(values) / k
-    return combined
+    return aggregate_metrics(group_metrics)
 
 
 def combine_degraded_metrics(
@@ -75,12 +61,4 @@ def combine_degraded_metrics(
         )
     if not 0.0 < coverage <= 1.0:
         raise ValueError(f"coverage must be in (0, 1], got {coverage}")
-    survivors = len(group_metrics)
-    combined: dict[str, float] = {}
-    for name in _combinable_names(group_metrics):
-        values = [metrics[name] for metrics in group_metrics]
-        if MetricKind.BY_METRIC[name] == MetricKind.THROUGHPUT:
-            combined[name] = sum(values) / coverage
-        else:
-            combined[name] = sum(values) / survivors
-    return combined
+    return aggregate_metrics(group_metrics, throughput_divisor=coverage)

@@ -19,7 +19,8 @@ import warnings
 import numpy as np
 from scipy.optimize import OptimizeWarning, curve_fit
 
-from ..gpu.stats import EXTENDED_METRICS, METRICS, MetricKind, SimulationStats
+from ..gpu.stats import EXTENDED_METRICS, METRICS, SimulationStats
+from ..gpu.telemetry import KIND_ABSOLUTE, METRIC_REGISTRY
 
 __all__ = [
     "linear_extrapolate",
@@ -45,7 +46,7 @@ def linear_extrapolate(stats: SimulationStats, fraction: float) -> dict[str, flo
     predicted: dict[str, float] = {}
     for name in METRICS + EXTENDED_METRICS:
         value = stats.metric(name)
-        if MetricKind.BY_METRIC[name] == MetricKind.ABSOLUTE:
+        if METRIC_REGISTRY[name].kind == KIND_ABSOLUTE:
             value = value / fraction
         predicted[name] = value
     return predicted

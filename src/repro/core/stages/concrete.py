@@ -184,7 +184,8 @@ class SimulateGroupStage(Stage):
 
     name = "simulate_groups"
     # v2: group stats now carry tracing-backend provenance.
-    code_version = "2"
+    # v3: stats carry a telemetry field (interval snapshots + timelines).
+    code_version = "3"
     cacheable = True
 
     def __init__(self, predictor) -> None:
@@ -234,7 +235,10 @@ class CombineStage(Stage):
     """
 
     name = "combine"
-    code_version = "1"
+    # v2: combination goes through the telemetry metric registry's
+    # semantics-aware aggregator (arithmetic unchanged; bumped so cached
+    # artifacts never alias across the refactor).
+    code_version = "2"
 
     def __init__(self, quorum: int | None = None) -> None:
         self.quorum = quorum
@@ -290,7 +294,8 @@ class SamplingSimulateStage(Stage):
     """
 
     name = "sampling_simulate"
-    code_version = "1"
+    # v2: stats carry a telemetry field (interval snapshots + timelines).
+    code_version = "2"
     cacheable = True
 
     def __init__(

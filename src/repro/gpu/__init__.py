@@ -8,9 +8,32 @@ from .frontend import compile_kernel
 from .interconnect import Interconnect
 from .memory import MemorySubsystem
 from .rt_unit import RTStats, RTUnit
-from .simulator import CycleSimulator
-from .sm import SM
-from .stats import EXTENDED_METRICS, METRIC_DESCRIPTIONS, METRICS, MetricKind, SimulationStats
+from .simulator import CoreStats, CycleSimulator
+from .sm import SM, SMStats
+from .stats import (
+    EXTENDED_METRICS,
+    METRIC_DESCRIPTIONS,
+    METRICS,
+    MetricKind,
+    SimulationStats,
+    merge_simulation_stats,
+)
+from .telemetry import (
+    METRIC_REGISTRY,
+    METRIC_SPECS,
+    Counter,
+    Histogram,
+    IntervalSnapshot,
+    MetricSpec,
+    RatioGauge,
+    StatGroup,
+    TelemetryBus,
+    TelemetryRecord,
+    TimelineEvent,
+    aggregate_metrics,
+    export_zperf,
+    load_zperf,
+)
 from .warp import ComputeOp, StoreOp, TraceOp, WarpState, WarpTask
 
 __all__ = [
@@ -18,30 +41,47 @@ __all__ = [
     "CacheConfig",
     "CacheStats",
     "ComputeOp",
+    "CoreStats",
+    "Counter",
     "CycleSimulator",
     "DRAMChannel",
     "DRAMStats",
     "GPUConfig",
+    "Histogram",
     "Interconnect",
+    "IntervalSnapshot",
     "MOBILE_SOC",
     "MSHRTable",
     "EXTENDED_METRICS",
     "METRICS",
     "METRIC_DESCRIPTIONS",
+    "METRIC_REGISTRY",
+    "METRIC_SPECS",
     "MemorySubsystem",
     "MetricKind",
+    "MetricSpec",
     "RTStats",
     "RTUnit",
     "RTX_2060",
+    "RatioGauge",
     "SM",
+    "SMStats",
     "SimulationStats",
+    "StatGroup",
     "StoreOp",
+    "TelemetryBus",
+    "TelemetryRecord",
+    "TimelineEvent",
     "TraceOp",
     "WarpState",
     "WarpTask",
+    "aggregate_metrics",
     "compile_kernel",
+    "export_zperf",
     "line_of",
     "load_config",
+    "load_zperf",
+    "merge_simulation_stats",
     "preset",
     "resolve_gpu",
     "save_config",

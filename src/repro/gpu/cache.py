@@ -8,9 +8,9 @@ carry no data.  Addresses are pre-aligned to line granularity by the caller
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
 
 from .config import CacheConfig
+from .telemetry import Counter, RatioGauge, StatGroup
 
 __all__ = ["CacheStats", "Cache", "MSHRTable", "line_of"]
 
@@ -20,28 +20,18 @@ def line_of(addr: int, line_bytes: int) -> int:
     return addr - (addr % line_bytes)
 
 
-@dataclass
-class CacheStats:
+class CacheStats(StatGroup):
     """Hit/miss counters for one cache instance."""
 
-    accesses: int = 0
-    misses: int = 0
+    accesses = Counter("tag lookups (hit or miss)")
+    misses = Counter("lookups that filled a new line")
+    miss_rate = RatioGauge(
+        "misses", "accesses", "miss rate in [0, 1]; 0 for an untouched cache"
+    )
 
     @property
     def hits(self) -> int:
         return self.accesses - self.misses
-
-    @property
-    def miss_rate(self) -> float:
-        """Miss rate in [0, 1]; 0 for an untouched cache."""
-        if self.accesses == 0:
-            return 0.0
-        return self.misses / self.accesses
-
-    def merge(self, other: "CacheStats") -> None:
-        """Accumulate another instance's counters into this one."""
-        self.accesses += other.accesses
-        self.misses += other.misses
 
 
 class Cache:

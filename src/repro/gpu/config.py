@@ -128,10 +128,19 @@ class GPUConfig:
     icache: CacheConfig = field(
         default_factory=lambda: CacheConfig(128 * 1024, 128, 16, 20)
     )
+    # --- telemetry (observability only: never affects any metric) ---
+    #: Cycles between telemetry-bus interval snapshots; 0 disables
+    #: snapshotting.
+    telemetry_interval: int = 0
+    #: Record component timeline windows (issue stalls, RT occupancy, L2
+    #: bank and DRAM channel contention) for ``.zperf`` export.
+    timeline_trace: bool = False
 
     def __post_init__(self) -> None:
         if self.num_sms <= 0 or self.num_mem_partitions <= 0:
             raise ValueError("SM and memory partition counts must be positive")
+        if self.telemetry_interval < 0:
+            raise ValueError("telemetry_interval must be >= 0")
         if self.warp_size <= 0 or self.max_warps_per_sm <= 0:
             raise ValueError("warp parameters must be positive")
         if self.warp_scheduler not in ("gto", "lrr"):

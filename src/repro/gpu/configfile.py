@@ -48,7 +48,13 @@ _GPU_FIELDS = (
     "issue_width",
     "alu_latency",
     "warp_scheduler",
+    "telemetry_interval",
+    "timeline_trace",
 )
+
+#: ``[gpu]`` keys parsed as strings / booleans (everything else is int).
+_STR_FIELDS = ("name", "warp_scheduler")
+_BOOL_FIELDS = ("timeline_trace",)
 
 #: Cache-valued fields, each serialized as its own section.
 _CACHE_FIELDS = ("l1d", "l2_slice", "icache")
@@ -70,6 +76,21 @@ def _parse_int(path: Path, section: str, key: str, raw: str) -> int:
             f"{path}: [{section}] key {key!r} must be an integer, "
             f"got {raw!r}"
         ) from None
+
+
+def _parse_bool(path: Path, section: str, key: str, raw: str) -> bool:
+    """INI-style boolean parse (``bool("False")`` would be True, and the
+    stage-graph fingerprint distinguishes bool from int tokens, so the
+    value must round-trip as a real bool)."""
+    lowered = raw.strip().lower()
+    if lowered in ("true", "yes", "on", "1"):
+        return True
+    if lowered in ("false", "no", "off", "0"):
+        return False
+    raise ValueError(
+        f"{path}: [{section}] key {key!r} must be a boolean "
+        f"(true/false), got {raw!r}"
+    )
 
 
 def save_config(config: GPUConfig, path: str | Path) -> Path:
@@ -132,11 +153,12 @@ def load_config(path: str | Path) -> GPUConfig:
     for key, raw in parser["gpu"].items():
         if key not in _GPU_FIELDS:
             raise ValueError(f"{path}: unknown [gpu] key {key!r}")
-        kwargs[key] = (
-            raw
-            if key in ("name", "warp_scheduler")
-            else _parse_int(path, "gpu", key, raw)
-        )
+        if key in _STR_FIELDS:
+            kwargs[key] = raw
+        elif key in _BOOL_FIELDS:
+            kwargs[key] = _parse_bool(path, "gpu", key, raw)
+        else:
+            kwargs[key] = _parse_int(path, "gpu", key, raw)
 
     for section in _CACHE_FIELDS:
         if section not in parser:

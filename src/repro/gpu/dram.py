@@ -13,23 +13,17 @@ latency.  Queueing time is implicit in the ``busy_until`` timeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from .telemetry import Counter, CycleCounter, NULL_BUS, StatGroup, TelemetryBus
 
 __all__ = ["DRAMChannel", "DRAMStats"]
 
 
-@dataclass
-class DRAMStats:
+class DRAMStats(StatGroup):
     """Aggregated counters over one or more channels."""
 
-    requests: int = 0
-    data_cycles: float = 0.0
-    pending_cycles: float = 0.0
-
-    def merge(self, other: "DRAMStats") -> None:
-        self.requests += other.requests
-        self.data_cycles += other.data_cycles
-        self.pending_cycles += other.pending_cycles
+    requests = Counter("line fetches serviced")
+    data_cycles = CycleCounter("cycles the data bus actively transferred")
+    pending_cycles = CycleCounter("cycles with at least one request outstanding")
 
     def efficiency(self) -> float:
         """Data cycles over cycles with work outstanding (<= 1)."""
@@ -47,7 +41,13 @@ class DRAMStats:
 class DRAMChannel:
     """One DRAM channel behind an L2 slice."""
 
-    def __init__(self, access_latency: int, service_cycles: float) -> None:
+    def __init__(
+        self,
+        access_latency: int,
+        service_cycles: float,
+        bus: TelemetryBus = NULL_BUS,
+        component: str = "dram",
+    ) -> None:
         if service_cycles <= 0:
             raise ValueError("service_cycles must be positive")
         self.access_latency = access_latency
@@ -56,7 +56,9 @@ class DRAMChannel:
         # Union-of-intervals accounting for "cycles with pending requests".
         self._pending_start = 0.0
         self._pending_end = -1.0  # empty interval sentinel
-        self.stats = DRAMStats()
+        self._bus = bus
+        self.component = component
+        self.stats = bus.register(component, DRAMStats())
 
     def request(self, cycle: float) -> float:
         """Issue a line fetch arriving at ``cycle``; returns completion cycle.
@@ -67,6 +69,8 @@ class DRAMChannel:
         """
         arrival = cycle + self.access_latency
         start = max(arrival, self._busy_until)
+        if start > arrival:
+            self._bus.window(self.component, "queue_contention", arrival, start)
         completion = start + self.service_cycles
         self._busy_until = completion
         self.stats.requests += 1

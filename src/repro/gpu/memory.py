@@ -12,6 +12,7 @@ from .cache import Cache, CacheStats
 from .config import GPUConfig
 from .dram import DRAMChannel, DRAMStats
 from .interconnect import Interconnect
+from .telemetry import NULL_BUS, TelemetryBus
 
 __all__ = ["MemorySubsystem"]
 
@@ -19,20 +20,25 @@ __all__ = ["MemorySubsystem"]
 class MemorySubsystem:
     """L2 + DRAM shared across SMs, reached through the interconnect."""
 
-    def __init__(self, config: GPUConfig) -> None:
+    def __init__(self, config: GPUConfig, bus: TelemetryBus = NULL_BUS) -> None:
         self.config = config
+        self._bus = bus
         n = config.num_mem_partitions
         self.interconnect = Interconnect(
             n, config.interconnect_latency, config.l2_slice.line_bytes
         )
         self.l2_slices = [Cache(config.l2_slice, name=f"l2[{i}]") for i in range(n)]
+        for i, slice_ in enumerate(self.l2_slices):
+            bus.register(f"l2.{i}", slice_.stats)
         self._l2_busy = [0.0] * n
         self.dram_channels = [
             DRAMChannel(
                 access_latency=config.dram_latency,
                 service_cycles=config.dram_service_cycles_per_line,
+                bus=bus,
+                component=f"dram.{i}",
             )
-            for _ in range(n)
+            for i in range(n)
         ]
 
     def access(self, line_addr: int, cycle: float) -> float:
@@ -43,6 +49,10 @@ class MemorySubsystem:
         """
         partition, arrival = self.interconnect.deliver(line_addr, cycle)
         start = max(arrival, self._l2_busy[partition])
+        if start > arrival:
+            self._bus.window(
+                f"l2.{partition}", "bank_contention", arrival, start
+            )
         self._l2_busy[partition] = start + self.config.l2_service_cycles
         slice_ = self.l2_slices[partition]
         hit = slice_.access(line_addr)
@@ -62,6 +72,10 @@ class MemorySubsystem:
         """A fire-and-forget write (framebuffer): touches the L2 slice only."""
         partition, arrival = self.interconnect.deliver(line_addr, cycle)
         start = max(arrival, self._l2_busy[partition])
+        if start > arrival:
+            self._bus.window(
+                f"l2.{partition}", "bank_contention", arrival, start
+            )
         self._l2_busy[partition] = start + self.config.l2_service_cycles
         self.l2_slices[partition].access(line_addr)
 
@@ -72,14 +86,10 @@ class MemorySubsystem:
 
     def l2_stats(self) -> CacheStats:
         """Aggregated hit/miss counters over every slice."""
-        total = CacheStats()
-        for slice_ in self.l2_slices:
-            total.merge(slice_.stats)
-        return total
+        return CacheStats.merged(slice_.stats for slice_ in self.l2_slices)
 
     def dram_stats(self) -> DRAMStats:
         """Aggregated DRAM counters over every channel."""
-        total = DRAMStats()
-        for channel in self.dram_channels:
-            total.merge(channel.stats)
-        return total
+        return DRAMStats.merged(
+            channel.stats for channel in self.dram_channels
+        )

@@ -24,31 +24,27 @@ Two properties of this model carry the paper's story:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
+from .telemetry import Counter, Histogram, NULL_BUS, StatGroup, TelemetryBus
 from .warp import TraceOp
 
 __all__ = ["RTUnit", "RTStats", "TraversalJob"]
 
+#: Histogram buckets for per-step live-lane counts: 0..32 lanes inclusive.
+ACTIVE_LANE_BUCKETS = 33
 
-@dataclass
-class RTStats:
+
+class RTStats(StatGroup):
     """Counters for Table I's RT-unit metrics."""
 
-    warps_processed: int = 0
-    traversal_steps: int = 0
-    active_ray_steps: int = 0  # sum over steps of live-lane count
-    node_fetches: int = 0
-    tri_fetches: int = 0
-    prefetches_issued: int = 0
-
-    def merge(self, other: "RTStats") -> None:
-        self.warps_processed += other.warps_processed
-        self.traversal_steps += other.traversal_steps
-        self.active_ray_steps += other.active_ray_steps
-        self.node_fetches += other.node_fetches
-        self.tri_fetches += other.tri_fetches
-        self.prefetches_issued += other.prefetches_issued
+    warps_processed = Counter("traversal jobs started")
+    traversal_steps = Counter("lock-step node steps executed")
+    active_ray_steps = Counter("sum over steps of live-lane count")
+    node_fetches = Counter("distinct node cache lines fetched")
+    tri_fetches = Counter("distinct triangle cache lines fetched")
+    prefetches_issued = Counter("treelet prefetches sent to memory")
+    active_lane_hist = Histogram(
+        ACTIVE_LANE_BUCKETS, "node steps by live-lane count (bucket = lanes)"
+    )
 
     def average_efficiency(self) -> float:
         """Average active rays per warp per traversal step."""
@@ -65,7 +61,14 @@ class RTUnit:
     simulator releases the slot and wakes the queue head.
     """
 
-    def __init__(self, sm, max_warps: int, step_cycles: int) -> None:
+    def __init__(
+        self,
+        sm,
+        max_warps: int,
+        step_cycles: int,
+        bus: TelemetryBus = NULL_BUS,
+        component: str = "rt",
+    ) -> None:
         self._sm = sm  # back-reference for the L1/L2 access path
         self.max_warps = max_warps
         self.free_slots = max_warps
@@ -73,7 +76,9 @@ class RTUnit:
         #: simulator's event loop).
         self.waiters: list = []
         self.step_cycles = step_cycles
-        self.stats = RTStats()
+        self._bus = bus
+        self.component = component
+        self.stats = bus.register(component, RTStats())
 
     def try_acquire_slot(self) -> bool:
         """Claim a slot if one is free."""
@@ -152,6 +157,9 @@ class TraversalJob:
                     ray_lines.append((ray, addr - (addr % line_bytes)))
             unit.stats.traversal_steps += 1
             unit.stats.active_ray_steps += active
+            unit.stats.active_lane_hist[
+                min(active, ACTIVE_LANE_BUCKETS - 1)
+            ] += 1
         else:
             step = self._step - self._node_steps
             for ray, tris in enumerate(self._tri_lists):
@@ -196,4 +204,6 @@ class TraversalJob:
                 stall = extra
         self._step += 1
         self.done = self._step >= self._node_steps + self._tri_steps
-        return cycle + unit.step_cycles + stall
+        completion = cycle + unit.step_cycles + stall
+        unit._bus.window(unit.component, "rt_busy", cycle, completion)
+        return completion

@@ -25,9 +25,21 @@ from .memory import MemorySubsystem
 from .rt_unit import RTStats
 from .sm import SM
 from .stats import SimulationStats
+from .telemetry import Counter, CycleCounter, StatGroup, TelemetryBus
 from .warp import ComputeOp, StoreOp, TraceOp, WarpState, WarpTask
 
-__all__ = ["CycleSimulator"]
+__all__ = ["CycleSimulator", "CoreStats"]
+
+
+class CoreStats(StatGroup):
+    """Whole-GPU event-loop counters (the bus's ``core`` component)."""
+
+    instructions = Counter("thread-instructions executed")
+    issued_warp_instructions = Counter("warp-instruction issue slots used")
+    ops_executed = Counter("warp ops completed (work proxy)")
+    warp_resident_cycles = CycleCounter(
+        "integral of resident warps over time"
+    )
 
 
 class CycleSimulator:
@@ -43,11 +55,19 @@ class CycleSimulator:
         A fresh memory subsystem and SM array are created per run, so
         repeated calls are independent — this is what makes Zatel's
         per-group instances cold-share nothing (the L2 bias of §III-G).
+        A fresh telemetry bus is created per run too: components register
+        their stat groups at construction and the event loop drives the
+        interval-snapshot clock.
         """
         start_time = time.perf_counter()
         config = self.config
-        memory = MemorySubsystem(config)
-        sms = [SM(i, config, memory) for i in range(config.num_sms)]
+        bus = TelemetryBus(
+            interval=config.telemetry_interval,
+            timeline=config.timeline_trace,
+        )
+        memory = MemorySubsystem(config, bus)
+        sms = [SM(i, config, memory, bus) for i in range(config.num_sms)]
+        core = bus.register("core", CoreStats())
 
         # Distribute warps round-robin across SMs (block scheduler).
         queues: list[deque[WarpTask]] = [deque() for _ in sms]
@@ -85,11 +105,13 @@ class CycleSimulator:
                 activate(sm_index, 0.0)
 
         stats = SimulationStats(config_name=config.name)
-        ops_executed = 0
         max_completion = 0.0
 
         while heap:
             ready, _, _, state = heapq.heappop(heap)
+            # Heap pops are nondecreasing in cycle, so boundary crossings
+            # checked here capture all work completed before the boundary.
+            bus.advance(ready)
             sm = sms[state.sm_index]
             op = state.next_op()
             if lrr:
@@ -109,11 +131,12 @@ class CycleSimulator:
                         ready = sm.reserve_issue(ready, 1) + 1
                         state.trace_issued = True
                         state.rt_unit = sm.pick_rt_unit()
-                        stats.instructions += op.instruction_count()
-                        stats.issued_warp_instructions += 1
-                        ops_executed += 1
+                        core.instructions += op.instruction_count()
+                        core.issued_warp_instructions += 1
+                        core.ops_executed += 1
                     unit = state.rt_unit
                     if not unit.try_acquire_slot():
+                        state.parked_cycle = ready
                         unit.waiters.append(state)  # parked; woken on release
                         continue
                     job = sm.make_trace_job(unit, op, self.address_map)
@@ -124,7 +147,12 @@ class CycleSimulator:
                     # Degenerate zero-step traversal: free the slot now.
                     unit.release_slot()
                     if unit.waiters:
-                        push(unit.waiters.pop(0), ready)
+                        woken = unit.waiters.pop(0)
+                        bus.window(
+                            unit.component, "rt_wait",
+                            woken.parked_cycle, ready,
+                        )
+                        push(woken, ready)
                     completion = ready
                     state.trace_issued = False
                     state.rt_unit = None
@@ -140,17 +168,22 @@ class CycleSimulator:
                     unit.release_slot()
                     # Wake one parked warp; it re-attempts acquisition.
                     if unit.waiters:
-                        push(unit.waiters.pop(0), completion)
+                        woken = unit.waiters.pop(0)
+                        bus.window(
+                            unit.component, "rt_wait",
+                            woken.parked_cycle, completion,
+                        )
+                        push(woken, completion)
             elif isinstance(op, ComputeOp):
                 completion = sm.execute_compute(op, ready, op_slot=state.op_index)
-                stats.instructions += op.instruction_count()
-                stats.issued_warp_instructions += op.issue_cycles()
-                ops_executed += 1
+                core.instructions += op.instruction_count()
+                core.issued_warp_instructions += op.issue_cycles()
+                core.ops_executed += 1
             elif isinstance(op, StoreOp):
                 completion = sm.execute_store(op, ready)
-                stats.instructions += op.instruction_count()
-                stats.issued_warp_instructions += 1 if op.active_lanes() else 0
-                ops_executed += 1
+                core.instructions += op.instruction_count()
+                core.issued_warp_instructions += 1 if op.active_lanes() else 0
+                core.ops_executed += 1
             else:  # pragma: no cover - op types are closed
                 raise TypeError(f"unknown warp op {type(op).__name__}")
             state.op_index += 1
@@ -158,14 +191,18 @@ class CycleSimulator:
             if state.done():
                 if completion > max_completion:
                     max_completion = completion
-                stats.warp_resident_cycles += completion - state.activated_cycle
+                core.warp_resident_cycles += completion - state.activated_cycle
                 # The warp's resources free up: admit the next queued warp.
                 activate(state.sm_index, completion)
             else:
                 push(state, completion)
 
         memory.finalize()
+        bus.finalize(max_completion)
         stats.cycles = max_completion
+        stats.instructions = core.instructions
+        stats.issued_warp_instructions = core.issued_warp_instructions
+        stats.warp_resident_cycles = core.warp_resident_cycles
         stats.warp_size = config.warp_size
         stats.sm_count = config.num_sms
         stats.resident_limit = config.resident_warps_per_sm
@@ -180,10 +217,9 @@ class CycleSimulator:
         stats.l2_accesses = l2.accesses
         stats.l2_misses = l2.misses
 
-        rt_total = RTStats()
-        for sm in sms:
-            for unit in sm.rt_units:
-                rt_total.merge(unit.stats)
+        rt_total = RTStats.merged(
+            unit.stats for sm in sms for unit in sm.rt_units
+        )
         stats.rt_traversal_steps = rt_total.traversal_steps
         stats.rt_active_ray_steps = rt_total.active_ray_steps
 
@@ -194,9 +230,10 @@ class CycleSimulator:
         stats.dram_channels = config.num_mem_partitions
 
         stats.work_units = (
-            ops_executed
+            core.ops_executed
             + sum(sm.mem_accesses for sm in sms)
             + rt_total.traversal_steps
         )
         stats.host_seconds = time.perf_counter() - start_time
+        stats.telemetry = bus.record()
         return stats

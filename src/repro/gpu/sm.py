@@ -21,35 +21,60 @@ from .cache import Cache, MSHRTable, line_of
 from .config import GPUConfig
 from .memory import MemorySubsystem
 from .rt_unit import RTUnit
+from .telemetry import Counter, NULL_BUS, StatGroup, TelemetryBus
 from .warp import ComputeOp, StoreOp, TraceOp
 
-__all__ = ["SM"]
+__all__ = ["SM", "SMStats"]
 
 #: Base address of shader code in the synthetic address space; each warp-op
 #: slot occupies one 16-byte instruction group for icache purposes.
 _SHADER_CODE_BASE = 0xC100_0000
 
 
+class SMStats(StatGroup):
+    """Per-SM work counters (beyond the caches' own groups)."""
+
+    mem_accesses = Counter("memory-system lookups issued (work proxy)")
+
+
 class SM:
     """One streaming multiprocessor."""
 
     def __init__(
-        self, index: int, config: GPUConfig, memory: MemorySubsystem
+        self,
+        index: int,
+        config: GPUConfig,
+        memory: MemorySubsystem,
+        bus: TelemetryBus = NULL_BUS,
     ) -> None:
         self.index = index
         self.config = config
         self.memory = memory
+        self._bus = bus
+        self.component = f"sm{index}"
         self.l1d = Cache(config.l1d, name=f"l1d[{index}]")
         self.icache = Cache(config.icache, name=f"icache[{index}]")
+        bus.register(f"{self.component}.l1d", self.l1d.stats)
+        bus.register(f"{self.component}.icache", self.icache.stats)
         self.mshr = MSHRTable(config.rt_mshr_size)
         self.rt_units = [
-            RTUnit(self, config.rt_max_warps, config.rt_step_cycles)
-            for _ in range(config.rt_units_per_sm)
+            RTUnit(
+                self,
+                config.rt_max_warps,
+                config.rt_step_cycles,
+                bus=bus,
+                component=f"{self.component}.rt{u}",
+            )
+            for u in range(config.rt_units_per_sm)
         ]
         self._next_issue_free = 0.0
         self._next_rt_unit = 0
-        #: Count of memory-system lookups issued by this SM (work proxy).
-        self.mem_accesses = 0
+        self.stats = bus.register(self.component, SMStats())
+
+    @property
+    def mem_accesses(self) -> int:
+        """Count of memory-system lookups issued by this SM (work proxy)."""
+        return self.stats.mem_accesses
 
     # ------------------------------------------------------------------
     # instruction fetch
@@ -74,6 +99,8 @@ class SM:
     def reserve_issue(self, cycle: float, issue_cycles: int) -> float:
         """Reserve the issue port for ``issue_cycles``; returns grant cycle."""
         grant = max(cycle, self._next_issue_free)
+        if grant > cycle:
+            self._bus.window(self.component, "issue_stall", cycle, grant)
         self._next_issue_free = grant + issue_cycles / self.config.issue_width
         return grant
 
@@ -83,7 +110,7 @@ class SM:
 
     def mem_access(self, line_addr: int, cycle: float) -> float:
         """Load a line; returns the data-ready cycle."""
-        self.mem_accesses += 1
+        self.stats.mem_accesses += 1
         if self.l1d.access(line_addr):
             return cycle + self.config.l1d.latency
         # L1 miss detected after the tag-check latency.
@@ -111,7 +138,7 @@ class SM:
             return False
         if self.mshr.lookup(line_addr, cycle) is not None:
             return False
-        self.mem_accesses += 1
+        self.stats.mem_accesses += 1
         completion = self.memory.access(line_addr, cycle)
         self.mshr.allocate(line_addr, cycle, completion)
         return True
@@ -157,5 +184,5 @@ class SM:
         }
         for line in lines:
             self.memory.store(line, grant)
-            self.mem_accesses += 1
+            self.stats.mem_accesses += 1
         return grant + 1

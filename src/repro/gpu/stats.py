@@ -2,14 +2,26 @@
 
 :class:`SimulationStats` is the simulator's entire observable output; Zatel
 and the baselines only ever manipulate these numbers (extrapolate, combine,
-compare).  :data:`METRICS` fixes the canonical metric names/order used by
-every experiment report.
+compare).  The canonical metric names, order, descriptions and
+extrapolation/combination kinds all derive from the single instrument
+registry in :mod:`repro.gpu.telemetry` (:data:`~repro.gpu.telemetry.
+METRIC_SPECS`); this module re-exports the familiar views (:data:`METRICS`,
+:data:`EXTENDED_METRICS`, :data:`METRIC_DESCRIPTIONS`, :class:`MetricKind`)
+so downstream code keeps one import site.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+from .telemetry import (
+    KIND_ABSOLUTE,
+    KIND_RATE,
+    KIND_THROUGHPUT,
+    METRIC_REGISTRY,
+    METRIC_SPECS,
+    TelemetryRecord,
+)
 
 __all__ = [
     "SimulationStats",
@@ -17,18 +29,11 @@ __all__ = [
     "EXTENDED_METRICS",
     "METRIC_DESCRIPTIONS",
     "MetricKind",
+    "merge_simulation_stats",
 ]
 
-#: Canonical metric keys, in the paper's Table I order.
-METRICS = (
-    "ipc",
-    "cycles",
-    "l1d_miss_rate",
-    "l2_miss_rate",
-    "rt_efficiency",
-    "dram_efficiency",
-    "bw_utilization",
-)
+#: Canonical metric keys, in the paper's Table I order (registry-derived).
+METRICS = tuple(spec.name for spec in METRIC_SPECS if not spec.extended)
 
 #: Supplementary metrics beyond Table I ("Zatel ... can estimate any
 #: metric that Vulkan-Sim provides, as desired by the user" — these are
@@ -36,29 +41,11 @@ METRICS = (
 #: paper's evaluation tables, but they carry through extrapolation and
 #: combination like any other rate metric, so a full ``predict`` reports
 #: them alongside Table I.
-EXTENDED_METRICS = (
-    "simd_efficiency",
-    "warp_occupancy",
-)
+EXTENDED_METRICS = tuple(spec.name for spec in METRIC_SPECS if spec.extended)
 
-#: Table I descriptions, keyed by metric.
+#: Table I descriptions, keyed by metric (registry-derived).
 METRIC_DESCRIPTIONS = {
-    "ipc": "# of instructions executed per cycle",
-    "cycles": "# of cycles required to ray trace the scene",
-    "l1d_miss_rate": "Total cache miss rate over all L1D instances",
-    "l2_miss_rate": "Total cache miss rate over all L2 instances",
-    "rt_efficiency": (
-        "Average # of active rays per warp over all ray tracing "
-        "accelerator units"
-    ),
-    "dram_efficiency": (
-        "DRAM bandwidth utilization with pending requests waiting to be "
-        "processed"
-    ),
-    "bw_utilization": (
-        "DRAM bandwidth utilization without pending requests waiting to "
-        "be processed"
-    ),
+    spec.name: spec.description for spec in METRIC_SPECS if not spec.extended
 }
 
 
@@ -71,24 +58,16 @@ class MetricKind:
     are passed through per group, then averaged across groups;
     ``THROUGHPUT`` metrics (IPC) are *summed* across groups because the
     groups' GPUs run concurrently (Section III-H's 20+50 = 70 IPC example).
+
+    This is a compatibility view over the telemetry metric registry — the
+    kinds live on :data:`~repro.gpu.telemetry.METRIC_SPECS`.
     """
 
-    ABSOLUTE = "absolute"
-    RATE = "rate"
-    THROUGHPUT = "throughput"
+    ABSOLUTE = KIND_ABSOLUTE
+    RATE = KIND_RATE
+    THROUGHPUT = KIND_THROUGHPUT
 
-    BY_METRIC = {
-        "ipc": THROUGHPUT,
-        "cycles": ABSOLUTE,
-        "l1d_miss_rate": RATE,
-        "l2_miss_rate": RATE,
-        "rt_efficiency": RATE,
-        "dram_efficiency": RATE,
-        "bw_utilization": RATE,
-        # extended metrics: both are normalized utilizations, i.e. rates
-        "simd_efficiency": RATE,
-        "warp_occupancy": RATE,
-    }
+    BY_METRIC = {spec.name: spec.kind for spec in METRIC_SPECS}
 
 
 @dataclass
@@ -132,6 +111,12 @@ class SimulationStats:
     #: for host wall-clock when computing speedups reproducibly.
     work_units: int = 0
     host_seconds: float = 0.0
+    #: Interval snapshots + timeline events captured by the telemetry bus,
+    #: or None when the producing config left telemetry off.  Excluded
+    #: from equality: telemetry is observability, not a metric.
+    telemetry: TelemetryRecord | None = field(
+        default=None, compare=False, repr=False
+    )
 
     # ------------------------------------------------------------------
     # derived metrics (Table I)
@@ -193,7 +178,7 @@ class SimulationStats:
 
     def metric(self, name: str) -> float:
         """Look up a metric (Table I or extended) by canonical name."""
-        if name not in METRICS and name not in EXTENDED_METRICS:
+        if name not in METRIC_REGISTRY:
             raise KeyError(
                 f"unknown metric {name!r}; known: {METRICS + EXTENDED_METRICS}"
             )
@@ -206,6 +191,66 @@ class SimulationStats:
     def extended_metrics(self) -> dict[str, float]:
         """The supplementary (non-Table-I) metrics."""
         return {name: self.metric(name) for name in EXTENDED_METRICS}
+
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+
+    def merge_from(self, other: "SimulationStats") -> "SimulationStats":
+        """Fold another instance's raw counters into this one.
+
+        Models the merged instances as *concurrently running partitions of
+        the same workload* (the Section III-H picture): additive counters
+        sum, ``cycles`` takes the slowest partition, and the hardware
+        extents (``sm_count``, ``dram_channels``) add up.
+
+        Mismatched provenance is rejected rather than silently combined —
+        mixing configs or tracing backends produces numbers that *look*
+        like one run's statistics but mean nothing.
+
+        Raises:
+            ValueError: if ``config_name``, ``backend`` (when both are
+                set), ``warp_size`` or ``resident_limit`` disagree.
+        """
+        for attr in ("config_name", "warp_size", "resident_limit"):
+            mine, theirs = getattr(self, attr), getattr(other, attr)
+            if mine != theirs:
+                raise ValueError(
+                    f"cannot merge SimulationStats with mismatched {attr}: "
+                    f"{mine!r} != {theirs!r}"
+                )
+        if self.backend and other.backend and self.backend != other.backend:
+            raise ValueError(
+                "cannot merge SimulationStats from different tracing "
+                f"backends: {self.backend!r} != {other.backend!r}"
+            )
+        self.cycles = max(self.cycles, other.cycles)
+        for attr in (
+            "instructions",
+            "l1d_accesses",
+            "l1d_misses",
+            "l2_accesses",
+            "l2_misses",
+            "rt_traversal_steps",
+            "rt_active_ray_steps",
+            "dram_requests",
+            "dram_data_cycles",
+            "dram_pending_cycles",
+            "dram_channels",
+            "issued_warp_instructions",
+            "warp_resident_cycles",
+            "sm_count",
+            "warps",
+            "pixels_traced",
+            "pixels_filtered",
+            "work_units",
+            "host_seconds",
+        ):
+            setattr(self, attr, getattr(self, attr) + getattr(other, attr))
+        if not self.backend:
+            self.backend = other.backend
+        self.telemetry = None  # interval timelines don't merge meaningfully
+        return self
 
     def summary(self) -> str:
         """Human-readable one-run report."""
@@ -223,8 +268,28 @@ class SimulationStats:
         return "\n".join(rows)
 
 
+def merge_simulation_stats(runs: list[SimulationStats]) -> SimulationStats:
+    """Merge same-provenance runs into one aggregate (see ``merge_from``).
+
+    Raises:
+        ValueError: for an empty list or mismatched provenance.
+    """
+    if not runs:
+        raise ValueError("cannot merge zero SimulationStats")
+    total = SimulationStats(
+        config_name=runs[0].config_name,
+        warp_size=runs[0].warp_size,
+        resident_limit=runs[0].resident_limit,
+        sm_count=0,
+        dram_channels=0,
+    )
+    for run in runs:
+        total.merge_from(run)
+    return total
+
+
 def _validate_metric_tables() -> None:
-    """Keep METRICS, descriptions and kinds in lock-step."""
+    """Keep METRICS, descriptions and kinds in lock-step with the registry."""
     assert set(METRIC_DESCRIPTIONS) == set(METRICS)
     assert set(MetricKind.BY_METRIC) == set(METRICS) | set(EXTENDED_METRICS)
     assert all(
@@ -232,6 +297,8 @@ def _validate_metric_tables() -> None:
         for name in METRICS + EXTENDED_METRICS
         if name != "cycles"
     )
+    counter_fields = {f.name for f in fields(SimulationStats)}
+    assert "cycles" in counter_fields
 
 
 _validate_metric_tables()

@@ -120,6 +120,9 @@ class WarpState:
     rt_unit: object | None = None
     #: Cycle this warp became resident on its SM (occupancy accounting).
     activated_cycle: float = 0.0
+    #: Cycle this warp parked in an RT unit's wait queue (telemetry:
+    #: the park-to-wake span becomes an ``rt_wait`` timeline window).
+    parked_cycle: float = 0.0
 
     def done(self) -> bool:
         return self.op_index >= len(self.task.ops)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ..errors import DegradedResultError
 from ..gpu.stats import METRICS, SimulationStats
+from ..gpu.telemetry import METRIC_SPECS
 
 __all__ = [
     "RATE_METRICS",
@@ -29,8 +30,10 @@ __all__ = [
 ]
 
 #: Metrics whose values live in [0, 1]; errors are percentage points.
+#: Derived from the telemetry metric registry's ``point_error`` flag —
+#: the single place each metric's error convention is declared.
 RATE_METRICS = frozenset(
-    {"l1d_miss_rate", "l2_miss_rate", "dram_efficiency", "bw_utilization"}
+    spec.name for spec in METRIC_SPECS if spec.point_error
 )
 
 

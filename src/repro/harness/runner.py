@@ -43,7 +43,7 @@ from ..tracer.trace import FrameTrace
 __all__ = ["Workload", "Runner", "shared_runner", "DEFAULT_WIDTH", "DEFAULT_HEIGHT"]
 
 #: Bump to invalidate on-disk caches after model-affecting code changes.
-CACHE_VERSION = 7
+CACHE_VERSION = 8
 
 DEFAULT_WIDTH = 128
 DEFAULT_HEIGHT = 128
@@ -141,6 +141,27 @@ class Runner:
         return self.store.get_or_compute(
             self.full_sim_key(workload, gpu), compute
         )
+
+    def telemetry_sim(
+        self,
+        workload: Workload,
+        gpu: GPUConfig,
+        interval: int,
+        timeline: bool = True,
+    ) -> SimulationStats:
+        """Full simulation with the telemetry bus enabled.
+
+        A convenience over :meth:`full_sim` with a telemetry-instrumented
+        copy of ``gpu``; cached separately from the plain ground truth
+        because :func:`~repro.core.stages.fingerprint.gpu_fingerprint`
+        hashes every config field, telemetry knobs included.
+        """
+        from dataclasses import replace
+
+        instrumented = replace(
+            gpu, telemetry_interval=interval, timeline_trace=timeline
+        )
+        return self.full_sim(workload, instrumented)
 
     # ------------------------------------------------------------------
 

@@ -2,5 +2,14 @@
 
 from .charts import bar_chart, line_chart, sparkline
 from .images import read_ppm, write_ppm
+from .timeline import render_interval_activity, render_timeline
 
-__all__ = ["bar_chart", "line_chart", "read_ppm", "sparkline", "write_ppm"]
+__all__ = [
+    "bar_chart",
+    "line_chart",
+    "read_ppm",
+    "render_interval_activity",
+    "render_timeline",
+    "sparkline",
+    "write_ppm",
+]

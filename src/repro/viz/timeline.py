@@ -1,0 +1,133 @@
+"""Terminal renderer for telemetry timelines and interval activity.
+
+Turns a :class:`~repro.gpu.telemetry.TelemetryRecord` (or a parsed
+``.zperf`` file) into fixed-width text: one occupancy lane per
+(component, window-kind) pair, plus per-interval activity sparklines for
+a few headline counters.  Pure text, no dependencies, same spirit as
+:mod:`repro.viz.charts`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .charts import sparkline
+
+__all__ = ["render_timeline", "render_interval_activity"]
+
+_LANE_LEVELS = " ░▒▓█"
+
+#: Counters summarized per interval by :func:`render_interval_activity`,
+#: as (display label, name prefix, name suffix); a counter named
+#: ``component.statistic`` contributes when it matches both.
+_ACTIVITY_ROWS = (
+    ("instructions", "core.instructions", ""),
+    ("issue slots", "core.issued_warp_instructions", ""),
+    ("L1D misses", "sm", ".l1d.misses"),
+    ("L2 misses", "l2.", ".misses"),
+    ("DRAM requests", "dram.", ".requests"),
+    ("RT steps", "sm", ".traversal_steps"),
+)
+
+
+def _lane_density(
+    windows: list[tuple[float, float]], total: float, width: int
+) -> str:
+    """One lane's occupancy, rendered as ``width`` shaded cells.
+
+    Each cell covers ``total / width`` cycles; its shade is the fraction
+    of the cell covered by the lane's (already coalesced) windows.
+    """
+    if total <= 0:
+        return " " * width
+    cell = total / width
+    chars = []
+    for i in range(width):
+        lo, hi = i * cell, (i + 1) * cell
+        covered = sum(
+            min(hi, end) - max(lo, start)
+            for start, end in windows
+            if end > lo and start < hi
+        )
+        frac = min(1.0, covered / cell)
+        chars.append(_LANE_LEVELS[min(len(_LANE_LEVELS) - 1, int(frac * len(_LANE_LEVELS)))])
+    return "".join(chars)
+
+
+def render_timeline(
+    events,
+    total_cycles: float,
+    width: int = 72,
+    max_lanes: int = 24,
+) -> str:
+    """Render timeline events as one occupancy lane per component+kind.
+
+    ``events`` is an iterable of objects/dicts with ``component``,
+    ``kind``, ``start`` and ``end``.  Lanes are sorted by total occupied
+    cycles (busiest first) and truncated to ``max_lanes`` with an
+    explicit "... N more lanes" marker — silent truncation would read as
+    an idle GPU.
+    """
+    lanes: dict[tuple[str, str], list[tuple[float, float]]] = defaultdict(list)
+    for event in events:
+        if isinstance(event, dict):
+            key = (event["component"], event["kind"])
+            lanes[key].append((event["start"], event["end"]))
+        else:
+            lanes[(event.component, event.kind)].append(
+                (event.start, event.end)
+            )
+    if not lanes:
+        return "(no timeline events recorded)"
+    occupancy = {
+        key: sum(end - start for start, end in windows)
+        for key, windows in lanes.items()
+    }
+    ordered = sorted(lanes, key=lambda key: -occupancy[key])
+    label_width = max(len(f"{c} {k}") for c, k in ordered[:max_lanes])
+    lines = [
+        f"timeline over {total_cycles:.0f} cycles "
+        f"({len(lanes)} lanes; shade = occupancy per "
+        f"{total_cycles / width:.0f}-cycle cell)"
+    ]
+    for component, kind in ordered[:max_lanes]:
+        windows = lanes[(component, kind)]
+        label = f"{component} {kind}".rjust(label_width)
+        busy = occupancy[(component, kind)]
+        lines.append(
+            f"{label} |{_lane_density(windows, total_cycles, width)}| "
+            f"{busy / total_cycles:6.1%}"
+        )
+    hidden = len(ordered) - max_lanes
+    if hidden > 0:
+        lines.append(f"... {hidden} more lanes (quieter) not shown")
+    return "\n".join(lines)
+
+
+def render_interval_activity(deltas: list[dict[str, float]]) -> str:
+    """Sparkline the per-interval deltas of a few headline counters.
+
+    ``deltas`` is :meth:`TelemetryRecord.deltas` output (or the ``d``
+    rows of a parsed ``.zperf``): one dict of counter increments per
+    snapshot interval.
+    """
+    if not deltas:
+        return "(no interval snapshots recorded)"
+    lines = [f"per-interval activity ({len(deltas)} intervals)"]
+    label_width = max(len(label) for label, _, _ in _ACTIVITY_ROWS)
+    for label, prefix, suffix in _ACTIVITY_ROWS:
+        series = [
+            sum(
+                value
+                for name, value in row.items()
+                if name.startswith(prefix) and name.endswith(suffix)
+            )
+            for row in deltas
+        ]
+        if not any(series):
+            continue
+        lines.append(
+            f"{label.rjust(label_width)} {sparkline(series)} "
+            f"(total {sum(series):.0f})"
+        )
+    return "\n".join(lines)
