@@ -1,0 +1,174 @@
+"""Gate a ``bench_tracer.py`` run against the committed baseline.
+
+CI's ``bench-regression`` job runs::
+
+    PYTHONPATH=src python benchmarks/bench_tracer.py --quick --out BENCH_tracer.json
+    python benchmarks/check_bench_regression.py --current BENCH_tracer.json
+
+against ``benchmarks/baselines/BENCH_tracer.baseline.json`` and fails
+the build on anything that cannot be timing noise:
+
+**Gating (exit 1):**
+
+* correctness drift — a backend pair stops producing identical
+  traces/images, or the end-to-end prediction metrics change from the
+  baseline's (the model is deterministic: same spec, same numbers, on
+  any machine);
+* ray-count drift — the traced workload itself changed size;
+* a *relative* slowdown beyond ``--max-slowdown`` (default 30%): the
+  packet-vs-scalar speedup ratios are same-machine ratios, so a CI
+  runner being slow overall cancels out — only a real regression in the
+  batched backend moves them.
+
+**Non-gating (warning only):** speedup wobble inside the tolerance
+band.  Absolute seconds are never compared — they measure the runner,
+not the code.
+
+The baseline is regenerated on purpose (never silently) with::
+
+    PYTHONPATH=src python benchmarks/bench_tracer.py --quick \
+        --out benchmarks/baselines/BENCH_tracer.baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = (
+    Path(__file__).parent / "baselines" / "BENCH_tracer.baseline.json"
+)
+
+#: Speedup ratios compared against the baseline, per scene entry.
+SCENE_RATIOS = ("rays_per_sec_speedup", "render_speedup")
+
+
+class _Report:
+    """Collects PASS/WARN/FAIL lines; FAIL is what gates."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.failed = False
+        self.warned = False
+
+    def ok(self, message: str) -> None:
+        self.lines.append(f"PASS  {message}")
+
+    def warn(self, message: str) -> None:
+        self.warned = True
+        self.lines.append(f"WARN  {message}")
+
+    def fail(self, message: str) -> None:
+        self.failed = True
+        self.lines.append(f"FAIL  {message}")
+
+
+def _check_ratio(
+    report: _Report, label: str, current: float, baseline: float,
+    max_slowdown: float,
+) -> None:
+    """Gate on a relative speedup ratio dropping out of the band."""
+    floor = baseline * (1.0 - max_slowdown)
+    if current < floor:
+        report.fail(
+            f"{label}: {current:.2f}x is >{max_slowdown:.0%} below "
+            f"baseline {baseline:.2f}x (floor {floor:.2f}x)"
+        )
+    elif current < baseline:
+        report.warn(
+            f"{label}: {current:.2f}x below baseline {baseline:.2f}x "
+            f"(within {max_slowdown:.0%} tolerance; timing noise)"
+        )
+    else:
+        report.ok(f"{label}: {current:.2f}x (baseline {baseline:.2f}x)")
+
+
+def compare(current: dict, baseline: dict, max_slowdown: float) -> _Report:
+    """All checks for one current-vs-baseline payload pair."""
+    report = _Report()
+
+    # -- correctness: exact, machine-independent, always gating ---------
+    if not current.get("identical", False):
+        report.fail("backends diverged (current payload identical=false)")
+    else:
+        report.ok("scalar and packet backends byte-identical")
+
+    base_scenes = {e["scene"]: e for e in baseline.get("scenes", [])}
+    for entry in current.get("scenes", []):
+        name = entry["scene"]
+        base = base_scenes.get(name)
+        if base is None:
+            report.warn(f"{name}: no baseline entry; skipping comparison")
+            continue
+        for backend in ("scalar", "packet"):
+            rays, base_rays = entry[backend]["rays"], base[backend]["rays"]
+            if rays != base_rays:
+                report.fail(
+                    f"{name}/{backend}: traced {rays} rays, baseline "
+                    f"{base_rays} — workload drifted"
+                )
+            else:
+                report.ok(f"{name}/{backend}: {rays} rays (unchanged)")
+        for ratio in SCENE_RATIOS:
+            _check_ratio(
+                report, f"{name} {ratio}", entry[ratio], base[ratio],
+                max_slowdown,
+            )
+
+    predict, base_predict = current.get("predict"), baseline.get("predict")
+    if predict and base_predict:
+        if not predict.get("identical_metrics", False):
+            report.fail("predict: scalar/packet metric drift within the run")
+        if predict["metrics"] != base_predict["metrics"]:
+            drifted = sorted(
+                k for k in predict["metrics"]
+                if predict["metrics"].get(k) != base_predict["metrics"].get(k)
+            )
+            report.fail(
+                f"predict: metrics drifted from baseline ({', '.join(drifted)})"
+            )
+        else:
+            report.ok("predict: metrics match the committed baseline exactly")
+        _check_ratio(
+            report, "predict end-to-end speedup", predict["speedup"],
+            base_predict["speedup"], max_slowdown,
+        )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", required=True,
+        help="fresh bench_tracer.py output JSON to check",
+    )
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help=f"committed baseline JSON (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=0.30, metavar="FRACTION",
+        help=(
+            "gating threshold for relative speedup-ratio drops "
+            "(default 0.30 = 30%%; smaller drops only warn)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(Path(args.current).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    report = compare(current, baseline, args.max_slowdown)
+    print("\n".join(report.lines))
+    if report.failed:
+        print("\nbench-regression: FAILED (see FAIL lines above)",
+              file=sys.stderr)
+        return 1
+    suffix = " (with warnings)" if report.warned else ""
+    print(f"\nbench-regression: OK{suffix}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

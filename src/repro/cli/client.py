@@ -1,0 +1,148 @@
+"""Stdlib HTTP client for a running ``zatel serve`` instance.
+
+``zatel predict --remote http://host:port ...`` goes through
+:class:`ZatelClient`, but it is equally usable from scripts::
+
+    from repro.cli.client import ZatelClient
+
+    client = ZatelClient("http://127.0.0.1:8700")
+    payload = client.predict({"scene": "SPRNG", "size": 64})
+    print(payload["metrics"]["cycles"])
+
+The client speaks the :mod:`repro.service.protocol` schema, honors the
+server's backpressure (retries a 429 after its ``Retry-After`` hint),
+and raises :class:`RemoteServiceError` with the server's JSON error
+payload for everything else.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from ..errors import SimulationError
+
+__all__ = ["RemoteServiceError", "ZatelClient"]
+
+
+class RemoteServiceError(SimulationError):
+    """A non-retryable error response from the service.
+
+    Derives from :class:`~repro.errors.SimulationError` so the CLI maps
+    it to the execution-failure exit code (3) instead of a traceback.
+    """
+
+    def __init__(self, status: int, payload: dict | None) -> None:
+        detail = (payload or {}).get("error", "no detail")
+        super().__init__(f"service returned HTTP {status}: {detail}")
+        self.status = status
+        self.payload = payload or {}
+
+
+class ZatelClient:
+    """Minimal client for the prediction service.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8700`` (scheme required;
+            a trailing slash is tolerated).
+        timeout: per-request socket timeout in seconds.  A ``wait=true``
+            predict blocks server-side for the whole computation, so
+            this must cover the slowest expected prediction.
+        backpressure_retries: how many 429 responses to absorb (sleeping
+            for the server's ``Retry-After``) before giving up.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 600.0,
+        backpressure_retries: int = 5,
+    ) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise ValueError(
+                f"base_url must start with http:// or https://, got {base_url!r}"
+            )
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.backpressure_retries = backpressure_retries
+
+    # -- endpoints ------------------------------------------------------
+
+    def predict(self, request: dict[str, Any]) -> dict:
+        """POST a predict request; returns the result payload.
+
+        Retries while the server answers 429 (queue full), sleeping for
+        its ``Retry-After`` hint each time.
+        """
+        attempts = self.backpressure_retries + 1
+        for attempt in range(attempts):
+            try:
+                return self._request("POST", "/predict", body=request)
+            except RemoteServiceError as error:
+                if error.status != 429 or attempt == attempts - 1:
+                    raise
+                time.sleep(float(error.payload.get("retry_after", 1.0)))
+        raise AssertionError("unreachable")
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>`` — status and, once done, the result."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait_for(
+        self, job_id: str, timeout: float = 600.0, poll: float = 0.25
+    ) -> dict:
+        """Poll a ``wait=false`` job until it finishes.
+
+        Raises:
+            TimeoutError: if the job is still running after ``timeout``.
+            RemoteServiceError: if the job failed (status 500-equivalent
+                carried in the job body) or is unknown.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["status"] == "done":
+                return payload["result"]
+            if payload["status"] == "failed":
+                raise RemoteServiceError(500, payload)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload['status']} after {timeout:g}s"
+                )
+            time.sleep(poll)
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    # -- transport ------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read())
+            except (json.JSONDecodeError, ValueError):
+                payload = {"error": f"non-JSON response ({error.reason})"}
+            raise RemoteServiceError(error.code, payload) from None
+        except urllib.error.URLError as error:
+            raise RemoteServiceError(
+                0, {"error": f"cannot reach {self.base_url}: {error.reason}"}
+            ) from None

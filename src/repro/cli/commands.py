@@ -41,6 +41,7 @@ __all__ = [
     "cmd_heatmap",
     "cmd_simulate",
     "cmd_predict",
+    "cmd_serve",
     "cmd_sweep",
 ]
 
@@ -145,6 +146,8 @@ def cmd_simulate(args) -> int:
 
 def cmd_predict(args) -> int:
     """Run the Zatel pipeline, optionally validating against ground truth."""
+    if getattr(args, "remote", None):
+        return _cmd_predict_remote(args)
     workload = _workload(args)
     gpu = resolve_gpu(args.gpu)
     runner = shared_runner()
@@ -197,38 +200,104 @@ def cmd_predict(args) -> int:
     return 0
 
 
-def _print_predict_json(args, workload, gpu, runner, result) -> int:
-    """``predict --json``: machine-readable result for scripting.
+def _cmd_predict_remote(args) -> int:
+    """``predict --remote URL``: run the prediction on a ``zatel serve``
+    instance instead of in-process.
 
-    The payload mirrors :class:`~repro.core.pipeline.ZatelResult`'s audit
-    surface — metrics plus the degraded flag, plane coverage, and one
-    entry per permanently-failed group — so callers can gate on quality
-    without parsing tables.
+    The request carries only declarative spec fields; execution knobs
+    (``--workers``, ``--timeout``, ``--resume``, ...) stay with the
+    server's operator, and ``--compare`` needs a local full simulation,
+    so both are rejected here.
     """
     import json
 
-    payload = {
-        "scene": workload.scene_name,
-        "backend": workload.backend,
-        "gpu": gpu.name,
-        "scaled_gpu": result.scaled_gpu_name,
-        "downscale_factor": result.downscale_factor,
-        "mean_fraction": result.mean_fraction(),
-        "metrics": {name: result.metrics[name] for name in result.metrics},
-        "degraded": result.degraded,
-        "coverage": result.coverage,
-        "failures": [
-            {
-                "group": record.index,
-                "error": record.error,
-                "message": record.message,
-                "attempts": record.attempts,
-                "pixel_count": record.pixel_count,
-            }
-            for record in result.failures
-        ],
-        "host_seconds": result.host_seconds,
+    from .client import ZatelClient
+
+    for flag in ("compare", "resume"):
+        if getattr(args, flag, False):
+            raise ValueError(f"--{flag} is not supported with --remote")
+    if getattr(args, "checkpoint_dir", None):
+        raise ValueError("--checkpoint-dir is not supported with --remote")
+
+    request = {
+        "scene": args.scene.upper(),
+        "size": args.size,
+        "spp": args.spp,
+        "seed": args.seed,
+        "backend": args.backend,
+        "gpu": args.gpu,
+        "division": args.division,
+        "distribution": args.distribution,
+        "adaptive": bool(args.adaptive),
     }
+    if args.fraction is not None:
+        request["fraction"] = args.fraction
+    payload = ZatelClient(args.remote).predict(request)
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    source = "cache" if payload.get("cached") else f"job {payload.get('job')}"
+    print(
+        f"Zatel on {payload['scene']} / {payload['gpu']} "
+        f"(served by {args.remote}, {source}): "
+        f"K={payload['downscale_factor']}, "
+        f"mean traced fraction {payload['mean_fraction']:.0%}"
+    )
+    if payload.get("degraded"):
+        print(
+            f"  DEGRADED: coverage {payload['coverage']:.0%}, "
+            f"{len(payload['failures'])} failed group(s)"
+        )
+    for name in METRICS:
+        print(f"  {name:16s} {payload['metrics'][name]:12.4f}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """``zatel serve``: run the HTTP prediction service until Ctrl-C."""
+    import logging
+
+    from ..harness.runner import Runner
+    from ..service import ZatelService
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+    )
+    runner = (
+        Runner(cache_dir=args.cache_dir) if args.cache_dir else shared_runner()
+    )
+    policy = ExecutionPolicy(
+        workers=args.exec_workers if args.exec_workers else 1
+    )
+    service = ZatelService(
+        runner=runner,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        policy=policy,
+        use_cache=not args.no_cache,
+    )
+    service.run()
+    return 0
+
+
+def _print_predict_json(args, workload, gpu, runner, result) -> int:
+    """``predict --json``: machine-readable result for scripting.
+
+    The payload is :func:`~repro.harness.service.result_payload` — the
+    same schema ``POST /predict`` returns — so scripts can switch
+    between local and remote execution without reparsing: metrics plus
+    the full audit surface (degraded flag, plane coverage, one entry per
+    permanently-failed group, serial-fallback note).
+    """
+    import json
+
+    from ..harness.service import result_payload
+
+    payload = result_payload(
+        workload.scene_name, workload.backend, gpu.name, result
+    )
     if args.compare:
         full = runner.full_sim(workload, gpu)
         errors = metric_errors(result.metrics, full)

@@ -16,6 +16,8 @@ Subcommands cover the workflows a downstream user runs most:
                with ``--timeline`` — run the simulator with telemetry on
                and export a ``.zperf`` timeline trace
 ``inspect``    summarize a ``.ztrace`` file
+``serve``      run the HTTP prediction service (``POST /predict``,
+               ``GET /jobs/<id>``, ``GET /healthz``, ``GET /metrics``)
 =============  ==========================================================
 
 Every command accepts ``--size`` (plane side length) and caches frame
@@ -36,6 +38,7 @@ from .commands import (
     cmd_predict,
     cmd_render,
     cmd_scenes,
+    cmd_serve,
     cmd_simulate,
     cmd_sweep,
     cmd_trace,
@@ -159,6 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
             "paper's fixed equation-(1) fraction (extension)"
         ),
     )
+    predict.add_argument(
+        "--remote", default=None, metavar="URL",
+        help=(
+            "send the prediction to a running `repro serve` instance "
+            "(e.g. http://127.0.0.1:8700) instead of computing locally"
+        ),
+    )
     predict.set_defaults(func=cmd_predict)
 
     sweep = subparsers.add_parser(
@@ -208,6 +218,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect.add_argument("file", help="path to a .ztrace file")
     inspect.set_defaults(func=cmd_inspect)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP prediction service"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8700,
+                       help="bind port; 0 picks an ephemeral port")
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker threads consuming the job queue (default 2)",
+    )
+    serve.add_argument(
+        "--exec-workers", type=int, default=None, metavar="N",
+        help=(
+            "forked CPU workers per prediction (GroupExecutor); "
+            "default: serial in-process groups"
+        ),
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=16, metavar="N",
+        help=(
+            "max jobs queued + running before requests get "
+            "429 Too Many Requests (default 16)"
+        ),
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact/result cache root (default: the shared .cache/)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the fingerprint-keyed result cache",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -19,10 +19,14 @@ tasks with:
   :class:`~repro.errors.CacheCorruptionError`).
 
 Tasks are callables ``task(index, attempt) -> result``; results must be
-picklable when worker processes are used.  With ``workers <= 1`` (or on
-platforms without ``fork``) tasks run in-process with the same retry and
-checkpoint semantics; timeouts are then best-effort only (there is no
-safe way to preempt in-process Python).
+picklable when worker processes are used.  With ``workers <= 1`` tasks
+run in-process with the same retry and checkpoint semantics; timeouts
+are then best-effort only (there is no safe way to preempt in-process
+Python).  On platforms without the ``fork`` start method a ``workers >
+1`` request degrades to the same serial path — *loudly*: a warning is
+logged and ``ExecutionReport.serial_fallback`` is set so callers (and
+``ZatelResult``) can surface that the requested parallelism was not
+honored.
 
 Fault injection for tests plugs in via a duck-typed plan object (see
 :mod:`repro.testing.faults`) with two methods: ``apply(index, attempt,
@@ -142,6 +146,11 @@ class ExecutionReport:
     failures: list[FailureRecord] = field(default_factory=list)
     attempts: dict[int, int] = field(default_factory=dict)
     resumed: tuple[int, ...] = ()
+    #: ``workers > 1`` was requested but the platform has no ``fork``
+    #: start method, so groups ran serially in-process (documented
+    #: degrade; a warning is logged and callers surface it on
+    #: ``ZatelResult.serial_fallback``).
+    serial_fallback: bool = False
 
     @property
     def succeeded(self) -> bool:
@@ -178,6 +187,20 @@ class GroupExecutor:
         if self._use_processes():
             self._run_forked(task, remaining, report)
         else:
+            if self.policy.workers > 1:
+                # Documented degrade, not a silent one: the parallelism
+                # the caller asked for is unavailable here, and results
+                # are identical either way (groups are independent), so
+                # run serially but say so and record it on the report.
+                report.serial_fallback = True
+                logger.warning(
+                    "workers=%d requested but the 'fork' start method is "
+                    "unavailable on this platform; running %d group(s) "
+                    "serially in-process (results are unaffected, wall-"
+                    "clock parallelism is lost, timeouts are best-effort)",
+                    self.policy.workers,
+                    len(remaining),
+                )
             self._run_serial(task, remaining, report)
         report.failures.sort(key=lambda record: record.index)
         return report

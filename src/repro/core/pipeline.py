@@ -140,6 +140,13 @@ class ZatelResult:
     host_seconds: float = 0.0
     degraded: bool = False
     failures: list[FailureRecord] = field(default_factory=list)
+    #: ``workers > 1`` was requested but the platform has no ``fork``
+    #: start method, so the group simulations ran serially in-process.
+    #: Metrics are unaffected (groups are independent); only wall-clock
+    #: parallelism was lost.  Set by the driver from the stage context's
+    #: execution notes — like ``host_seconds``, it describes this run,
+    #: not the cached artifact.
+    serial_fallback: bool = False
     _extra: dict = field(default_factory=dict)
 
     @property
@@ -257,6 +264,9 @@ class Zatel:
         graph, terminal = self.build_graph(scene, frame, quorum=policy.quorum)
         result: ZatelResult = graph.resolve(terminal, ctx).value
         result.host_seconds = time.perf_counter() - start_time
+        result.serial_fallback = bool(
+            ctx.execution_notes.get("serial_fallback", False)
+        )
         return result
 
     # ------------------------------------------------------------------

@@ -89,12 +89,20 @@ class StageContext:
     ran.  ``policy`` and ``fault_plan`` configure the fault-tolerant
     group executor inside :class:`~.concrete.SimulateGroupStage` — they
     are execution knobs and deliberately excluded from fingerprints.
+
+    ``execution_notes`` is the reverse channel for execution (non-
+    content) observations a stage makes while running — e.g. the group
+    executor degrading a ``workers > 1`` request to serial on a platform
+    without ``fork``.  Notes describe *this* execution only, so they are
+    never cached with artifacts; drivers copy them onto their result
+    (``ZatelResult.serial_fallback``) after resolving the graph.
     """
 
     store: ArtifactStore = field(default_factory=ArtifactStore)
     counters: StageCounters = field(default_factory=StageCounters)
     policy: Any | None = None
     fault_plan: Any | None = None
+    execution_notes: dict[str, Any] = field(default_factory=dict)
 
 
 class Stage(ABC):

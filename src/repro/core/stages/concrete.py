@@ -223,6 +223,10 @@ class SimulateGroupStage(Stage):
             predictor._resolve_policy(ctx.policy), fault_plan=ctx.fault_plan
         )
         report = executor.run(task, len(groups))
+        if report.serial_fallback:
+            # Execution observation, not content: never cached with the
+            # artifact, surfaced by the driver on the final result.
+            ctx.execution_notes["serial_fallback"] = True
         predictions = [report.results[i] for i in sorted(report.results)]
         return predictions, report.failures
 

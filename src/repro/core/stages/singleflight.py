@@ -1,0 +1,118 @@
+"""Single-flight deduplication of concurrent identical computations.
+
+The artifact store already deduplicates *sequential* work: a stage whose
+fingerprint is cached never re-runs.  It cannot help when two callers
+race on the same key — both miss, both compute, and the second write is
+wasted.  :class:`SingleFlight` closes that window: the first caller for
+a key becomes the *leader* and computes; every concurrent caller with
+the same key becomes a *follower* and waits for the leader's value.
+
+Two granularities are offered:
+
+* :meth:`SingleFlight.do` — classic call coalescing: run ``fn`` once per
+  key, hand the one result (or the one exception) to every concurrent
+  caller.
+* :meth:`SingleFlight.join` / :meth:`SingleFlight.finish` — object
+  coalescing for callers that manage their own lifecycle, e.g. the
+  service job queue attaching many HTTP requests to one in-flight
+  :class:`~repro.service.queue.Job`.
+
+All methods are thread-safe; the class holds no references to finished
+flights, so keys are free to recur (a *later* request for the same key
+is expected to hit the artifact/result cache instead).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, TypeVar
+
+__all__ = ["SingleFlight"]
+
+T = TypeVar("T")
+
+
+class _Call:
+    """One in-flight leader computation plus its waiters."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Keyed coalescing of concurrent duplicate work (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._calls: dict[str, _Call] = {}
+        self._entries: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # call coalescing
+    # ------------------------------------------------------------------
+
+    def do(self, key: str, fn: Callable[[], T]) -> tuple[T, bool]:
+        """Run ``fn`` exactly once per concurrent ``key``.
+
+        Returns ``(value, coalesced)``: the leader computes and gets
+        ``coalesced=False``; concurrent followers block until the leader
+        finishes and get its value with ``coalesced=True``.  If the
+        leader raises, every follower re-raises the same exception.
+        """
+        with self._lock:
+            call = self._calls.get(key)
+            leader = call is None
+            if leader:
+                call = self._calls[key] = _Call()
+        if not leader:
+            call.done.wait()
+            if call.error is not None:
+                raise call.error
+            return call.value, True
+        try:
+            call.value = fn()
+        except BaseException as error:
+            call.error = error
+            raise
+        finally:
+            with self._lock:
+                del self._calls[key]
+            call.done.set()
+        return call.value, False
+
+    # ------------------------------------------------------------------
+    # object coalescing
+    # ------------------------------------------------------------------
+
+    def join(self, key: str, factory: Callable[[], T]) -> tuple[T, bool]:
+        """The in-flight entry for ``key``, creating it via ``factory``.
+
+        Returns ``(entry, created)``; ``created=False`` means the caller
+        coalesced onto an entry another caller registered and has not
+        yet :meth:`finish`\\ ed.  ``factory`` runs under the lock and
+        must be cheap and non-reentrant.
+        """
+        with self._lock:
+            if key in self._entries:
+                return self._entries[key], False
+            entry = factory()
+            self._entries[key] = entry
+            return entry, True
+
+    def finish(self, key: str) -> Any:
+        """Retire ``key``'s entry (no-op when absent); returns it."""
+        with self._lock:
+            return self._entries.pop(key, None)
+
+    def get(self, key: str) -> Any:
+        """The in-flight entry for ``key``, or ``None``."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries) + len(self._calls)

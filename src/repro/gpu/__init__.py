@@ -21,11 +21,13 @@ from .stats import (
 from .telemetry import (
     METRIC_REGISTRY,
     METRIC_SPECS,
+    SERVICE_LATENCY_EDGES,
     Counter,
     Histogram,
     IntervalSnapshot,
     MetricSpec,
     RatioGauge,
+    ServiceStats,
     StatGroup,
     TelemetryBus,
     TelemetryRecord,
@@ -64,8 +66,10 @@ __all__ = [
     "RTUnit",
     "RTX_2060",
     "RatioGauge",
+    "SERVICE_LATENCY_EDGES",
     "SM",
     "SMStats",
+    "ServiceStats",
     "SimulationStats",
     "StatGroup",
     "StoreOp",

@@ -1,0 +1,140 @@
+"""Service-mode runner: execute validated prediction specs.
+
+The HTTP service's workers (and anything else that batches declarative
+requests — queue consumers, notebook clients) need one entry point that
+takes a :class:`~repro.core.stages.requests.PredictSpec` and returns a
+JSON-able result payload, while sharing every cache the interactive
+harness already maintains.  :class:`ServiceRunner` is that entry point:
+
+* frame traces and stage artifacts flow through the wrapped
+  :class:`~.runner.Runner`'s content-addressed store, so a served
+  prediction reuses (and contributes to) exactly the artifacts the CLI
+  and sweep planner use;
+* execution goes through the stage-plan adapter
+  (:func:`~repro.core.stages.requests.build_spec_graph`), so the worker
+  drives the same graph ``Zatel.predict`` builds — plus per-request
+  stage-execution counters for the payload's observability block;
+* result fingerprints (:meth:`ServiceRunner.fingerprint`) incorporate
+  :data:`~.runner.CACHE_VERSION`, so served results invalidate together
+  with all other cached artifacts after a model-affecting change.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.executor import ExecutionPolicy
+from ..core.pipeline import ZatelResult
+from ..core.stages.base import StageContext
+from ..core.stages.requests import PredictSpec, build_spec_graph, spec_fingerprint
+from ..gpu.config import preset
+from .runner import CACHE_VERSION, Runner, Workload, shared_runner
+
+__all__ = ["ServiceRunner", "result_payload"]
+
+
+def result_payload(
+    scene_name: str, backend: str, gpu_name: str, result: ZatelResult
+) -> dict:
+    """A :class:`ZatelResult` as a JSON-able payload.
+
+    The schema is shared by ``zatel predict --json`` and the service's
+    ``POST /predict`` response — metrics plus the full audit surface
+    (degraded flag, plane coverage, per-group failures, serial-fallback
+    note), so callers can gate on quality without parsing tables.
+    """
+    return {
+        "scene": scene_name,
+        "backend": backend,
+        "gpu": gpu_name,
+        "scaled_gpu": result.scaled_gpu_name,
+        "downscale_factor": result.downscale_factor,
+        "mean_fraction": result.mean_fraction(),
+        "metrics": {name: result.metrics[name] for name in result.metrics},
+        "degraded": result.degraded,
+        "coverage": result.coverage,
+        "failures": [
+            {
+                "group": record.index,
+                "error": record.error,
+                "message": record.message,
+                "attempts": record.attempts,
+                "pixel_count": record.pixel_count,
+            }
+            for record in result.failures
+        ],
+        "serial_fallback": result.serial_fallback,
+        "host_seconds": result.host_seconds,
+    }
+
+
+class ServiceRunner:
+    """Executes :class:`PredictSpec`\\ s against a shared artifact store."""
+
+    def __init__(
+        self,
+        runner: Runner | None = None,
+        policy: ExecutionPolicy | None = None,
+    ) -> None:
+        self.runner = runner if runner is not None else shared_runner()
+        #: Execution policy applied to every served prediction (an
+        #: operator knob: how the service runs, never what it returns).
+        self.policy = policy if policy is not None else ExecutionPolicy()
+
+    def fingerprint(self, spec: PredictSpec) -> str:
+        """The spec's result-cache / single-flight key."""
+        return spec_fingerprint(spec, version=CACHE_VERSION)
+
+    def workload(self, spec: PredictSpec) -> Workload:
+        return Workload(
+            spec.scene,
+            width=spec.size,
+            height=spec.size,
+            samples_per_pixel=spec.spp,
+            seed=spec.seed,
+            backend=spec.backend,
+        )
+
+    def execute(self, spec: PredictSpec, stats=None) -> dict:
+        """Run one spec end to end; returns the result payload.
+
+        ``stats`` is an optional
+        :class:`~repro.gpu.telemetry.ServiceStats`: when given, the
+        trace and predict stage latencies are recorded into its
+        histograms.
+
+        Raises:
+            SimulationError: when the pipeline fails beyond rescue
+                (quorum violation, unrecoverable corruption).
+        """
+        runner = self.runner
+        workload = self.workload(spec)
+        gpu = preset(spec.gpu)
+        scene = runner.scene(spec.scene)
+
+        start = time.perf_counter()
+        frame = runner.frame(workload)
+        trace_seconds = time.perf_counter() - start
+
+        _, graph, terminal = build_spec_graph(
+            spec, scene, frame, quorum=self.policy.quorum
+        )
+        ctx = StageContext(store=runner.store, policy=self.policy)
+        predict_start = time.perf_counter()
+        result: ZatelResult = graph.resolve(terminal, ctx).value
+        predict_seconds = time.perf_counter() - predict_start
+        result.host_seconds = time.perf_counter() - start
+        result.serial_fallback = bool(
+            ctx.execution_notes.get("serial_fallback", False)
+        )
+
+        if stats is not None:
+            stats.observe("trace_seconds", trace_seconds)
+            stats.observe("predict_seconds", predict_seconds)
+
+        payload = result_payload(spec.scene, spec.backend, gpu.name, result)
+        payload["stages"] = {
+            "executions": dict(ctx.counters.executions),
+            "cache_hits": dict(ctx.counters.cache_hits),
+        }
+        return payload

@@ -1,0 +1,33 @@
+"""The Zatel prediction service: an always-on HTTP front-end.
+
+Turns the batch-only reproduction into a long-running server
+(``zatel serve``) that amortizes simulator startup, deduplicates
+identical in-flight requests, and serves repeated predictions from a
+fingerprint-keyed result cache in milliseconds:
+
+* :mod:`.protocol` — request/response JSON schemas and validation;
+* :mod:`.queue` — bounded job queue with single-flight coalescing and
+  backpressure (429 + ``Retry-After`` when full);
+* :mod:`.cache` — result cache layered on the content-addressed
+  artifact store;
+* :mod:`.server` — the asyncio HTTP front-end plus the worker pool that
+  drives the stage graph through the fault-tolerant executor.
+
+Everything is stdlib-only (``asyncio`` streams, hand-rolled HTTP/1.1):
+the service adds no dependencies beyond what the simulator needs.
+"""
+
+from .cache import ResultCache
+from .protocol import parse_predict_payload
+from .queue import Job, JobQueue, QueueClosedError, QueueFullError
+from .server import ZatelService
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "QueueClosedError",
+    "QueueFullError",
+    "ResultCache",
+    "ZatelService",
+    "parse_predict_payload",
+]

@@ -1,0 +1,98 @@
+"""Request/response schemas of the prediction service.
+
+One place defines what a ``POST /predict`` body means, so the server,
+the :class:`~repro.cli.client.ZatelClient` and the tests cannot drift
+apart.  The body is a flat JSON object mirroring the ``predict`` CLI
+arguments::
+
+    {
+      "scene": "SPRNG",          // required; library scene name
+      "size": 64,                // image-plane side length (<= 512)
+      "spp": 1, "seed": 0,
+      "backend": "packet",       // or "scalar"
+      "gpu": "mobile",           // preset name: mobile | rtx2060
+      "division": "fine", "distribution": "uniform",
+      "fraction": null,          // pin the traced fraction, (0, 1]
+      "adaptive": false,
+      "wait": true               // false: 202 + job id, poll /jobs/<id>
+    }
+
+Validation is strict — unknown keys are rejected, so a typo'd field
+name fails loudly with a 400 instead of silently running defaults.  All
+semantic checks live on :class:`~repro.core.stages.requests.PredictSpec`
+itself; this module only adapts JSON to it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.stages.requests import PredictSpec
+
+__all__ = ["parse_predict_payload", "SPEC_FIELDS"]
+
+#: Body keys forwarded to :class:`PredictSpec`, with their JSON types.
+SPEC_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "scene": str,
+    "size": int,
+    "spp": int,
+    "seed": int,
+    "backend": str,
+    "gpu": str,
+    "division": str,
+    "distribution": str,
+    "fraction": (int, float),
+    "adaptive": bool,
+}
+
+
+def parse_predict_payload(payload: Any) -> tuple[PredictSpec, bool]:
+    """Validate a ``POST /predict`` JSON body.
+
+    Returns ``(spec, wait)``.
+
+    Raises:
+        ValueError: on any malformed body — not an object, unknown
+            keys, wrong field types, or a semantically invalid spec
+            (unknown scene, out-of-range size, ...).  The message is
+            safe to return verbatim in a 400 response.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - set(SPEC_FIELDS) - {"wait"})
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {', '.join(map(repr, unknown))}; known: "
+            f"{', '.join(sorted(SPEC_FIELDS))}, wait"
+        )
+    if "scene" not in payload:
+        raise ValueError("missing required field 'scene'")
+
+    kwargs: dict[str, Any] = {}
+    for name, expected in SPEC_FIELDS.items():
+        if name not in payload:
+            continue
+        value = payload[name]
+        if name == "fraction" and value is None:
+            continue
+        # bool is an int subclass; reject True where an int is expected.
+        if isinstance(value, bool) and expected is not bool:
+            raise ValueError(f"field {name!r} must not be a boolean")
+        if not isinstance(value, expected):
+            wanted = (
+                expected.__name__
+                if isinstance(expected, type)
+                else " or ".join(t.__name__ for t in expected)
+            )
+            raise ValueError(
+                f"field {name!r} must be {wanted}, "
+                f"got {type(value).__name__}"
+            )
+        kwargs[name] = float(value) if name == "fraction" else value
+
+    wait = payload.get("wait", True)
+    if not isinstance(wait, bool):
+        raise ValueError(f"field 'wait' must be a boolean, got {wait!r}")
+    return PredictSpec(**kwargs), wait

@@ -1,0 +1,499 @@
+"""The asyncio HTTP front-end and worker pool of ``zatel serve``.
+
+Architecture (one process, stdlib only)::
+
+    asyncio event loop (HTTP/1.1 over asyncio streams)
+      POST /predict   validate -> fingerprint -> result cache ->
+                      bounded single-flight queue -> await job
+      GET  /jobs/<id> job status / result
+      GET  /healthz   liveness
+      GET  /metrics   telemetry-bus counters + latency histograms
+                 |
+            JobQueue (bounded, single-flight, 429 on overflow)
+                 |
+    worker threads (N)  ->  ServiceRunner.execute(spec)
+                              -> stage graph over the shared
+                                 ArtifactStore, groups through the
+                                 fault-tolerant GroupExecutor
+
+The front-end never blocks the event loop on simulation work: waiting
+handlers park on the job's event via ``asyncio.to_thread``.  Worker
+threads hold the GIL only between simulator steps; per-prediction
+parallelism still comes from ``GroupExecutor``'s forked workers (set
+``ExecutionPolicy.workers`` on the service policy), so service workers
+are *throughput* knobs (how many requests progress concurrently), not
+CPU knobs.
+
+Shutdown is graceful by default: stop intake (new submits get 503),
+drain in-flight jobs, then stop the loop — so a deploy never discards
+accepted work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable
+
+from ..gpu.telemetry import SERVICE_LATENCY_EDGES, ServiceStats, TelemetryBus
+from ..harness.service import ServiceRunner
+from .cache import ResultCache
+from .protocol import parse_predict_payload
+from .queue import JOB_DONE, JobQueue, QueueClosedError, QueueFullError
+
+__all__ = ["ZatelService"]
+
+logger = logging.getLogger("repro.service")
+
+#: Largest accepted request body; a predict body is a few hundred bytes.
+MAX_BODY_BYTES = 1 << 20
+
+#: Per-connection header/body read budget (seconds).
+READ_TIMEOUT = 30.0
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ZatelService:
+    """The prediction service: front-end, queue, workers, caches.
+
+    Args:
+        runner: harness :class:`~repro.harness.runner.Runner` providing
+            the shared artifact store (default: the process-wide one).
+        host/port: bind address; ``port=0`` picks an ephemeral port
+            (``self.port`` holds the real one once ``started`` is set).
+        workers: worker threads consuming the job queue.
+        queue_capacity: max queued + running jobs before 429s.
+        policy: :class:`~repro.core.executor.ExecutionPolicy` applied to
+            every served prediction (e.g. forked group workers).
+        executor_fn: override of the per-spec execution function —
+            tests inject deterministic/blocking stand-ins here.
+        use_cache: serve repeat requests from the result cache.
+        wait_timeout: cap on how long a ``wait=true`` request blocks
+            before returning 504 with the job id (``None`` = unbounded).
+        drain_timeout: graceful-shutdown budget for in-flight jobs.
+    """
+
+    def __init__(
+        self,
+        runner=None,
+        host: str = "127.0.0.1",
+        port: int = 8700,
+        workers: int = 2,
+        queue_capacity: int = 16,
+        policy=None,
+        executor_fn: Callable[[Any], dict] | None = None,
+        use_cache: bool = True,
+        wait_timeout: float | None = 600.0,
+        drain_timeout: float = 60.0,
+        job_history: int = 1024,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("service needs at least one worker")
+        self.service_runner = ServiceRunner(runner, policy=policy)
+        self.host = host
+        self.port = port
+        self.num_workers = workers
+        self.wait_timeout = wait_timeout
+        self.drain_timeout = drain_timeout
+        self.job_history = job_history
+
+        self.stats = ServiceStats()
+        # interval=1 keeps the bus enabled so /metrics is a literal dump
+        # of telemetry-bus counters; the service never drives advance().
+        self.bus = TelemetryBus(interval=1)
+        self.bus.register("service", self.stats)
+        self.queue = JobQueue(queue_capacity)
+        self.cache = (
+            ResultCache(self.service_runner.runner.store, self.stats)
+            if use_cache
+            else None
+        )
+        self.jobs: OrderedDict[str, Any] = OrderedDict()
+        self._jobs_lock = threading.Lock()
+        self._executor_fn = executor_fn or (
+            lambda spec: self.service_runner.execute(spec, stats=self.stats)
+        )
+        self._worker_threads: list[threading.Thread] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self.started = threading.Event()
+        self._start_time = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Serve until :meth:`shutdown` (or KeyboardInterrupt); blocking."""
+        try:
+            asyncio.run(self._serve())
+        except KeyboardInterrupt:
+            # _serve's finally already drained; nothing left to do.
+            pass
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._start_time = time.monotonic()
+        self._start_workers()
+        server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        logger.info(
+            "zatel service listening on http://%s:%d (%d workers, queue %d)",
+            self.host, self.port, self.num_workers, self.queue.capacity,
+        )
+        self.started.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            self.started.clear()
+            self._drain()
+
+    def shutdown(self) -> None:
+        """Request a graceful stop (thread-safe; returns immediately)."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(stop.set)
+
+    def background(self):
+        """Context manager running the service in a daemon thread.
+
+        ::
+
+            with ZatelService(port=0).background() as service:
+                url = f"http://127.0.0.1:{service.port}"
+        """
+        from contextlib import contextmanager
+
+        @contextmanager
+        def _running():
+            thread = threading.Thread(target=self.run, daemon=True)
+            thread.start()
+            if not self.started.wait(timeout=15.0):
+                raise RuntimeError("service failed to start within 15s")
+            try:
+                yield self
+            finally:
+                self.shutdown()
+                thread.join(timeout=self.drain_timeout + 15.0)
+
+        return _running()
+
+    def _drain(self) -> None:
+        """Graceful-shutdown tail: stop intake, finish accepted work."""
+        inflight = self.queue.depth
+        self.queue.close()
+        if inflight:
+            logger.info("draining %d in-flight job(s)", inflight)
+        if not self.queue.drain(timeout=self.drain_timeout):
+            logger.warning(
+                "drain timed out after %gs with %d job(s) unfinished",
+                self.drain_timeout, self.queue.depth,
+            )
+        for thread in self._worker_threads:
+            thread.join(timeout=5.0)
+        self._worker_threads.clear()
+
+    # ------------------------------------------------------------------
+    # worker pool
+    # ------------------------------------------------------------------
+
+    def _start_workers(self) -> None:
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"zatel-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._worker_threads.append(thread)
+
+    def _worker_loop(self) -> None:
+        queue = self.queue
+        while True:
+            job = queue.next(timeout=0.2)
+            if job is None:
+                if queue.closed:
+                    return
+                continue
+            self.stats.observe("queue_seconds", job.queue_seconds())
+            try:
+                payload = self._executor_fn(job.spec)
+            except Exception as error:  # noqa: BLE001 - job isolation boundary
+                logger.warning("job %s failed: %s", job.id, error)
+                self.stats.failed += 1
+                queue.complete(job, error=error)
+            else:
+                if self.cache is not None:
+                    self.cache.put(job.key, payload)
+                self.stats.completed += 1
+                queue.complete(job, result=payload)
+                total = job.total_seconds()
+                if total is not None:
+                    self.stats.observe("total_seconds", total)
+
+    # ------------------------------------------------------------------
+    # HTTP front-end
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, headers, body = await asyncio.wait_for(
+                    self._read_request(reader), timeout=READ_TIMEOUT
+                )
+            except asyncio.TimeoutError:
+                return
+            except _HttpError as error:
+                await self._respond(writer, error.status, {"error": str(error)})
+                return
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return
+            status, payload, extra_headers = await self._route(
+                method, path, body
+            )
+            await self._respond(writer, status, payload, extra_headers)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        if method == "POST":
+            raw_length = headers.get("content-length")
+            if raw_length is None:
+                raise _HttpError(411, "POST requires a Content-Length header")
+            try:
+                length = int(raw_length)
+            except ValueError:
+                raise _HttpError(
+                    400, f"invalid Content-Length {raw_length!r}"
+                ) from None
+            if length > MAX_BODY_BYTES:
+                raise _HttpError(
+                    413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+                )
+            body = await reader.readexactly(length)
+        path = target.split("?", 1)[0]
+        return method, path, headers, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        reason = _REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        self.stats.requests += 1
+        if path == "/predict":
+            if method != "POST":
+                return 405, {"error": "use POST /predict"}, None
+            return await self._handle_predict(body)
+        if method != "GET":
+            return 405, {"error": f"{method} not supported on {path}"}, None
+        if path == "/healthz":
+            return 200, self._health_payload(), None
+        if path == "/metrics":
+            return 200, self._metrics_payload(), None
+        if path.startswith("/jobs/"):
+            return self._handle_job(path[len("/jobs/"):])
+        return 404, {"error": f"unknown path {path!r}"}, None
+
+    async def _handle_predict(
+        self, body: bytes
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self.stats.invalid += 1
+            return 400, {"error": f"request body is not valid JSON: {error}"}, None
+        try:
+            spec, wait = parse_predict_payload(payload)
+        except ValueError as error:
+            self.stats.invalid += 1
+            return 400, {"error": str(error)}, None
+        self.stats.predicts += 1
+
+        key = self.service_runner.fingerprint(spec)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return 200, {**cached, "cached": True, "coalesced": False}, None
+
+        try:
+            job, created = self.queue.submit(key, spec)
+        except QueueClosedError:
+            return 503, {"error": "service is shutting down"}, None
+        except QueueFullError as error:
+            self.stats.rejected += 1
+            return (
+                429,
+                {"error": str(error), "retry_after": error.retry_after},
+                {"Retry-After": f"{error.retry_after:g}"},
+            )
+        if not created:
+            self.stats.coalesced += 1
+        depth = self.queue.depth
+        if depth > self.stats.queue_peak:
+            self.stats.queue_peak = depth
+        self._remember(job)
+
+        if not wait:
+            return 202, {**job.describe(), "cached": False}, None
+        finished = await asyncio.to_thread(job.wait, self.wait_timeout)
+        if not finished:
+            return (
+                504,
+                {
+                    **job.describe(),
+                    "error": (
+                        f"prediction still running after {self.wait_timeout:g}s; "
+                        f"poll GET /jobs/{job.id}"
+                    ),
+                },
+                None,
+            )
+        if job.status == JOB_DONE:
+            return (
+                200,
+                {**job.result, "cached": False, "coalesced": not created,
+                 "job": job.id},
+                None,
+            )
+        return 500, {**job.describe()}, None
+
+    def _handle_job(self, job_id: str) -> tuple[int, dict, None]:
+        with self._jobs_lock:
+            job = self.jobs.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}, None
+        payload = job.describe()
+        if job.status == JOB_DONE:
+            payload["result"] = job.result
+        return 200, payload, None
+
+    def _remember(self, job) -> None:
+        """Track the job for ``/jobs/<id>``, evicting old finished ones."""
+        with self._jobs_lock:
+            self.jobs[job.id] = job
+            while len(self.jobs) > self.job_history:
+                for job_id, tracked in self.jobs.items():
+                    if tracked.finished:
+                        del self.jobs[job_id]
+                        break
+                else:
+                    break  # everything in flight: allow temporary growth
+
+    # ------------------------------------------------------------------
+    # observability payloads
+    # ------------------------------------------------------------------
+
+    def _health_payload(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self._start_time, 3),
+            "workers": self.num_workers,
+            "queue_depth": self.queue.depth,
+            "cache": self.cache is not None,
+        }
+
+    def _metrics_payload(self) -> dict:
+        store_stats = self.service_runner.runner.store.stats
+        edges = [
+            None if edge == float("inf") else edge
+            for edge in SERVICE_LATENCY_EDGES
+        ]
+        return {
+            "counters": self.bus.counters(),
+            "derived": {"service.cache_hit_rate": self.stats.cache_hit_rate},
+            "histograms": {
+                f"service.{name}": {"edges": edges, "counts": counts}
+                for name, counts in self.stats.histograms().items()
+            },
+            "queue": {
+                "depth": self.queue.depth,
+                "queued": self.queue.queued,
+                "running": self.queue.running,
+                "capacity": self.queue.capacity,
+                "closed": self.queue.closed,
+            },
+            "store": {
+                "memory_hits": store_stats.memory_hits,
+                "disk_hits": store_stats.disk_hits,
+                "misses": store_stats.misses,
+                "writes": store_stats.writes,
+                "corrupt": store_stats.corrupt,
+            },
+            "uptime_seconds": round(time.monotonic() - self._start_time, 3),
+        }
+
+
+class _HttpError(Exception):
+    """Protocol-level failure mapped straight to an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status

@@ -1,0 +1,101 @@
+"""Unit tests for the CI bench-regression gate (no benchmarks run here).
+
+The checker compares a fresh ``bench_tracer.py`` payload against the
+committed baseline; these tests feed it synthetic payloads and the real
+committed baseline file to pin the gating semantics: correctness drift
+and big relative slowdowns fail, timing wobble only warns.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    Path(__file__).parent.parent / "benchmarks" / "check_bench_regression.py",
+)
+checker = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(checker)
+
+BASELINE_PATH = checker.DEFAULT_BASELINE
+
+
+@pytest.fixture()
+def baseline() -> dict:
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def test_committed_baseline_exists_and_is_quick_mode(baseline):
+    assert baseline["benchmark"] == "tracer_backends"
+    assert baseline["identical"] is True
+    assert baseline["scenes"], "baseline must cover at least one scene"
+    assert baseline["predict"]["identical_metrics"] is True
+
+
+def test_baseline_vs_itself_passes(baseline):
+    report = checker.compare(baseline, baseline, max_slowdown=0.30)
+    assert not report.failed
+    assert not report.warned
+
+
+def test_slowdown_within_band_only_warns(baseline):
+    current = copy.deepcopy(baseline)
+    for entry in current["scenes"]:
+        entry["rays_per_sec_speedup"] *= 0.85  # -15%: noise territory
+    report = checker.compare(current, baseline, max_slowdown=0.30)
+    assert report.warned
+    assert not report.failed
+
+
+def test_slowdown_beyond_band_fails(baseline):
+    current = copy.deepcopy(baseline)
+    current["scenes"][0]["rays_per_sec_speedup"] *= 0.5  # -50%
+    report = checker.compare(current, baseline, max_slowdown=0.30)
+    assert report.failed
+
+
+def test_metric_drift_fails_even_when_fast(baseline):
+    current = copy.deepcopy(baseline)
+    current["predict"]["metrics"]["cycles"] += 1e-9
+    current["predict"]["speedup"] *= 10  # speed cannot buy back correctness
+    report = checker.compare(current, baseline, max_slowdown=0.30)
+    assert report.failed
+    assert any("metrics drifted" in line for line in report.lines)
+
+
+def test_backend_divergence_fails(baseline):
+    current = copy.deepcopy(baseline)
+    current["identical"] = False
+    report = checker.compare(current, baseline, max_slowdown=0.30)
+    assert report.failed
+
+
+def test_ray_count_drift_fails(baseline):
+    current = copy.deepcopy(baseline)
+    current["scenes"][0]["packet"]["rays"] += 1
+    report = checker.compare(current, baseline, max_slowdown=0.30)
+    assert report.failed
+
+
+def test_unknown_scene_only_warns(baseline):
+    current = copy.deepcopy(baseline)
+    extra = copy.deepcopy(current["scenes"][0])
+    extra["scene"] = "NEWSCENE"
+    current["scenes"].append(extra)
+    report = checker.compare(current, baseline, max_slowdown=0.30)
+    assert not report.failed
+    assert any("NEWSCENE" in line and "no baseline" in line
+               for line in report.lines)
+
+
+def test_speedup_improvement_passes(baseline):
+    current = copy.deepcopy(baseline)
+    for entry in current["scenes"]:
+        entry["rays_per_sec_speedup"] *= 1.5
+    report = checker.compare(current, baseline, max_slowdown=0.30)
+    assert not report.failed

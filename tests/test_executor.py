@@ -216,3 +216,55 @@ class TestCheckpointing:
             ExecutionPolicy(checkpoint_dir=tmp_path, resume=True)
         ).run(square, 4)
         assert resumed.resumed == (0, 1, 2, 3)
+
+
+class TestSerialFallback:
+    """workers > 1 on a platform without ``fork`` degrades loudly."""
+
+    @pytest.fixture()
+    def no_fork(self, monkeypatch):
+        import repro.core.executor as executor_module
+
+        monkeypatch.setattr(
+            executor_module.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+
+    def test_fallback_is_recorded_and_warned(self, no_fork, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.core.executor"):
+            report = GroupExecutor(ExecutionPolicy(workers=3)).run(square, 4)
+        assert report.serial_fallback is True
+        # The degrade changes scheduling, never results.
+        assert report.results == {i: i * i for i in range(4)}
+        assert any(
+            "workers=3" in record.message and "fork" in record.message
+            for record in caplog.records
+        )
+
+    def test_serial_request_does_not_flag_fallback(self, no_fork, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.core.executor"):
+            report = GroupExecutor(ExecutionPolicy(workers=1)).run(square, 3)
+        assert report.serial_fallback is False
+        assert not caplog.records
+
+    def test_forked_execution_does_not_flag_fallback(self):
+        report = GroupExecutor(ExecutionPolicy(workers=2)).run(square, 4)
+        assert report.serial_fallback is False
+
+    def test_fallback_surfaces_on_zatel_result(
+        self, no_fork, small_scene, small_frame
+    ):
+        from repro.core import Zatel
+        from repro.gpu import MOBILE_SOC
+
+        result = Zatel(MOBILE_SOC).predict(small_scene, small_frame, workers=2)
+        assert result.serial_fallback is True
+        # And the same prediction run serially reports no fallback.
+        serial = Zatel(MOBILE_SOC).predict(small_scene, small_frame)
+        assert serial.serial_fallback is False
+        assert serial.metrics == result.metrics

@@ -1,0 +1,502 @@
+"""Tests for the HTTP prediction service and its building blocks.
+
+The HTTP-level tests boot a real :class:`ZatelService` on an ephemeral
+port with an *injected* executor function, so queue/coalescing/shutdown
+behaviour is exercised over actual sockets without paying for real
+predictions.  One end-to-end test at the bottom runs the genuine
+pipeline on a tiny plane and checks the served payload against a local
+in-process prediction.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.stages.requests import PredictSpec
+from repro.core.stages.singleflight import SingleFlight
+from repro.gpu.telemetry import ServiceStats
+from repro.harness.runner import Runner
+from repro.harness.service import ServiceRunner
+from repro.service import (
+    JobQueue,
+    QueueClosedError,
+    QueueFullError,
+    ResultCache,
+    ZatelService,
+    parse_predict_payload,
+)
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _post(base: str, body: dict) -> tuple[int, dict, dict]:
+    """POST /predict; returns (status, payload, headers) without raising."""
+    request = urllib.request.Request(
+        f"{base}/predict", data=json.dumps(body).encode(), method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+def _get(base: str, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(f"{base}{path}", timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _payload_for(spec) -> dict:
+    return {
+        "scene": spec.scene,
+        "metrics": {"cycles": float(spec.size)},
+        "degraded": False,
+    }
+
+
+@pytest.fixture()
+def service_factory(tmp_path):
+    """Builds services on ephemeral ports; tears them down afterwards."""
+    contexts = []
+
+    def build(**kwargs) -> tuple[ZatelService, str]:
+        kwargs.setdefault("runner", Runner(cache_dir=tmp_path / "cache"))
+        kwargs.setdefault("workers", 1)
+        kwargs.setdefault("queue_capacity", 4)
+        service = ZatelService(port=0, **kwargs)
+        ctx = service.background()
+        ctx.__enter__()
+        contexts.append(ctx)
+        return service, f"http://127.0.0.1:{service.port}"
+
+    yield build
+    for ctx in reversed(contexts):
+        ctx.__exit__(None, None, None)
+
+
+# ---------------------------------------------------------------------------
+# SingleFlight
+# ---------------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_do_runs_leader_once_and_shares_value(self):
+        flights = SingleFlight()
+        calls = []
+        release = threading.Event()
+
+        def compute():
+            calls.append(1)
+            release.wait(5)
+            return 42
+
+        results = []
+
+        def worker():
+            results.append(flights.do("k", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        # Wait until the leader is inside compute, then release everyone.
+        deadline = time.monotonic() + 5
+        while not calls and time.monotonic() < deadline:
+            time.sleep(0.01)
+        release.set()
+        for t in threads:
+            t.join(5)
+        assert len(calls) == 1
+        assert [value for value, _ in results] == [42] * 4
+        assert sum(1 for _, coalesced in results if not coalesced) == 1
+
+    def test_do_propagates_leader_error_to_followers(self):
+        flights = SingleFlight()
+
+        def boom():
+            raise RuntimeError("leader failed")
+
+        with pytest.raises(RuntimeError, match="leader failed"):
+            flights.do("k", boom)
+        # The key is released afterwards: a retry runs fresh.
+        value, coalesced = flights.do("k", lambda: 7)
+        assert (value, coalesced) == (7, False)
+
+    def test_join_coalesces_until_finish(self):
+        flights = SingleFlight()
+        first, created = flights.join("k", lambda: object())
+        again, created2 = flights.join("k", lambda: object())
+        assert created and not created2
+        assert again is first
+        flights.finish("k")
+        fresh, created3 = flights.join("k", lambda: object())
+        assert created3 and fresh is not first
+
+    def test_join_factory_error_inserts_nothing(self):
+        flights = SingleFlight()
+        with pytest.raises(ValueError):
+            flights.join("k", lambda: (_ for _ in ()).throw(ValueError("no")))
+        assert flights.get("k") is None
+        assert len(flights) == 0
+
+
+# ---------------------------------------------------------------------------
+# protocol validation
+# ---------------------------------------------------------------------------
+
+
+class TestParsePredictPayload:
+    def test_minimal_valid(self):
+        spec, wait = parse_predict_payload({"scene": "SPRNG"})
+        assert spec == PredictSpec(scene="SPRNG")
+        assert wait is True
+
+    def test_full_round_trip(self):
+        spec, wait = parse_predict_payload(
+            {"scene": "BUNNY", "size": 32, "spp": 2, "seed": 5,
+             "backend": "scalar", "gpu": "rtx2060", "division": "coarse",
+             "distribution": "lintmp", "fraction": 0.5, "adaptive": True,
+             "wait": False}
+        )
+        assert spec.backend == "scalar"
+        assert spec.fraction == 0.5
+        assert wait is False
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            None,
+            [],
+            "scene",
+            {},  # missing scene
+            {"scene": "SPRNG", "sizzle": 9},  # unknown key
+            {"scene": "NOPE"},  # unknown scene
+            {"scene": "SPRNG", "size": "big"},  # wrong type
+            {"scene": "SPRNG", "size": True},  # bool is not an int
+            {"scene": "SPRNG", "size": 9999},  # out of range
+            {"scene": "SPRNG", "fraction": 1.5},  # out of range
+            {"scene": "SPRNG", "backend": "cuda"},
+            {"scene": "SPRNG", "wait": 1},  # wait must be bool
+        ],
+    )
+    def test_malformed_bodies_raise(self, body):
+        with pytest.raises(ValueError):
+            parse_predict_payload(body)
+
+
+# ---------------------------------------------------------------------------
+# JobQueue
+# ---------------------------------------------------------------------------
+
+
+class TestJobQueue:
+    def test_submit_next_complete_lifecycle(self):
+        queue = JobQueue(capacity=2)
+        job, created = queue.submit("a", PredictSpec(scene="SPRNG"))
+        assert created and job.status == "queued"
+        picked = queue.next(timeout=1)
+        assert picked is job and job.status == "running"
+        queue.complete(job, result={"ok": True})
+        assert job.status == "done" and job.wait(1)
+        assert queue.depth == 0
+
+    def test_capacity_counts_queued_plus_running(self):
+        queue = JobQueue(capacity=2)
+        queue.submit("a", None)
+        running = queue.next(timeout=1)
+        queue.submit("b", None)  # 1 running + 1 queued = at capacity
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.submit("c", None)
+        assert excinfo.value.retry_after >= 1.0
+        queue.complete(running, result={})
+        job, created = queue.submit("c", None)  # capacity freed
+        assert created
+
+    def test_identical_keys_coalesce_without_consuming_capacity(self):
+        queue = JobQueue(capacity=1)
+        job, created = queue.submit("same", None)
+        again, created2 = queue.submit("same", None)
+        assert created and not created2
+        assert again is job
+        assert queue.depth == 1
+
+    def test_closed_queue_rejects_submissions(self):
+        queue = JobQueue(capacity=1)
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.submit("a", None)
+
+    def test_drain_waits_for_inflight(self):
+        queue = JobQueue(capacity=2)
+        queue.submit("a", None)
+        job = queue.next(timeout=1)
+        queue.close()
+
+        def finish_later():
+            time.sleep(0.1)
+            queue.complete(job, result={})
+
+        threading.Thread(target=finish_later).start()
+        assert queue.drain(timeout=5) is True
+
+    def test_drain_times_out_when_job_stuck(self):
+        queue = JobQueue(capacity=1)
+        queue.submit("a", None)
+        queue.next(timeout=1)  # running, never completed
+        queue.close()
+        assert queue.drain(timeout=0.1) is False
+
+
+# ---------------------------------------------------------------------------
+# ResultCache
+# ---------------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_hit_miss_accounting(self, tmp_path):
+        runner = Runner(cache_dir=tmp_path)
+        stats = ServiceStats()
+        cache = ResultCache(runner.store, stats)
+        assert cache.get("fp") is None
+        cache.put("fp", {"metrics": {"cycles": 1.0}})
+        assert cache.get("fp") == {"metrics": {"cycles": 1.0}}
+        assert stats.cache_misses == 1
+        assert stats.cache_hits == 1
+
+    def test_degraded_results_are_never_cached(self, tmp_path):
+        runner = Runner(cache_dir=tmp_path)
+        cache = ResultCache(runner.store)
+        cache.put("fp", {"metrics": {}, "degraded": True})
+        assert cache.contains("fp") is False
+
+
+# ---------------------------------------------------------------------------
+# ZatelService over HTTP (injected executor)
+# ---------------------------------------------------------------------------
+
+
+class TestServiceHttp:
+    def test_malformed_request_is_400(self, service_factory):
+        _, base = service_factory(executor_fn=_payload_for)
+        status, payload, _ = _post(base, {"scene": "SPRNG", "sizzle": 9})
+        assert status == 400
+        assert "sizzle" in payload["error"]
+        status, payload, _ = _post(base, {"scene": "SPRNG", "size": True})
+        assert status == 400
+        # non-JSON body
+        request = urllib.request.Request(
+            f"{base}/predict", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_unknown_paths_and_methods(self, service_factory):
+        _, base = service_factory(executor_fn=_payload_for)
+        assert _get(base, "/nope")[0] == 404
+        assert _get(base, "/jobs/zzz")[0] == 404
+        assert _get(base, "/predict")[0] == 405
+        assert _get(base, "/healthz")[1]["status"] == "ok"
+
+    def test_backpressure_returns_429_with_retry_after(self, service_factory):
+        gate = threading.Event()
+
+        def blocked(spec):
+            gate.wait(30)
+            return _payload_for(spec)
+
+        service, base = service_factory(
+            executor_fn=blocked, workers=1, queue_capacity=1, use_cache=False
+        )
+        try:
+            status, first, _ = _post(
+                base, {"scene": "SPRNG", "size": 16, "wait": False}
+            )
+            assert status == 202
+            # Wait for the worker to pick it up; depth stays 1 (running).
+            deadline = time.monotonic() + 5
+            while service.queue.running == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            status, payload, headers = _post(
+                base, {"scene": "SPRNG", "size": 32, "wait": False}
+            )
+            assert status == 429
+            assert "Retry-After" in headers
+            assert payload["retry_after"] >= 1.0
+            assert service.stats.rejected == 1
+        finally:
+            gate.set()
+
+    def test_concurrent_identical_requests_share_one_execution(
+        self, service_factory
+    ):
+        executions = []
+        gate = threading.Event()
+
+        def slow(spec):
+            executions.append(spec)
+            gate.wait(30)
+            return _payload_for(spec)
+
+        service, base = service_factory(
+            executor_fn=slow, workers=2, use_cache=False
+        )
+        body = {"scene": "SPRNG", "size": 16}
+        results = []
+
+        def fire():
+            results.append(_post(base, body))
+
+        threads = [threading.Thread(target=fire) for _ in range(3)]
+        try:
+            for t in threads:
+                t.start()
+            deadline = time.monotonic() + 5
+            while len(executions) == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            # All three requests are in flight against ONE execution.
+            time.sleep(0.2)
+        finally:
+            gate.set()
+        for t in threads:
+            t.join(10)
+        assert len(executions) == 1
+        statuses = sorted(status for status, _, _ in results)
+        assert statuses == [200, 200, 200]
+        assert all(p["metrics"] == {"cycles": 16.0} for _, p, _ in results)
+        coalesced = sorted(p["coalesced"] for _, p, _ in results)
+        assert coalesced == [False, True, True]
+        assert service.stats.coalesced == 2
+
+    def test_cache_hit_and_miss_accounting(self, service_factory):
+        service, base = service_factory(executor_fn=_payload_for)
+        body = {"scene": "SPRNG", "size": 16}
+        status, first, _ = _post(base, body)
+        assert (status, first["cached"]) == (200, False)
+        status, second, _ = _post(base, body)
+        assert (status, second["cached"]) == (200, True)
+        assert second["metrics"] == first["metrics"]
+        _, metrics = _get(base, "/metrics")
+        counters = metrics["counters"]
+        assert counters["service.cache_hits"] == 1
+        assert counters["service.cache_misses"] == 1
+        assert counters["service.predicts"] == 2
+        assert counters["service.completed"] == 1
+        assert metrics["derived"]["service.cache_hit_rate"] == 0.5
+
+    def test_failed_execution_returns_500_with_error(self, service_factory):
+        def broken(spec):
+            raise RuntimeError("synthetic failure")
+
+        service, base = service_factory(executor_fn=broken, use_cache=False)
+        status, payload, _ = _post(base, {"scene": "SPRNG", "size": 16})
+        assert status == 500
+        assert "synthetic failure" in payload["error"]
+        assert service.stats.failed == 1
+
+    def test_async_submit_and_poll(self, service_factory):
+        _, base = service_factory(executor_fn=_payload_for)
+        status, ticket, _ = _post(
+            base, {"scene": "SPRNG", "size": 16, "wait": False}
+        )
+        assert status == 202 and ticket["job"]
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            status, job = _get(base, f"/jobs/{ticket['job']}")
+            if job["status"] == "done":
+                break
+            time.sleep(0.05)
+        assert job["status"] == "done"
+        assert job["result"]["metrics"] == {"cycles": 16.0}
+
+    def test_graceful_shutdown_drains_inflight_jobs(self, tmp_path):
+        started = threading.Event()
+
+        def slow(spec):
+            started.set()
+            time.sleep(0.3)
+            return _payload_for(spec)
+
+        service = ZatelService(
+            runner=Runner(cache_dir=tmp_path / "cache"), port=0,
+            workers=1, queue_capacity=4, executor_fn=slow, use_cache=False,
+        )
+        thread = threading.Thread(target=service.run, daemon=True)
+        thread.start()
+        assert service.started.wait(15)
+        base = f"http://127.0.0.1:{service.port}"
+        status, ticket, _ = _post(
+            base, {"scene": "SPRNG", "size": 16, "wait": False}
+        )
+        assert status == 202
+        assert started.wait(5)
+        service.shutdown()
+        thread.join(30)
+        assert not thread.is_alive()
+        # The in-flight job finished during drain instead of being dropped.
+        job = service.jobs[ticket["job"]]
+        assert job.status == "done"
+        assert job.result["metrics"] == {"cycles": 16.0}
+        assert service.queue.depth == 0
+
+    def test_submissions_after_close_get_503(self, service_factory):
+        service, base = service_factory(executor_fn=_payload_for)
+        service.queue.close()
+        status, payload, _ = _post(base, {"scene": "SPRNG", "size": 16})
+        assert status == 503
+        assert "shutting down" in payload["error"]
+
+
+# ---------------------------------------------------------------------------
+# end to end: the real pipeline through the service
+# ---------------------------------------------------------------------------
+
+
+class TestServiceEndToEnd:
+    def test_served_prediction_matches_local_pipeline(self, tmp_path):
+        runner = Runner(cache_dir=tmp_path / "cache")
+        spec = PredictSpec(scene="SPRNG", size=12)
+        local = ServiceRunner(runner).execute(spec)
+        service = ZatelService(
+            runner=runner, port=0, workers=1, queue_capacity=4
+        )
+        with service.background():
+            base = f"http://127.0.0.1:{service.port}"
+            status, served, _ = _post(base, {"scene": "SPRNG", "size": 12})
+        assert status == 200
+        assert served["metrics"] == local["metrics"]
+        assert served["downscale_factor"] == local["downscale_factor"]
+        assert served["degraded"] is False
+        assert served["serial_fallback"] is False
+
+
+class TestCliErrorMapping:
+    def test_unreachable_remote_is_execution_error_not_traceback(self):
+        from repro.cli.main import main
+
+        # Port 9 (discard) refuses connections; the CLI must map the
+        # client error to the execution-failure exit code, not crash.
+        code = main(
+            ["predict", "SPRNG", "--size", "16",
+             "--remote", "http://127.0.0.1:9"]
+        )
+        assert code == 3
+
+    def test_remote_rejects_local_only_flags(self):
+        from repro.cli.main import main
+
+        code = main(
+            ["predict", "SPRNG", "--size", "16",
+             "--remote", "http://127.0.0.1:9", "--compare"]
+        )
+        assert code == 2
