@@ -1,0 +1,164 @@
+"""Fleet chaos smoke test, run by CI's chaos-smoke job.
+
+Boots the real service as a coordinator with two supervised worker
+processes and a seeded chaos schedule, then checks the failover
+contract from the outside, over plain HTTP:
+
+1. ``zatel serve --fleet 2 --chaos ...`` comes up with two live fleet
+   workers visible on ``/healthz``;
+2. a ``POST /predict`` survives a worker being chaos-killed mid-run
+   (the lease re-dispatches; the supervisor respawns the process) and
+   a permanently-corrupted group (result validation rejects it every
+   dispatch until the budget exhausts): the response is
+   degraded-with-quorum — exactly one failed group in the audit, plane
+   coverage renormalized over the survivors — and the coordinator
+   never goes down;
+3. ``GET /metrics`` shows the failover happened: re-dispatches, a lost
+   worker, and rejected corrupt results;
+4. the service is still alive and ready afterwards.
+
+Run locally with::
+
+    PYTHONPATH=src python .github/scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+REQUEST = {
+    "scene": "SPRNG", "size": 24, "spp": 1, "seed": 0,
+    "backend": "packet", "gpu": "mobile",
+}
+
+# Group 2's first dispatch kills its worker (crash failover: the lease
+# re-dispatches, the supervisor respawns the process, the result is
+# unchanged).  Group 0's result is tampered on *every* dispatch, so its
+# lease exhausts the dispatch budget and the combine degrades with
+# quorum — the PR-1 semantics, now across process boundaries.
+CHAOS = json.dumps(
+    {
+        "hang_seconds": 3600.0,
+        "slow_seconds": 0.25,
+        "specs": [
+            {"kind": "kill", "group": 2, "attempts": 1, "worker": None},
+            {"kind": "corrupt", "group": 0, "attempts": -1, "worker": None},
+        ],
+    },
+    sort_keys=True,
+)
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _post(base: str, body: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        f"{base}/predict", data=json.dumps(body).encode(), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(base: str, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(f"{base}{path}", timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def main() -> int:
+    port = _free_port()
+    base = f"http://127.0.0.1:{port}"
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    with tempfile.TemporaryDirectory() as cache_dir:
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", str(port),
+             "--cache-dir", cache_dir, "--workers", "1",
+             "--fleet", "2", "--chaos", CHAOS],
+            env=env, cwd=REPO,
+        )
+        try:
+            # 1. coordinator up, with both fleet workers connected
+            deadline = time.monotonic() + 60
+            health: dict = {}
+            while time.monotonic() < deadline:
+                if server.poll() is not None:
+                    raise SystemExit("serve process died during startup")
+                try:
+                    _, health = _get(base, "/healthz")
+                    if health.get("fleet", {}).get("live_workers", 0) >= 2:
+                        break
+                except (urllib.error.URLError, ConnectionError):
+                    pass
+                time.sleep(0.2)
+            else:
+                raise SystemExit(
+                    f"fleet did not reach 2 live workers within 60s: {health}"
+                )
+            assert health["status"] == "ok", health
+
+            # 2. the chaos-riddled predict degrades with quorum, service up
+            status, served = _post(base, REQUEST)
+            assert status == 200, (status, served)
+            assert served["degraded"] is True, served
+            assert 0.0 < served["coverage"] < 1.0, served["coverage"]
+            failed_groups = [f["group"] for f in served["failures"]]
+            assert failed_groups == [0], served["failures"]
+            assert served["failures"][0]["error"] == "ResultValidationError", (
+                served["failures"]
+            )
+
+            # 3. /metrics shows the failover actually happened
+            status, metrics = _get(base, "/metrics")
+            assert status == 200
+            counters = metrics["counters"]
+            assert counters["fleet.redispatches"] >= 1, counters
+            assert counters["fleet.workers_lost"] >= 1, counters
+            assert counters["fleet.results_corrupt"] >= 1, counters
+
+            # 4. the coordinator survived the chaos and still takes traffic
+            assert server.poll() is None, "serve process died under chaos"
+            status, health = _get(base, "/healthz")
+            assert status == 200 and health["status"] == "ok", health
+            status, ready = _get(base, "/readyz")
+            assert status == 200, (status, ready)
+
+            print(
+                "chaos smoke OK: degraded-with-quorum served "
+                f"(coverage {served['coverage']:.3f}, failed groups "
+                f"{failed_groups}), redispatches "
+                f"{counters['fleet.redispatches']:.0f}, workers lost "
+                f"{counters['fleet.workers_lost']:.0f}, corrupt results "
+                f"rejected {counters['fleet.results_corrupt']:.0f}"
+            )
+            return 0
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ payload for everything else.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -51,8 +52,15 @@ class ZatelClient:
         timeout: per-request socket timeout in seconds.  A ``wait=true``
             predict blocks server-side for the whole computation, so
             this must cover the slowest expected prediction.
-        backpressure_retries: how many 429 responses to absorb (sleeping
-            for the server's ``Retry-After``) before giving up.
+        backpressure_retries: how many 429 responses to absorb before
+            giving up.
+        backoff_base/backoff_cap: capped exponential backoff between 429
+            retries.  The server's ``Retry-After`` hint, when present,
+            acts as a floor — but never trusts the server alone: a 429
+            without a hint still backs off instead of hot-looping.
+        retry_seed: seeds the backoff jitter deterministically, so retry
+            timing is reproducible in tests and no two misconfigured
+            clients are *forced* to sync up their retry storms.
     """
 
     def __init__(
@@ -60,22 +68,43 @@ class ZatelClient:
         base_url: str,
         timeout: float = 600.0,
         backpressure_retries: int = 5,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 30.0,
+        retry_seed: int = 0,
     ) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise ValueError(
                 f"base_url must start with http:// or https://, got {base_url!r}"
             )
+        if backoff_base < 0 or backoff_cap < 0:
+            raise ValueError("backoff delays must be non-negative")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.backpressure_retries = backpressure_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.retry_seed = retry_seed
+
+    def backoff_delay(self, attempt: int, hint: float | None = None) -> float:
+        """Sleep before retry ``attempt`` (0-based): capped exponential
+        with deterministic seeded jitter, floored by the server's
+        ``Retry-After`` ``hint`` when one was given."""
+        jitter = random.Random(self.retry_seed * 1_000_003 + attempt).random()
+        delay = min(
+            self.backoff_cap, self.backoff_base * (2.0**attempt) * (1.0 + jitter)
+        )
+        if hint is not None:
+            delay = max(delay, min(self.backoff_cap, hint))
+        return delay
 
     # -- endpoints ------------------------------------------------------
 
     def predict(self, request: dict[str, Any]) -> dict:
         """POST a predict request; returns the result payload.
 
-        Retries while the server answers 429 (queue full), sleeping for
-        its ``Retry-After`` hint each time.
+        Retries while the server answers 429 (queue full), backing off
+        exponentially — honoring the server's ``Retry-After`` hint as a
+        floor when present, and never hot-looping when it is absent.
         """
         attempts = self.backpressure_retries + 1
         for attempt in range(attempts):
@@ -84,7 +113,12 @@ class ZatelClient:
             except RemoteServiceError as error:
                 if error.status != 429 or attempt == attempts - 1:
                     raise
-                time.sleep(float(error.payload.get("retry_after", 1.0)))
+                raw_hint = error.payload.get("retry_after")
+                try:
+                    hint = float(raw_hint) if raw_hint is not None else None
+                except (TypeError, ValueError):
+                    hint = None
+                time.sleep(self.backoff_delay(attempt, hint))
         raise AssertionError("unreachable")
 
     def job(self, job_id: str) -> dict:
@@ -116,6 +150,11 @@ class ZatelClient:
 
     def health(self) -> dict:
         return self._request("GET", "/healthz")
+
+    def ready(self) -> dict:
+        """``GET /readyz``; raises :class:`RemoteServiceError` (503 with
+        the reasons payload) while the service is unready."""
+        return self._request("GET", "/readyz")
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")

@@ -96,6 +96,12 @@ class StageContext:
     without ``fork``.  Notes describe *this* execution only, so they are
     never cached with artifacts; drivers copy them onto their result
     (``ZatelResult.serial_fallback``) after resolving the graph.
+
+    ``fleet`` is an optional :class:`~repro.fleet.coordinator.
+    FleetCoordinator`: when present, :class:`~.concrete.
+    SimulateGroupStage` scatters group work to remote workers instead of
+    the in-process executor.  Like ``policy``, it changes *how* groups
+    run, never what they compute, so it is excluded from fingerprints.
     """
 
     store: ArtifactStore = field(default_factory=ArtifactStore)
@@ -103,6 +109,7 @@ class StageContext:
     policy: Any | None = None
     fault_plan: Any | None = None
     execution_notes: dict[str, Any] = field(default_factory=dict)
+    fleet: Any | None = None
 
 
 class Stage(ABC):

@@ -1,0 +1,55 @@
+"""Fault-tolerant distributed prediction fleet.
+
+Scatters :class:`~repro.core.stages.concrete.SimulateGroupStage` work
+from the service coordinator to a pool of worker processes over a
+JSON-lines socket protocol, with the content-addressed
+:class:`~repro.core.stages.store.ArtifactStore` as the shared bulk-data
+substrate.  Robustness machinery: lease-based assignment with
+deadlines, worker heartbeats and a coordinator watchdog, bounded
+re-dispatch with capped deterministic backoff, a per-worker circuit
+breaker, result validation, and graceful drain — all exercised by the
+seeded chaos harness in :mod:`repro.testing.chaos`.
+
+See ``docs/architecture.md`` ("Fleet & failure domains") for the lease
+lifecycle and failover state machine.
+"""
+
+from .coordinator import FleetCoordinator, FleetReport, WorkerHandle
+from .dispatch import (
+    bundle_key_for,
+    execute_lease,
+    make_result_validator,
+    pack_bundle,
+    result_key_for,
+    scatter_groups,
+)
+from .lease import FleetPolicy, Lease, LeaseTable
+from .protocol import (
+    FLEET_PROTOCOL_VERSION,
+    MAX_LINE_BYTES,
+    MessageChannel,
+    ProtocolError,
+)
+from .supervisor import WorkerSupervisor
+from .worker import FleetWorker
+
+__all__ = [
+    "FLEET_PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "FleetCoordinator",
+    "FleetPolicy",
+    "FleetReport",
+    "FleetWorker",
+    "Lease",
+    "LeaseTable",
+    "MessageChannel",
+    "ProtocolError",
+    "WorkerHandle",
+    "WorkerSupervisor",
+    "bundle_key_for",
+    "execute_lease",
+    "make_result_validator",
+    "pack_bundle",
+    "result_key_for",
+    "scatter_groups",
+]

@@ -1,0 +1,681 @@
+"""The fleet coordinator: scatter, gather, and survive.
+
+:class:`FleetCoordinator` owns the server side of the fleet protocol.
+It listens for worker connections, scatters leased group work to them,
+and gathers result *keys* — the artifacts themselves travel through the
+shared :class:`~repro.core.stages.store.ArtifactStore`.  Robustness is
+the point:
+
+* **heartbeat watchdog** — workers beat on a fixed cadence; a worker
+  silent past ``heartbeat_grace`` (hung, OOM-killed, partitioned) is
+  declared dead and its leases re-queue immediately;
+* **lease deadlines** — every dispatch carries a wall-clock budget; an
+  assigned lease past its deadline is revoked and re-queued even if the
+  worker still heartbeats (catches the "alive but wedged on this task"
+  case);
+* **bounded re-dispatch** — each lease gets at most ``max_dispatches``
+  attempts with capped-exponential deterministically-jittered backoff,
+  then fails permanently and flows into the degraded quorum combine
+  exactly like a process-level group failure (PR 1 semantics);
+* **circuit breaker** — a worker that fails ``breaker_failures`` leases
+  consecutively is ejected (told to shut down, never re-leased), so one
+  corrupting host cannot burn every lease's dispatch budget;
+* **result validation** — a pluggable validator inspects each reported
+  result artifact before the lease completes; tampered artifacts count
+  as failures and re-dispatch (the chaos harness's ``corrupt`` kind);
+* **graceful drain** — :meth:`drain` stops intake, lets in-flight
+  leases finish within a deadline, then tells workers to exit.
+
+All mutable state sits behind one condition variable; the watchdog
+thread, per-worker reader threads and :meth:`scatter` callers
+synchronize only through it.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import FailureRecord, GroupTimeoutError, WorkerCrashError
+from ..gpu.telemetry import FleetStats
+from .lease import LEASE_DONE, FleetPolicy, Lease, LeaseTable
+from .protocol import FLEET_PROTOCOL_VERSION, MessageChannel, ProtocolError
+
+__all__ = ["FleetCoordinator", "FleetReport", "WorkerHandle"]
+
+logger = logging.getLogger("repro.fleet")
+
+WORKER_LIVE = "live"
+WORKER_DEAD = "dead"
+WORKER_EJECTED = "ejected"
+WORKER_DRAINED = "drained"
+
+
+class WorkerHandle:
+    """Coordinator-side view of one connected worker."""
+
+    __slots__ = (
+        "id", "channel", "address", "pid", "state", "last_heartbeat",
+        "consecutive_failures", "completed", "connected_at",
+    )
+
+    def __init__(
+        self, worker_id: str, channel: MessageChannel, address: Any, pid: int
+    ) -> None:
+        self.id = worker_id
+        self.channel = channel
+        self.address = address
+        self.pid = pid
+        self.state = WORKER_LIVE
+        self.last_heartbeat = time.monotonic()
+        self.consecutive_failures = 0
+        self.completed = 0
+        self.connected_at = time.monotonic()
+
+    @property
+    def live(self) -> bool:
+        return self.state == WORKER_LIVE
+
+    def describe(self, now: float) -> dict:
+        return {
+            "id": self.id,
+            "state": self.state,
+            "pid": self.pid,
+            "completed": self.completed,
+            "consecutive_failures": self.consecutive_failures,
+            "heartbeat_age_seconds": round(now - self.last_heartbeat, 3),
+        }
+
+
+@dataclass
+class FleetReport:
+    """Everything one :meth:`FleetCoordinator.scatter` observed.
+
+    Mirrors :class:`~repro.core.executor.ExecutionReport` at fleet
+    granularity: ``results`` maps group index to the result's artifact
+    key; ``failures`` audits permanently-lost groups; ``dispatches``
+    counts lease dispatch attempts per group (the fleet analogue of
+    per-group ``attempts``).
+    """
+
+    results: dict[int, str] = field(default_factory=dict)
+    failures: list[FailureRecord] = field(default_factory=list)
+    dispatches: dict[int, int] = field(default_factory=dict)
+    redispatches: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.failures
+
+
+class FleetCoordinator:
+    """Scatters leased group work to a pool of socket-connected workers.
+
+    Args:
+        policy: robustness knobs (:class:`~.lease.FleetPolicy`).
+        host/port: fleet listener bind address; ``port=0`` picks an
+            ephemeral port (read ``self.port`` after :meth:`start`).
+        stats: a :class:`~repro.gpu.telemetry.FleetStats` to account
+            into (the service registers it on its telemetry bus).
+        result_validator: ``fn(lease) -> str | None`` — an error string
+            rejects the reported result (counts as a failed dispatch);
+            ``None`` accepts it.  The dispatch layer plugs in a check
+            that the artifact exists in the store and has the expected
+            shape.
+    """
+
+    def __init__(
+        self,
+        policy: FleetPolicy | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        stats: FleetStats | None = None,
+        result_validator: Callable[[Lease], str | None] | None = None,
+    ) -> None:
+        self.policy = policy if policy is not None else FleetPolicy()
+        self.host = host
+        self.port = port
+        self.stats = stats if stats is not None else FleetStats()
+        self.result_validator = result_validator
+        self.workers: dict[str, WorkerHandle] = {}
+        self.table = LeaseTable(self.policy)
+        self._cond = threading.Condition()
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._running = False
+        self._draining = False
+        self._job_counter = 0
+        self._no_workers_since: float | None = None
+        self._start_time = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "FleetCoordinator":
+        """Bind the fleet listener and start accept + watchdog threads."""
+        listener = socket.create_server(
+            (self.host, self.port), reuse_port=False
+        )
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._running = True
+        self._start_time = time.monotonic()
+        for target, name in (
+            (self._accept_loop, "fleet-accept"),
+            (self._watchdog_loop, "fleet-watchdog"),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        logger.info(
+            "fleet coordinator listening on %s:%d (lease timeout %gs, "
+            "heartbeat grace %gs, max dispatches %d)",
+            self.host, self.port, self.policy.lease_timeout,
+            self.policy.heartbeat_grace, self.policy.max_dispatches,
+        )
+        return self
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful stop: no new scatters, in-flight leases may finish.
+
+        Returns ``True`` when every active lease reached a terminal
+        state within ``timeout``; either way the fleet is shut down
+        afterwards (workers told to exit, listener closed).
+        """
+        with self._cond:
+            self._draining = True
+            active = len(self.table.active())
+        if active:
+            logger.info("fleet draining %d in-flight lease(s)", active)
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        clean = True
+        with self._cond:
+            while self.table.active():
+                remaining = (
+                    deadline - time.monotonic() if deadline is not None else None
+                )
+                if remaining is not None and remaining <= 0:
+                    clean = False
+                    break
+                self._cond.wait(remaining if remaining is None else min(remaining, 0.2))
+        self.close()
+        return clean
+
+    def close(self) -> None:
+        """Hard stop: fail active leases, dismiss workers, stop threads."""
+        with self._cond:
+            self._running = False
+            self._draining = True
+            for lease in self.table.active():
+                self.table.fail(
+                    lease,
+                    WorkerCrashError.__name__,
+                    "fleet coordinator shut down with the lease in flight",
+                )
+            for worker in self.workers.values():
+                if worker.live:
+                    self._send(worker, {"type": "shutdown", "reason": "close"})
+                    worker.state = WORKER_DRAINED
+                worker.channel.close()
+            self._cond.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads.clear()
+
+    # ------------------------------------------------------------------
+    # scatter / gather (the executor-facing API)
+    # ------------------------------------------------------------------
+
+    def scatter(
+        self,
+        bundle_key: str,
+        count: int,
+        timeout: float | None = None,
+    ) -> FleetReport:
+        """Lease out ``count`` groups of ``bundle_key``; gather results.
+
+        Blocks until every lease is terminal (``timeout`` bounds the
+        whole gather; leases still in flight at the deadline fail).
+        Never raises for individual group failures — like
+        :meth:`GroupExecutor.run`, those land in ``report.failures``
+        and the degraded quorum combine downstream decides their fate.
+
+        Raises:
+            RuntimeError: when the coordinator is draining or stopped.
+        """
+        with self._cond:
+            if not self._running or self._draining:
+                raise RuntimeError("fleet coordinator is not accepting work")
+            self._job_counter += 1
+            job = f"J{self._job_counter:06d}"
+            leases = [
+                self.table.add(job, bundle_key, index) for index in range(count)
+            ]
+            self._cond.notify_all()
+
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        with self._cond:
+            while not all(lease.terminal for lease in leases):
+                remaining = (
+                    deadline - time.monotonic() if deadline is not None else None
+                )
+                if remaining is not None and remaining <= 0:
+                    for lease in leases:
+                        if not lease.terminal:
+                            self.table.fail(
+                                lease,
+                                GroupTimeoutError.__name__,
+                                f"fleet gather exceeded {timeout:g}s with the "
+                                f"lease still {lease.state}",
+                            )
+                            self.stats.leases_failed += 1
+                    break
+                self._cond.wait(
+                    remaining if remaining is None else min(remaining, 0.2)
+                )
+            report = FleetReport()
+            for lease in leases:
+                report.dispatches[lease.index] = lease.dispatches
+                report.redispatches += max(0, lease.dispatches - 1)
+                if lease.state == LEASE_DONE and lease.result_key is not None:
+                    report.results[lease.index] = lease.result_key
+                else:
+                    report.failures.append(self.table.failure_record(lease))
+            report.failures.sort(key=lambda record: record.index)
+            self.table.forget_job(job)
+            return report
+
+    # ------------------------------------------------------------------
+    # accept / reader side
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running:
+            try:
+                conn, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            channel = MessageChannel(conn)
+            thread = threading.Thread(
+                target=self._reader_loop,
+                args=(channel, addr),
+                name=f"fleet-reader-{addr[1]}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _register(self, channel: MessageChannel, addr: Any) -> WorkerHandle | None:
+        """Handle the hello/welcome handshake; ``None`` rejects."""
+        try:
+            hello = channel.recv(timeout=10.0)
+        except (socket.timeout, ProtocolError, OSError):
+            channel.close()
+            return None
+        if (
+            hello is None
+            or hello.get("type") != "hello"
+            or not isinstance(hello.get("worker"), str)
+        ):
+            channel.close()
+            return None
+        if hello.get("version") != FLEET_PROTOCOL_VERSION:
+            try:
+                channel.send(
+                    {
+                        "type": "reject",
+                        "reason": (
+                            f"protocol version {hello.get('version')!r} != "
+                            f"{FLEET_PROTOCOL_VERSION}"
+                        ),
+                    }
+                )
+            except OSError:
+                pass
+            channel.close()
+            return None
+        worker_id = hello["worker"]
+        handle = WorkerHandle(worker_id, channel, addr, int(hello.get("pid", 0)))
+        with self._cond:
+            existing = self.workers.get(worker_id)
+            if existing is not None and existing.live:
+                channel.close()
+                logger.warning(
+                    "rejecting duplicate fleet worker id %r from %s",
+                    worker_id, addr,
+                )
+                return None
+            self.workers[worker_id] = handle
+            self.stats.workers_connected += 1
+            live = self._live_count()
+            if live > self.stats.workers_peak:
+                self.stats.workers_peak = live
+            self._no_workers_since = None
+            self._cond.notify_all()
+        try:
+            channel.send(
+                {
+                    "type": "welcome",
+                    "version": FLEET_PROTOCOL_VERSION,
+                    "heartbeat_interval": self.policy.heartbeat_interval,
+                }
+            )
+        except OSError:
+            with self._cond:
+                self._declare_dead(handle, "died during handshake")
+            return None
+        logger.info("fleet worker %s connected from %s", worker_id, addr)
+        return handle
+
+    def _reader_loop(self, channel: MessageChannel, addr: Any) -> None:
+        worker = self._register(channel, addr)
+        if worker is None:
+            return
+        while True:
+            try:
+                message = channel.recv(timeout=1.0)
+            except socket.timeout:
+                if not self._running or not worker.live:
+                    return
+                continue
+            except (ProtocolError, OSError) as error:
+                with self._cond:
+                    if worker.live:
+                        self._declare_dead(worker, f"protocol failure: {error}")
+                return
+            if message is None:  # EOF: the worker process is gone
+                with self._cond:
+                    if worker.live:
+                        self._declare_dead(worker, "connection closed")
+                return
+            self._handle_message(worker, message)
+            if not worker.live:
+                return
+
+    def _handle_message(self, worker: WorkerHandle, message: dict) -> None:
+        kind = message.get("type")
+        if kind == "heartbeat":
+            with self._cond:
+                worker.last_heartbeat = time.monotonic()
+                self.stats.heartbeats += 1
+            return
+        if kind == "result":
+            self._handle_result(worker, message)
+            return
+        if kind == "error":
+            with self._cond:
+                worker.last_heartbeat = time.monotonic()
+                lease = self.table.leases.get(str(message.get("lease")))
+                if lease is not None and not lease.terminal:
+                    self._lease_failed(
+                        lease,
+                        worker,
+                        str(message.get("error", "SimulationError")),
+                        str(message.get("message", "worker reported an error")),
+                    )
+                self._cond.notify_all()
+            return
+        if kind == "goodbye":
+            with self._cond:
+                if worker.live:
+                    worker.state = WORKER_DRAINED
+                    self.stats.workers_drained += 1
+                    self._requeue_worker_leases(
+                        worker, "worker drained mid-lease"
+                    )
+                    self._cond.notify_all()
+            worker.channel.close()
+            logger.info(
+                "fleet worker %s drained (%s)",
+                worker.id, message.get("reason", "no reason"),
+            )
+            return
+        logger.debug("ignoring unknown fleet message type %r", kind)
+
+    def _handle_result(self, worker: WorkerHandle, message: dict) -> None:
+        with self._cond:
+            worker.last_heartbeat = time.monotonic()
+            lease = self.table.leases.get(str(message.get("lease")))
+        if lease is None:
+            return
+        result_key = str(message.get("key", ""))
+        lease.result_key = result_key
+        # Validate outside the lock: it reads an artifact from disk.
+        problem = (
+            self.result_validator(lease)
+            if self.result_validator is not None
+            else None
+        )
+        with self._cond:
+            if lease.terminal:
+                if lease.state != LEASE_DONE and problem is None:
+                    # A straggler dispatch beat the failure bookkeeping:
+                    # a valid result is a valid result — accept it.
+                    self.table.complete(lease, result_key)
+                    self.stats.leases_completed += 1
+                self._cond.notify_all()
+                return
+            if problem is not None:
+                self.stats.results_corrupt += 1
+                self._lease_failed(
+                    lease, worker, "ResultValidationError", problem
+                )
+            else:
+                self.table.complete(lease, result_key)
+                worker.consecutive_failures = 0
+                worker.completed += 1
+                self.stats.leases_completed += 1
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # failure handling (call with the lock held)
+    # ------------------------------------------------------------------
+
+    def _live_count(self) -> int:
+        return sum(1 for worker in self.workers.values() if worker.live)
+
+    def _lease_failed(
+        self, lease: Lease, worker: WorkerHandle | None, error: str, message: str
+    ) -> None:
+        """One dispatch failed: re-queue or exhaust, then breaker-check."""
+        requeued = self.table.release(lease, time.monotonic(), error, message)
+        if requeued:
+            self.stats.redispatches += 1
+        else:
+            self.stats.leases_failed += 1
+            logger.warning(
+                "fleet lease %s (group %d) permanently failed after %d "
+                "dispatch(es): %s: %s",
+                lease.id, lease.index, lease.dispatches, error, message,
+            )
+        if worker is not None and worker.live:
+            worker.consecutive_failures += 1
+            if worker.consecutive_failures >= self.policy.breaker_failures:
+                self._eject(worker)
+
+    def _eject(self, worker: WorkerHandle) -> None:
+        """Open the circuit breaker: dismiss a repeatedly-failing worker."""
+        worker.state = WORKER_EJECTED
+        self.stats.workers_ejected += 1
+        logger.warning(
+            "ejecting fleet worker %s after %d consecutive failures",
+            worker.id, worker.consecutive_failures,
+        )
+        self._requeue_worker_leases(worker, "worker ejected by circuit breaker")
+        self._send(worker, {"type": "shutdown", "reason": "circuit breaker"})
+        worker.channel.close()
+
+    def _declare_dead(self, worker: WorkerHandle, reason: str) -> None:
+        worker.state = WORKER_DEAD
+        self.stats.workers_lost += 1
+        logger.warning("fleet worker %s declared dead: %s", worker.id, reason)
+        self._requeue_worker_leases(worker, f"worker died ({reason})")
+        worker.channel.close()
+        if self._live_count() == 0:
+            self._no_workers_since = time.monotonic()
+        self._cond.notify_all()
+
+    def _requeue_worker_leases(self, worker: WorkerHandle, reason: str) -> None:
+        for lease in self.table.assigned_to(worker.id):
+            self._lease_failed(
+                lease, None, WorkerCrashError.__name__,
+                f"group {lease.index}: {reason}",
+            )
+
+    # ------------------------------------------------------------------
+    # watchdog + dispatch
+    # ------------------------------------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        while self._running:
+            with self._cond:
+                self._tick(time.monotonic())
+            time.sleep(self.policy.watchdog_interval)
+
+    def _tick(self, now: float) -> None:
+        """One watchdog pass (lock held): deaths, expiries, dispatch."""
+        # 1. heartbeat silence -> dead (hung workers stop beating too).
+        for worker in list(self.workers.values()):
+            if (
+                worker.live
+                and now - worker.last_heartbeat > self.policy.heartbeat_grace
+            ):
+                self._declare_dead(
+                    worker,
+                    f"no heartbeat for {now - worker.last_heartbeat:.1f}s "
+                    f"(grace {self.policy.heartbeat_grace:g}s)",
+                )
+        # 2. assigned leases past deadline -> revoke and re-queue.
+        for lease in self.table.expired(now):
+            self.stats.leases_expired += 1
+            holder = self.workers.get(lease.worker or "")
+            self._lease_failed(
+                lease,
+                holder,
+                GroupTimeoutError.__name__,
+                f"group {lease.index} exceeded the "
+                f"{self.policy.lease_timeout:g}s lease deadline on worker "
+                f"{lease.worker}",
+            )
+        # 3. a fleet with no live workers cannot make progress: fail
+        #    pending leases after a grace period instead of wedging.
+        if self._live_count() == 0:
+            if self.table.pending_count():
+                if self._no_workers_since is None:
+                    self._no_workers_since = now
+                elif now - self._no_workers_since > self.policy.no_worker_grace:
+                    for lease in self.table.active():
+                        self.table.fail(
+                            lease,
+                            WorkerCrashError.__name__,
+                            f"no live fleet workers for "
+                            f"{self.policy.no_worker_grace:g}s",
+                        )
+                        self.stats.leases_failed += 1
+                    self._cond.notify_all()
+        else:
+            self._no_workers_since = None
+        # 4. dispatch ready leases to the least-loaded live workers.
+        self._dispatch(now)
+
+    def _dispatch(self, now: float) -> None:
+        ready = sorted(self.table.ready(now), key=lambda lease: lease.id)
+        if not ready:
+            return
+        for lease in ready:
+            candidates = [
+                worker
+                for worker in self.workers.values()
+                if worker.live
+                and len(self.table.assigned_to(worker.id)) < self.policy.worker_slots
+            ]
+            if not candidates:
+                return
+            worker = min(
+                candidates,
+                key=lambda w: (len(self.table.assigned_to(w.id)), w.id),
+            )
+            self.table.assign(lease, worker.id, now)
+            self.stats.leases_dispatched += 1
+            inflight = sum(
+                1 for entry in self.table.leases.values()
+                if entry.state == "assigned"
+            )
+            if inflight > self.stats.leases_inflight_peak:
+                self.stats.leases_inflight_peak = inflight
+            if not self._send(
+                worker,
+                {
+                    "type": "lease",
+                    "lease": lease.id,
+                    "bundle": lease.bundle_key,
+                    "index": lease.index,
+                    "attempt": lease.dispatches - 1,
+                    "deadline_seconds": self.policy.lease_timeout,
+                },
+            ):
+                self._declare_dead(worker, "send failed")
+
+    def _send(self, worker: WorkerHandle, message: dict) -> bool:
+        try:
+            worker.channel.send(message)
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def live_workers(self) -> int:
+        with self._cond:
+            return self._live_count()
+
+    def below_quorum(self) -> bool:
+        """Whether the fleet is too small to honor its readiness quorum."""
+        return self.live_workers() < self.policy.min_workers
+
+    def fleet_view(self) -> dict:
+        """JSON-able fleet state for ``/healthz`` and ``/metrics``."""
+        now = time.monotonic()
+        with self._cond:
+            active = self.table.active()
+            return {
+                "address": self.address,
+                "draining": self._draining,
+                "live_workers": self._live_count(),
+                "quorum": self.policy.min_workers,
+                "workers": [
+                    worker.describe(now)
+                    for worker in sorted(
+                        self.workers.values(), key=lambda w: w.id
+                    )
+                ],
+                "leases": {
+                    "active": len(active),
+                    "pending": sum(
+                        1 for lease in active if lease.state == "pending"
+                    ),
+                    "assigned": sum(
+                        1 for lease in active if lease.state == "assigned"
+                    ),
+                },
+            }

@@ -1,0 +1,298 @@
+"""Lease-based work assignment: the fleet's unit of failure recovery.
+
+A *lease* is the right to compute one group of one scattered job for a
+bounded time.  Ownership is always explicit — a lease is ``pending``
+(queued, possibly backing off), ``assigned`` (held by one worker with a
+deadline), or terminal (``done`` / ``failed``) — so every failover
+question ("who was computing group 3 when worker w1 died?") has an
+answer in the table, and re-queueing after a crash is a state
+transition, not a guess.
+
+The lifecycle::
+
+        add()                 assign(worker)
+    ──────────▶  PENDING  ─────────────────────▶  ASSIGNED
+                   ▲                                 │
+                   │  release(): re-dispatch         │ complete() ─▶ DONE
+                   │  (capped-backoff delay,         │
+                   │   bounded by max_dispatches)    │ release() on
+                   └─────────────────────────────────┘ error / expiry /
+                                                       worker death
+                               │
+                               └─ dispatches exhausted ─▶ FAILED
+
+Backoff between dispatches is capped exponential with deterministic
+seeded jitter — the same ``(seed, index, attempt)`` pure function the
+process-level :class:`~repro.core.executor.ExecutionPolicy` uses, so a
+chaos schedule replays identically across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import FailureRecord
+
+__all__ = [
+    "LEASE_ASSIGNED",
+    "LEASE_DONE",
+    "LEASE_FAILED",
+    "LEASE_PENDING",
+    "FleetPolicy",
+    "Lease",
+    "LeaseTable",
+]
+
+LEASE_PENDING = "pending"
+LEASE_ASSIGNED = "assigned"
+LEASE_DONE = "done"
+LEASE_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class FleetPolicy:
+    """Coordinator-side robustness knobs.
+
+    Execution-only, like :class:`~repro.core.executor.ExecutionPolicy`:
+    these change how the fleet schedules and recovers work, never what a
+    prediction computes — a fleet run with no faults is byte-identical
+    to the single-process path.
+
+    Attributes:
+        lease_timeout: per-dispatch wall-clock budget; an assigned lease
+            past its deadline is revoked and re-queued.
+        heartbeat_interval: cadence workers are told to beat at.
+        heartbeat_grace: silence after which the watchdog declares a
+            worker dead (its leases re-queue; must comfortably exceed
+            the interval).
+        max_dispatches: total dispatch attempts per lease before it is
+            recorded as permanently failed (degraded-combine input).
+        backoff_base/backoff_cap/seed: capped exponential re-dispatch
+            backoff with deterministic seeded jitter.
+        breaker_failures: consecutive failures after which a worker's
+            circuit breaker opens and the worker is ejected.
+        worker_slots: concurrent leases one worker may hold.
+        min_workers: readiness quorum — below this many live workers
+            the coordinator reports itself unready.
+        no_worker_grace: how long pending leases may wait with zero
+            live workers before failing fast (prevents a dead fleet
+            from wedging a predict forever).
+        watchdog_interval: coordinator watchdog tick.
+    """
+
+    lease_timeout: float = 120.0
+    heartbeat_interval: float = 0.5
+    heartbeat_grace: float = 5.0
+    max_dispatches: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    seed: int = 0
+    breaker_failures: int = 3
+    worker_slots: int = 1
+    min_workers: int = 1
+    no_worker_grace: float = 30.0
+    watchdog_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_grace <= self.heartbeat_interval:
+            raise ValueError(
+                "heartbeat_grace must exceed heartbeat_interval, or every "
+                "scheduling hiccup counts as a death"
+            )
+        if self.max_dispatches < 1:
+            raise ValueError("max_dispatches must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.breaker_failures < 1:
+            raise ValueError("breaker_failures must be >= 1")
+        if self.worker_slots < 1:
+            raise ValueError("worker_slots must be >= 1")
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+
+    def backoff_delay(self, index: int, attempt: int) -> float:
+        """Deterministic delay before dispatch ``attempt`` of group
+        ``index`` — same shape as ``ExecutionPolicy.backoff_delay``."""
+        jitter = random.Random(
+            (self.seed * 1_000_003 + index) * 97 + attempt
+        ).random()
+        delay = self.backoff_base * (2.0 ** max(0, attempt - 1)) * (1.0 + jitter)
+        return min(self.backoff_cap, delay)
+
+
+class Lease:
+    """One group's dispatchable unit of work within a scattered job."""
+
+    __slots__ = (
+        "id", "job", "bundle_key", "index", "state", "dispatches",
+        "worker", "deadline", "not_before", "result_key",
+        "last_error", "last_message",
+    )
+
+    def __init__(self, lease_id: str, job: str, bundle_key: str, index: int) -> None:
+        self.id = lease_id
+        self.job = job
+        self.bundle_key = bundle_key
+        self.index = index
+        self.state = LEASE_PENDING
+        #: Dispatch attempts consumed (== the ``attempt`` workers see).
+        self.dispatches = 0
+        self.worker: str | None = None
+        self.deadline: float | None = None
+        self.not_before = 0.0
+        self.result_key: str | None = None
+        self.last_error: str | None = None
+        self.last_message: str | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (LEASE_DONE, LEASE_FAILED)
+
+    def describe(self) -> dict:
+        """JSON-able state for the ``/healthz`` fleet view."""
+        return {
+            "lease": self.id,
+            "index": self.index,
+            "state": self.state,
+            "dispatches": self.dispatches,
+            "worker": self.worker,
+        }
+
+
+class LeaseTable:
+    """All live leases, indexed for the coordinator's scheduling loop.
+
+    Not thread-safe on its own — the coordinator serializes access
+    under its single lock; the table only encodes the state machine.
+    """
+
+    def __init__(self, policy: FleetPolicy) -> None:
+        self.policy = policy
+        self.leases: dict[str, Lease] = {}
+        self._counter = 0
+
+    # -- creation -------------------------------------------------------
+
+    def add(self, job: str, bundle_key: str, index: int) -> Lease:
+        self._counter += 1
+        lease = Lease(f"L{self._counter:06d}", job, bundle_key, index)
+        self.leases[lease.id] = lease
+        return lease
+
+    # -- scheduling queries ---------------------------------------------
+
+    def ready(self, now: float) -> list[Lease]:
+        """Pending leases whose backoff has elapsed, FIFO by id."""
+        return [
+            lease
+            for lease in self.leases.values()
+            if lease.state == LEASE_PENDING and lease.not_before <= now
+        ]
+
+    def next_wakeup(self) -> float | None:
+        """Earliest future time at which scheduling state can change."""
+        times = [
+            lease.not_before
+            for lease in self.leases.values()
+            if lease.state == LEASE_PENDING
+        ]
+        times += [
+            lease.deadline
+            for lease in self.leases.values()
+            if lease.state == LEASE_ASSIGNED and lease.deadline is not None
+        ]
+        return min(times) if times else None
+
+    def assigned_to(self, worker: str) -> list[Lease]:
+        return [
+            lease
+            for lease in self.leases.values()
+            if lease.state == LEASE_ASSIGNED and lease.worker == worker
+        ]
+
+    def expired(self, now: float) -> list[Lease]:
+        return [
+            lease
+            for lease in self.leases.values()
+            if lease.state == LEASE_ASSIGNED
+            and lease.deadline is not None
+            and now > lease.deadline
+        ]
+
+    def pending_count(self) -> int:
+        return sum(
+            1 for lease in self.leases.values() if lease.state == LEASE_PENDING
+        )
+
+    def active(self) -> list[Lease]:
+        return [lease for lease in self.leases.values() if not lease.terminal]
+
+    # -- transitions ----------------------------------------------------
+
+    def assign(self, lease: Lease, worker: str, now: float) -> None:
+        assert lease.state == LEASE_PENDING, lease.state
+        lease.state = LEASE_ASSIGNED
+        lease.worker = worker
+        lease.dispatches += 1
+        lease.deadline = now + self.policy.lease_timeout
+        lease.last_error = None
+        lease.last_message = None
+
+    def complete(self, lease: Lease, result_key: str) -> None:
+        lease.state = LEASE_DONE
+        lease.result_key = result_key
+        lease.worker = None
+        lease.deadline = None
+
+    def release(
+        self, lease: Lease, now: float, error: str, message: str
+    ) -> bool:
+        """Return a failed/revoked lease to the queue — or exhaust it.
+
+        Returns ``True`` when the lease re-queued (another dispatch is
+        allowed) and ``False`` when dispatch attempts are exhausted and
+        the lease is now permanently ``FAILED``.
+        """
+        lease.worker = None
+        lease.deadline = None
+        lease.last_error = error
+        lease.last_message = message
+        if lease.dispatches >= self.policy.max_dispatches:
+            lease.state = LEASE_FAILED
+            return False
+        lease.state = LEASE_PENDING
+        lease.not_before = now + self.policy.backoff_delay(
+            lease.index, lease.dispatches
+        )
+        return True
+
+    def fail(self, lease: Lease, error: str, message: str) -> None:
+        """Terminal failure without re-queueing (e.g. dead fleet)."""
+        lease.state = LEASE_FAILED
+        lease.worker = None
+        lease.deadline = None
+        lease.last_error = error
+        lease.last_message = message
+
+    def failure_record(self, lease: Lease, pixel_count: int = 0) -> FailureRecord:
+        return FailureRecord(
+            index=lease.index,
+            error=lease.last_error or "SimulationError",
+            message=lease.last_message or "fleet lease failed",
+            attempts=lease.dispatches,
+            pixel_count=pixel_count,
+        )
+
+    def forget_job(self, job: str) -> None:
+        """Drop a gathered job's leases so the table stays bounded."""
+        for lease_id in [
+            lease_id
+            for lease_id, lease in self.leases.items()
+            if lease.job == job
+        ]:
+            del self.leases[lease_id]

@@ -1,0 +1,138 @@
+"""JSON-lines wire protocol between the fleet coordinator and workers.
+
+Messages are single-line JSON objects terminated by ``\\n`` — small
+control traffic only (leases, heartbeats, result *keys*).  Bulk data
+(frame traces, group bundles, per-group predictions) never crosses the
+socket: it flows through the content-addressed
+:class:`~repro.core.stages.store.ArtifactStore` both sides share, so
+the protocol stays trivially inspectable and a slow socket can never
+back-pressure a simulation.
+
+Worker -> coordinator::
+
+    {"type": "hello", "worker": "w0", "pid": 123, "version": 1}
+    {"type": "heartbeat", "worker": "w0", "seq": 7}
+    {"type": "result", "lease": "L12", "key": "fleet_result_..."}
+    {"type": "error", "lease": "L12", "error": "SimulationError",
+     "message": "..."}
+    {"type": "goodbye", "worker": "w0", "reason": "sigterm"}
+
+Coordinator -> worker::
+
+    {"type": "welcome", "version": 1, "heartbeat_interval": 0.5}
+    {"type": "lease", "lease": "L12", "bundle": "<store key>",
+     "index": 3, "attempt": 0, "deadline_seconds": 60.0}
+    {"type": "reject", "reason": "protocol version mismatch"}
+    {"type": "shutdown", "reason": "drain"}
+
+Every message type carries ``type``; unknown types are ignored by both
+sides (forward compatibility).  Reads go through a timeout-tolerant
+line buffer bounded by :data:`MAX_LINE_BYTES`, so a misbehaving peer
+cannot balloon memory and short-timeout polling never loses bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any
+
+__all__ = [
+    "FLEET_PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "MessageChannel",
+    "ProtocolError",
+]
+
+FLEET_PROTOCOL_VERSION = 1
+
+#: Upper bound on one wire line; fleet control messages are < 1 KiB.
+MAX_LINE_BYTES = 64 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent something that is not a fleet protocol message."""
+
+
+class MessageChannel:
+    """One socket wrapped for framed, thread-safe message exchange.
+
+    Reads must come from a single thread (the owner's reader loop);
+    writes may come from any thread — sends are serialized by a lock so
+    a watchdog re-dispatch and a drain notice can never interleave
+    bytes on the wire.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        # Hand-rolled line buffer rather than sock.makefile(): a buffered
+        # file object raises "cannot read from timed out object" forever
+        # after one timeout, and timeouts are our normal polling idiom.
+        self._buffer = bytearray()
+        self._send_lock = threading.Lock()
+        self.closed = False
+
+    def send(self, message: dict[str, Any]) -> None:
+        """Write one message; raises ``OSError`` when the peer is gone."""
+        data = (json.dumps(message, sort_keys=True) + "\n").encode()
+        with self._send_lock:
+            self.sock.sendall(data)
+
+    def recv(self, timeout: float | None = None) -> dict[str, Any] | None:
+        """Read the next message.
+
+        Returns ``None`` on EOF (peer closed cleanly or died).  With a
+        ``timeout``, raises ``socket.timeout`` when nothing arrives in
+        time — callers poll this way to notice shutdown flags.
+
+        Raises:
+            ProtocolError: on an oversized or non-JSON-object line.
+        """
+        line = self._read_line(timeout)
+        if line is None:
+            return None
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"malformed fleet message: {error}") from None
+        if not isinstance(message, dict) or "type" not in message:
+            raise ProtocolError(
+                "fleet messages must be JSON objects with a 'type' field"
+            )
+        return message
+
+    def _read_line(self, timeout: float | None) -> bytes | None:
+        """One ``\\n``-terminated line, or ``None`` on EOF.
+
+        Partial data accumulated before a ``socket.timeout`` stays in
+        the buffer, so polling with short timeouts never loses bytes.
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[: newline + 1])
+                del self._buffer[: newline + 1]
+                return line
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ProtocolError(
+                    f"fleet message exceeds {MAX_LINE_BYTES} bytes"
+                )
+            self.sock.settimeout(timeout)
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                if self._buffer:
+                    raise ProtocolError(
+                        "connection closed mid-message "
+                        f"({len(self._buffer)} dangling bytes)"
+                    )
+                return None
+            self._buffer.extend(chunk)
+
+    def close(self) -> None:
+        """Tear the channel down (idempotent, never raises)."""
+        self.closed = True
+        try:
+            self.sock.close()
+        except OSError:
+            pass

@@ -1,0 +1,155 @@
+"""Worker-process supervision for ``zatel serve --fleet N``.
+
+The coordinator treats workers as cattle: any process that speaks the
+protocol may join.  :class:`WorkerSupervisor` is the piece that actually
+raises the herd — it spawns ``count`` ``zatel worker`` subprocesses
+pointed at the coordinator's listener and the shared cache directory,
+watches them, and respawns any that die (chaos kills, OOM, crashes)
+with a fresh worker id, up to a bounded respawn budget so a
+crash-looping configuration cannot fork-bomb the host.
+
+Worker stdout/stderr pass through to the service's own streams — worker
+logs interleave with coordinator logs, which is what an operator
+tailing one terminal wants.
+"""
+
+from __future__ import annotations
+
+import logging
+import signal
+import subprocess
+import sys
+import threading
+
+__all__ = ["WorkerSupervisor"]
+
+logger = logging.getLogger("repro.fleet")
+
+
+class WorkerSupervisor:
+    """Spawns and babysits a fixed-size pool of worker subprocesses.
+
+    Args:
+        address: the coordinator's ``host:port`` fleet listener.
+        cache_dir: shared artifact-store root (must match the service's).
+        count: pool size to maintain.
+        chaos_json: optional serialized chaos plan forwarded to each
+            worker via ``--chaos``.
+        max_respawns: total respawn budget across the pool's lifetime.
+        poll_interval: how often the monitor thread checks liveness.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        cache_dir: str,
+        count: int,
+        chaos_json: str | None = None,
+        max_respawns: int = 10,
+        poll_interval: float = 0.2,
+    ) -> None:
+        if count < 1:
+            raise ValueError("fleet size must be >= 1")
+        self.address = address
+        self.cache_dir = cache_dir
+        self.count = count
+        self.chaos_json = chaos_json
+        self.max_respawns = max_respawns
+        self.poll_interval = poll_interval
+        self.processes: dict[str, subprocess.Popen] = {}
+        self.respawns = 0
+        self._spawn_counter = 0
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._monitor: threading.Thread | None = None
+
+    def start(self) -> None:
+        for _ in range(self.count):
+            self._spawn()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="fleet-supervisor", daemon=True
+        )
+        self._monitor.start()
+        logger.info(
+            "fleet supervisor started %d worker process(es) -> %s",
+            self.count, self.address,
+        )
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """SIGTERM every worker (graceful drain), SIGKILL stragglers."""
+        self._stopping.set()
+        with self._lock:
+            procs = list(self.processes.values())
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    proc.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        for proc in procs:
+            try:
+                proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                logger.warning(
+                    "fleet worker pid %d ignored SIGTERM; killing", proc.pid
+                )
+                proc.kill()
+                proc.wait(timeout=5.0)
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
+
+    def live_count(self) -> int:
+        with self._lock:
+            return sum(
+                1 for proc in self.processes.values() if proc.poll() is None
+            )
+
+    # ------------------------------------------------------------------
+
+    def _spawn(self) -> None:
+        self._spawn_counter += 1
+        worker_id = f"w{self._spawn_counter}"
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--connect",
+            self.address,
+            "--cache-dir",
+            self.cache_dir,
+            "--worker-id",
+            worker_id,
+        ]
+        if self.chaos_json:
+            command += ["--chaos", self.chaos_json]
+        proc = subprocess.Popen(command)
+        with self._lock:
+            self.processes[worker_id] = proc
+        logger.info("spawned fleet worker %s (pid %d)", worker_id, proc.pid)
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(self.poll_interval):
+            with self._lock:
+                dead = [
+                    (worker_id, proc)
+                    for worker_id, proc in self.processes.items()
+                    if proc.poll() is not None
+                ]
+                for worker_id, _ in dead:
+                    del self.processes[worker_id]
+            for worker_id, proc in dead:
+                if self._stopping.is_set():
+                    return
+                logger.warning(
+                    "fleet worker %s (pid %d) exited with code %s",
+                    worker_id, proc.pid, proc.returncode,
+                )
+                if self.respawns >= self.max_respawns:
+                    logger.error(
+                        "fleet respawn budget (%d) exhausted; not replacing "
+                        "worker %s", self.max_respawns, worker_id,
+                    )
+                    continue
+                self.respawns += 1
+                self._spawn()

@@ -1,0 +1,264 @@
+"""The fleet worker: lease in, compute, artifact out, heartbeat always.
+
+A :class:`FleetWorker` connects to the coordinator, handshakes, then
+loops: receive a lease, execute its group via the shared
+:class:`~repro.core.stages.store.ArtifactStore` (see
+:func:`~repro.fleet.dispatch.execute_lease`), report the result *key*
+back.  A background thread heartbeats on the cadence the coordinator's
+``welcome`` prescribed, so the watchdog can tell "busy simulating" from
+"dead".
+
+Two modes share all of this logic:
+
+* **subprocess** (``zatel worker``) — the production shape; chaos kills
+  are a hard ``os._exit`` and the supervisor respawns the process;
+* **in-process** (``in_process=True``) — test workers running on
+  threads; chaos kills raise :class:`~repro.testing.chaos.WorkerKilled`,
+  which the run loop turns into an abrupt connection drop — exactly the
+  signal a crashed process leaves behind — without killing the test
+  runner.
+
+Workers are deliberately stateless between leases: every input comes
+from the store by key, every output goes back by key, so a worker that
+dies mid-lease loses nothing but time.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import socket
+import threading
+import time
+
+from ..core.stages.store import ArtifactStore
+from .dispatch import execute_lease
+from .protocol import FLEET_PROTOCOL_VERSION, MessageChannel, ProtocolError
+
+__all__ = ["FleetWorker"]
+
+logger = logging.getLogger("repro.fleet")
+
+
+class FleetWorker:
+    """One fleet worker process (or test thread).
+
+    Args:
+        host/port: the coordinator's fleet listener.
+        store: artifact store rooted at the *same directory* the
+            coordinator uses — the shared substrate all bulk data
+            crosses through.
+        worker_id: stable identity for lease accounting and chaos
+            targeting; defaults to ``w<pid>``.
+        chaos: optional chaos oracle (:class:`~repro.testing.chaos.
+            ChaosPlan`-shaped) fired before each leased group executes.
+        in_process: test mode — chaos kills drop the connection instead
+            of exiting the interpreter.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        store: ArtifactStore,
+        worker_id: str | None = None,
+        chaos=None,
+        in_process: bool = False,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.store = store
+        self.worker_id = worker_id if worker_id is not None else f"w{os.getpid()}"
+        self.chaos = chaos
+        self.in_process = in_process
+        self.channel: MessageChannel | None = None
+        self.heartbeat_interval = 0.5
+        self.completed = 0
+        self._draining = threading.Event()
+        self._mute_heartbeats = threading.Event()
+        self._stopped = threading.Event()
+        self._heartbeat_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def connect(self, timeout: float = 10.0) -> None:
+        """Dial the coordinator and complete the hello/welcome handshake."""
+        sock = socket.create_connection((self.host, self.port), timeout=timeout)
+        channel = MessageChannel(sock)
+        channel.send(
+            {
+                "type": "hello",
+                "worker": self.worker_id,
+                "pid": os.getpid(),
+                "version": FLEET_PROTOCOL_VERSION,
+            }
+        )
+        reply = channel.recv(timeout=timeout)
+        if reply is None or reply.get("type") != "welcome":
+            reason = (
+                reply.get("reason", "no reason given")
+                if isinstance(reply, dict)
+                else "connection closed during handshake"
+            )
+            channel.close()
+            raise RuntimeError(f"fleet coordinator rejected worker: {reason}")
+        self.heartbeat_interval = float(
+            reply.get("heartbeat_interval", self.heartbeat_interval)
+        )
+        self.channel = channel
+        logger.info(
+            "worker %s connected to fleet at %s:%d",
+            self.worker_id, self.host, self.port,
+        )
+
+    def request_drain(self) -> None:
+        """Ask the run loop to finish its current lease and exit cleanly
+        (the worker process's SIGTERM handler calls this)."""
+        self._draining.set()
+
+    def run(self) -> None:
+        """The worker main loop; returns when drained or dismissed."""
+        if self.channel is None:
+            self.connect()
+        assert self.channel is not None
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="fleet-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+        try:
+            self._serve_leases()
+        finally:
+            self._stopped.set()
+            self.channel.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        seq = 0
+        while not self._stopped.is_set():
+            if not self._mute_heartbeats.is_set():
+                seq += 1
+                try:
+                    self.channel.send(
+                        {"type": "heartbeat", "worker": self.worker_id, "seq": seq}
+                    )
+                except OSError:
+                    return
+            self._stopped.wait(self.heartbeat_interval)
+
+    def _serve_leases(self) -> None:
+        from ..testing.chaos import WorkerKilled
+
+        while True:
+            try:
+                message = self.channel.recv(timeout=0.2)
+            except socket.timeout:
+                if self._draining.is_set():
+                    self._say_goodbye("sigterm drain")
+                    return
+                continue
+            except (ProtocolError, OSError):
+                return
+            if message is None:  # coordinator gone
+                return
+            kind = message.get("type")
+            if kind == "shutdown":
+                logger.info(
+                    "worker %s dismissed by coordinator (%s)",
+                    self.worker_id, message.get("reason", "no reason"),
+                )
+                return
+            if kind == "lease":
+                try:
+                    self._execute(message)
+                except WorkerKilled:
+                    # Chaos kill, in-process mode: vanish abruptly — the
+                    # coordinator sees the same EOF a dead process leaves.
+                    return
+                if self._draining.is_set():
+                    self._say_goodbye("sigterm drain")
+                    return
+                continue
+            logger.debug("worker ignoring unknown message type %r", kind)
+
+    def _say_goodbye(self, reason: str) -> None:
+        try:
+            self.channel.send(
+                {"type": "goodbye", "worker": self.worker_id, "reason": reason}
+            )
+        except OSError:
+            pass
+
+    def _execute(self, message: dict) -> None:
+        lease_id = str(message.get("lease"))
+        bundle_key = str(message.get("bundle"))
+        index = int(message.get("index", -1))
+        attempt = int(message.get("attempt", 0))
+
+        action = (
+            self.chaos.action(self.worker_id, index, attempt)
+            if self.chaos is not None
+            else None
+        )
+        if action == "kill":
+            logger.warning(
+                "worker %s: chaos kill on group %d attempt %d",
+                self.worker_id, index, attempt,
+            )
+            self.chaos.die(self.in_process)
+        if action == "hang":
+            # A wedged worker does not heartbeat either — that silence is
+            # exactly what the coordinator's watchdog must catch.
+            logger.warning(
+                "worker %s: chaos hang on group %d attempt %d",
+                self.worker_id, index, attempt,
+            )
+            self._mute_heartbeats.set()
+            self.chaos.apply_timing("hang")
+            self._mute_heartbeats.clear()
+            return  # never reports; the lease expired long ago
+        if action == "slow":
+            self.chaos.apply_timing("slow")
+
+        started = time.perf_counter()
+        try:
+            if action == "corrupt":
+                from ..testing.chaos import CORRUPT_PAYLOAD
+                from .dispatch import result_key_for
+
+                result_key = result_key_for(bundle_key, index)
+                self.store.put(result_key, dict(CORRUPT_PAYLOAD))
+                logger.warning(
+                    "worker %s: chaos corrupted result for group %d",
+                    self.worker_id, index,
+                )
+            else:
+                result_key = execute_lease(self.store, bundle_key, index)
+        except Exception as error:  # noqa: BLE001 - reported, not raised
+            try:
+                self.channel.send(
+                    {
+                        "type": "error",
+                        "lease": lease_id,
+                        "error": type(error).__name__,
+                        "message": str(error),
+                    }
+                )
+            except OSError:
+                pass
+            return
+        self.completed += 1
+        try:
+            self.channel.send(
+                {"type": "result", "lease": lease_id, "key": result_key}
+            )
+        except OSError:
+            return
+        logger.info(
+            "worker %s finished group %d in %.3fs",
+            self.worker_id, index, time.perf_counter() - started,
+        )

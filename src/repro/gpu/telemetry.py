@@ -56,6 +56,7 @@ __all__ = [
     "RatioGauge",
     "StatGroup",
     "SERVICE_LATENCY_EDGES",
+    "FleetStats",
     "ServiceStats",
     "latency_bucket",
     "TimelineEvent",
@@ -435,6 +436,7 @@ class ServiceStats(StatGroup):
     invalid = Counter("requests rejected with 400 (validation failure)")
     completed = Counter("jobs that finished successfully")
     failed = Counter("jobs that raised an execution error")
+    abandoned = Counter("hung jobs force-failed at the shutdown drain deadline")
     queue_peak = MaxGauge("high-water mark of queued + running jobs")
     cache_hit_rate = RatioGauge(
         "cache_hits", "predicts", "fraction of accepted predictions served from cache"
@@ -464,6 +466,30 @@ class ServiceStats(StatGroup):
             for name, instrument in self._instruments.items()
             if isinstance(instrument, Histogram)
         }
+
+
+class FleetStats(StatGroup):
+    """The distributed fleet's counters (coordinator-side).
+
+    Registered on the service's :class:`TelemetryBus` under the
+    ``fleet`` component, so ``GET /metrics`` exposes failover behaviour
+    (re-dispatches, lost workers, open circuit breakers) through the
+    same substrate as everything else.
+    """
+
+    workers_connected = Counter("workers that completed registration")
+    workers_lost = Counter("workers declared dead (EOF, missed heartbeats)")
+    workers_ejected = Counter("workers ejected by the circuit breaker")
+    workers_drained = Counter("workers that said goodbye cleanly")
+    heartbeats = Counter("heartbeat messages received")
+    leases_dispatched = Counter("lease dispatch attempts sent to workers")
+    leases_completed = Counter("leases that returned a validated result")
+    leases_failed = Counter("leases permanently failed (dispatches exhausted)")
+    leases_expired = Counter("assigned leases revoked past their deadline")
+    redispatches = Counter("leases re-queued after a failure or expiry")
+    results_corrupt = Counter("worker results rejected by validation")
+    workers_peak = MaxGauge("high-water mark of simultaneously live workers")
+    leases_inflight_peak = MaxGauge("high-water mark of assigned leases")
 
 
 # ----------------------------------------------------------------------

@@ -75,11 +75,17 @@ class ServiceRunner:
         self,
         runner: Runner | None = None,
         policy: ExecutionPolicy | None = None,
+        fleet=None,
     ) -> None:
         self.runner = runner if runner is not None else shared_runner()
         #: Execution policy applied to every served prediction (an
         #: operator knob: how the service runs, never what it returns).
         self.policy = policy if policy is not None else ExecutionPolicy()
+        #: Optional :class:`~repro.fleet.coordinator.FleetCoordinator`:
+        #: when set, group simulations scatter to remote workers.  Like
+        #: ``policy``, purely an execution knob — results are
+        #: byte-identical to the in-process path when no faults occur.
+        self.fleet = fleet
 
     def fingerprint(self, spec: PredictSpec) -> str:
         """The spec's result-cache / single-flight key."""
@@ -119,7 +125,7 @@ class ServiceRunner:
         _, graph, terminal = build_spec_graph(
             spec, scene, frame, quorum=self.policy.quorum
         )
-        ctx = StageContext(store=runner.store, policy=self.policy)
+        ctx = StageContext(store=runner.store, policy=self.policy, fleet=self.fleet)
         predict_start = time.perf_counter()
         result: ZatelResult = graph.resolve(terminal, ctx).value
         predict_seconds = time.perf_counter() - predict_start

@@ -140,7 +140,7 @@ class JobQueue:
         self.capacity = capacity
         self._cond = threading.Condition()
         self._pending: deque[Job] = deque()
-        self._running = 0
+        self._running_jobs: set[Job] = set()
         self._flights = SingleFlight()
         self._closed = False
         self._counter = 0
@@ -202,7 +202,7 @@ class JobQueue:
                     return None
                 self._cond.wait(remaining)
             job = self._pending.popleft()
-            self._running += 1
+            self._running_jobs.add(job)
             job._start()
             return job
 
@@ -210,11 +210,18 @@ class JobQueue:
         self, job: Job, result: dict | None = None,
         error: BaseException | None = None,
     ) -> None:
-        """Mark ``job`` finished and release its single-flight key."""
+        """Mark ``job`` finished and release its single-flight key.
+
+        Idempotent against :meth:`abandon`: a worker thread that was
+        stuck past the drain deadline (its job already recorded as
+        failed-degraded) completes here as a no-op instead of
+        double-finishing.
+        """
         with self._cond:
-            self._running -= 1
+            self._running_jobs.discard(job)
             self._flights.finish(job.key)
-            job._finish(result, error)
+            if not job.finished:
+                job._finish(result, error)
             self._cond.notify_all()
 
     # -- observation ----------------------------------------------------
@@ -222,7 +229,7 @@ class JobQueue:
     @property
     def depth(self) -> int:
         """Jobs queued + running (the capacity denominator)."""
-        return len(self._pending) + self._running
+        return len(self._pending) + len(self._running_jobs)
 
     @property
     def queued(self) -> int:
@@ -230,7 +237,7 @@ class JobQueue:
 
     @property
     def running(self) -> int:
-        return self._running
+        return len(self._running_jobs)
 
     @property
     def closed(self) -> bool:
@@ -256,7 +263,7 @@ class JobQueue:
         """
         deadline = time.monotonic() + timeout if timeout is not None else None
         with self._cond:
-            while self._pending or self._running:
+            while self._pending or self._running_jobs:
                 remaining = (
                     deadline - time.monotonic() if deadline is not None else None
                 )
@@ -264,3 +271,26 @@ class JobQueue:
                     return False
                 self._cond.wait(remaining)
             return True
+
+    def abandon(self, reason: str) -> int:
+        """Force-finish every unfinished job as failed; returns how many.
+
+        The graceful-shutdown watchdog calls this after :meth:`drain`
+        times out: a job hung inside a simulation (or a wedged fleet
+        gather) is recorded as failed — its waiters wake with an error
+        instead of blocking forever — and the process can exit cleanly.
+        The eventual ``complete()`` from the stuck worker thread, if it
+        ever lands, is a no-op.
+        """
+        error = RuntimeError(reason)
+        with self._cond:
+            abandoned = 0
+            for job in list(self._pending) + list(self._running_jobs):
+                if not job.finished:
+                    job._finish(None, error)
+                    abandoned += 1
+                self._flights.finish(job.key)
+            self._pending.clear()
+            self._running_jobs.clear()
+            self._cond.notify_all()
+            return abandoned

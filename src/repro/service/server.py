@@ -6,7 +6,9 @@ Architecture (one process, stdlib only)::
       POST /predict   validate -> fingerprint -> result cache ->
                       bounded single-flight queue -> await job
       GET  /jobs/<id> job status / result
-      GET  /healthz   liveness
+      GET  /healthz   liveness (always 200 while the process serves)
+      GET  /readyz    readiness (503 + reasons when saturated or the
+                      fleet is below its worker quorum)
       GET  /metrics   telemetry-bus counters + latency histograms
                  |
             JobQueue (bounded, single-flight, 429 on overflow)
@@ -87,7 +89,16 @@ class ZatelService:
         use_cache: serve repeat requests from the result cache.
         wait_timeout: cap on how long a ``wait=true`` request blocks
             before returning 504 with the job id (``None`` = unbounded).
-        drain_timeout: graceful-shutdown budget for in-flight jobs.
+        drain_timeout: graceful-shutdown budget for in-flight jobs;
+            jobs still running at the deadline are abandoned as failed
+            so the process exits cleanly.
+        fleet: optional :class:`~repro.fleet.coordinator.
+            FleetCoordinator` — served predictions scatter their group
+            simulations to its workers; its stats join ``/metrics`` and
+            its view joins ``/healthz`` and the ``/readyz`` quorum.
+        fleet_supervisor: optional :class:`~repro.fleet.supervisor.
+            WorkerSupervisor` to stop (before the fleet drains) at
+            shutdown.
     """
 
     def __init__(
@@ -103,10 +114,14 @@ class ZatelService:
         wait_timeout: float | None = 600.0,
         drain_timeout: float = 60.0,
         job_history: int = 1024,
+        fleet=None,
+        fleet_supervisor=None,
     ) -> None:
         if workers < 1:
             raise ValueError("service needs at least one worker")
-        self.service_runner = ServiceRunner(runner, policy=policy)
+        self.fleet = fleet
+        self.fleet_supervisor = fleet_supervisor
+        self.service_runner = ServiceRunner(runner, policy=policy, fleet=fleet)
         self.host = host
         self.port = port
         self.num_workers = workers
@@ -119,6 +134,8 @@ class ZatelService:
         # of telemetry-bus counters; the service never drives advance().
         self.bus = TelemetryBus(interval=1)
         self.bus.register("service", self.stats)
+        if fleet is not None:
+            self.bus.register("fleet", fleet.stats)
         self.queue = JobQueue(queue_capacity)
         self.cache = (
             ResultCache(self.service_runner.runner.store, self.stats)
@@ -200,16 +217,36 @@ class ZatelService:
         return _running()
 
     def _drain(self) -> None:
-        """Graceful-shutdown tail: stop intake, finish accepted work."""
+        """Graceful-shutdown tail: stop intake, finish accepted work.
+
+        Jobs still unfinished at the drain deadline (hung simulation,
+        wedged fleet gather) are *abandoned* — recorded as failed so
+        their waiters wake with an error — and the process exits cleanly
+        instead of blocking on them forever.
+        """
         inflight = self.queue.depth
         self.queue.close()
         if inflight:
             logger.info("draining %d in-flight job(s)", inflight)
         if not self.queue.drain(timeout=self.drain_timeout):
-            logger.warning(
-                "drain timed out after %gs with %d job(s) unfinished",
-                self.drain_timeout, self.queue.depth,
+            abandoned = self.queue.abandon(
+                f"service shut down with the job still running after the "
+                f"{self.drain_timeout:g}s drain deadline"
             )
+            self.stats.failed += abandoned
+            self.stats.abandoned += abandoned
+            logger.warning(
+                "drain timed out after %gs; abandoned %d hung job(s) as failed",
+                self.drain_timeout, abandoned,
+            )
+        if self.fleet_supervisor is not None:
+            # Stop respawning first, then SIGTERM the worker processes so
+            # they drain before the coordinator dismisses the fleet.
+            self.fleet_supervisor.stop()
+        if self.fleet is not None:
+            # Unblocks any worker thread still stuck in a fleet gather
+            # (its leases fail terminally), then dismisses the workers.
+            self.fleet.drain(timeout=min(5.0, self.drain_timeout))
         for thread in self._worker_threads:
             thread.join(timeout=5.0)
         self._worker_threads.clear()
@@ -356,6 +393,8 @@ class ZatelService:
             return 405, {"error": f"{method} not supported on {path}"}, None
         if path == "/healthz":
             return 200, self._health_payload(), None
+        if path == "/readyz":
+            return self._handle_ready()
         if path == "/metrics":
             return 200, self._metrics_payload(), None
         if path.startswith("/jobs/"):
@@ -451,14 +490,44 @@ class ZatelService:
     # observability payloads
     # ------------------------------------------------------------------
 
+    def _handle_ready(self) -> tuple[int, dict, None]:
+        """``GET /readyz``: readiness, as opposed to ``/healthz`` liveness.
+
+        Liveness answers "is the process up?" — always 200 while
+        serving, so orchestrators do not restart a merely-busy service.
+        Readiness answers "should this instance receive traffic *now*?"
+        — 503 with machine-readable reasons while the queue is saturated
+        or the fleet is below its worker quorum, so load balancers can
+        route around a struggling instance without killing it.
+        """
+        reasons: list[str] = []
+        if self.queue.closed:
+            reasons.append("shutting_down: the service is draining")
+        elif self.queue.depth >= self.queue.capacity:
+            reasons.append(
+                f"queue_saturated: {self.queue.depth}/{self.queue.capacity} "
+                "jobs queued + running; new predicts would be rejected"
+            )
+        if self.fleet is not None and self.fleet.below_quorum():
+            reasons.append(
+                f"fleet_below_quorum: {self.fleet.live_workers()} live "
+                f"worker(s) < quorum {self.fleet.policy.min_workers}"
+            )
+        if reasons:
+            return 503, {"status": "unavailable", "reasons": reasons}, None
+        return 200, {"status": "ready", "reasons": []}, None
+
     def _health_payload(self) -> dict:
-        return {
+        payload = {
             "status": "ok",
             "uptime_seconds": round(time.monotonic() - self._start_time, 3),
             "workers": self.num_workers,
             "queue_depth": self.queue.depth,
             "cache": self.cache is not None,
         }
+        if self.fleet is not None:
+            payload["fleet"] = self.fleet.fleet_view()
+        return payload
 
     def _metrics_payload(self) -> dict:
         store_stats = self.service_runner.runner.store.stats
@@ -488,6 +557,11 @@ class ZatelService:
                 "corrupt": store_stats.corrupt,
             },
             "uptime_seconds": round(time.monotonic() - self._start_time, 3),
+            **(
+                {"fleet": self.fleet.fleet_view()}
+                if self.fleet is not None
+                else {}
+            ),
         }
 
 

@@ -1,0 +1,216 @@
+"""Deterministic fleet-level chaos injection (extends :mod:`.faults`).
+
+:mod:`repro.testing.faults` declares faults per *group attempt* inside
+one process's :class:`~repro.core.executor.GroupExecutor`.  The
+distributed fleet (:mod:`repro.fleet`) adds a second failure domain —
+whole workers dying, hanging, slowing down, or corrupting results — and
+every failover path (heartbeat watchdog, lease expiry, re-dispatch,
+circuit breaker, degraded combine) must be exercisable on a *seeded
+schedule* rather than discovered in production.
+
+A :class:`ChaosPlan` is a list of :class:`ChaosSpec` declarations fired
+worker-side, immediately before a leased group executes:
+
+* ``kill`` — the worker process dies via ``os._exit`` without reporting
+  (simulates OOM-kill / segfault; in-process test workers drop their
+  coordinator connection instead, which the watchdog observes the same
+  way);
+* ``hang`` — the worker stops heartbeating and sleeps past any lease
+  deadline (simulates a deadlocked simulation; the coordinator's
+  watchdog must declare it dead and re-queue the lease);
+* ``slow`` — the worker sleeps ``slow_seconds`` before computing
+  (simulates an overloaded host; results are still correct, so this
+  exercises deadline headroom, not failover);
+* ``corrupt`` — the worker stores a tampered result artifact and
+  reports success (simulates silent data corruption; the coordinator's
+  result validation must reject it and re-dispatch).
+
+Like :class:`~.faults.FaultSpec`, a spec fires for its ``group`` on the
+first ``attempts`` dispatches (:data:`~.faults.ALWAYS` = every
+dispatch), and can be pinned to one ``worker`` id.  Plans round-trip
+through JSON (:meth:`ChaosPlan.to_json` / :meth:`ChaosPlan.from_json`)
+so ``zatel worker --chaos`` and ``zatel serve --fleet --chaos`` can
+carry a schedule across the process boundary.
+
+Usage::
+
+    plan = ChaosPlan([kill_worker(2), corrupt_result(0, attempts=ALWAYS)])
+    worker = FleetWorker(..., chaos=plan)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+
+from .faults import ALWAYS
+
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosPlan",
+    "ChaosSpec",
+    "WorkerKilled",
+    "corrupt_result",
+    "hang_worker",
+    "kill_worker",
+    "slow_worker",
+]
+
+CHAOS_KINDS = ("kill", "hang", "slow", "corrupt")
+
+#: Exit code chaos kills die with (recognizable in supervisor logs).
+CHAOS_KILL_EXIT_CODE = 43
+
+#: Marker payload a ``corrupt`` fault stores in place of the real
+#: result artifact — shaped like *plausible* data (a dict), so only
+#: typed validation on the coordinator catches it.
+CORRUPT_PAYLOAD = {"chaos": "corrupted result artifact"}
+
+
+class WorkerKilled(BaseException):
+    """Raised by in-process chaos kills so a test worker thread can die
+    abruptly (drop its connection mid-lease) without ``os._exit`` taking
+    the test runner down.  Derives from ``BaseException`` so ordinary
+    task-isolation ``except Exception`` boundaries cannot swallow it."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One declared fleet fault.
+
+    ``kind`` fires when a worker executes ``group`` on its first
+    ``attempts`` dispatches (:data:`ALWAYS` = every dispatch);
+    ``worker`` restricts the spec to one worker id (``None`` = any).
+    """
+
+    kind: str
+    group: int
+    attempts: int = 1
+    worker: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"unknown chaos kind {self.kind!r}; known: {CHAOS_KINDS}"
+            )
+        if self.group < 0:
+            raise ValueError("group index must be >= 0")
+        if self.attempts == 0 or self.attempts < ALWAYS:
+            raise ValueError("attempts must be >= 1, or ALWAYS (-1)")
+
+    def fires_on(self, worker: str, attempt: int) -> bool:
+        if self.worker is not None and self.worker != worker:
+            return False
+        return self.attempts == ALWAYS or attempt < self.attempts
+
+
+def kill_worker(group: int, attempts: int = 1, worker: str | None = None) -> ChaosSpec:
+    """Worker dies without reporting while holding ``group``'s lease."""
+    return ChaosSpec("kill", group, attempts, worker)
+
+
+def hang_worker(group: int, attempts: int = 1, worker: str | None = None) -> ChaosSpec:
+    """Worker stops heartbeating and sleeps past the lease deadline."""
+    return ChaosSpec("hang", group, attempts, worker)
+
+
+def slow_worker(group: int, attempts: int = 1, worker: str | None = None) -> ChaosSpec:
+    """Worker delays ``slow_seconds`` before computing (still correct)."""
+    return ChaosSpec("slow", group, attempts, worker)
+
+
+def corrupt_result(
+    group: int, attempts: int = 1, worker: str | None = None
+) -> ChaosSpec:
+    """Worker stores a tampered result artifact and reports success."""
+    return ChaosSpec("corrupt", group, attempts, worker)
+
+
+class ChaosPlan:
+    """The worker-facing chaos oracle (duck-typed; the fleet never
+    imports this module — any object with ``action(worker, group,
+    attempt)`` plus the timing attributes works)."""
+
+    def __init__(
+        self,
+        specs: list[ChaosSpec] | tuple[ChaosSpec, ...] = (),
+        hang_seconds: float = 3600.0,
+        slow_seconds: float = 0.25,
+    ) -> None:
+        self.specs = tuple(specs)
+        self.hang_seconds = hang_seconds
+        self.slow_seconds = slow_seconds
+
+    def action(self, worker: str, group: int, attempt: int) -> str | None:
+        """The chaos kind to fire for this dispatch, or ``None``.
+
+        First matching spec wins, so a plan can layer e.g. ``kill`` on
+        dispatch 0 and ``slow`` on later dispatches of the same group.
+        """
+        for spec in self.specs:
+            if spec.group == group and spec.fires_on(worker, attempt):
+                return spec.kind
+        return None
+
+    def apply_timing(self, kind: str | None) -> None:
+        """Sleep for ``slow``/``hang`` kinds (shared by both worker modes)."""
+        if kind == "slow":
+            time.sleep(self.slow_seconds)
+        elif kind == "hang":
+            time.sleep(self.hang_seconds)
+
+    def die(self, in_process: bool) -> None:
+        """Execute a ``kill``: hard process exit, or — for in-process
+        test workers — a :class:`WorkerKilled` the worker loop turns
+        into an abrupt connection drop."""
+        if in_process:
+            raise WorkerKilled("injected chaos kill")
+        os._exit(CHAOS_KILL_EXIT_CODE)
+
+    # -- JSON round-trip (for `zatel worker --chaos`) -------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "hang_seconds": self.hang_seconds,
+                "slow_seconds": self.slow_seconds,
+                "specs": [
+                    {
+                        "kind": s.kind,
+                        "group": s.group,
+                        "attempts": s.attempts,
+                        "worker": s.worker,
+                    }
+                    for s in self.specs
+                ],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"malformed chaos plan JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ValueError("chaos plan must be a JSON object")
+        specs = [
+            ChaosSpec(
+                kind=row["kind"],
+                group=row["group"],
+                attempts=row.get("attempts", 1),
+                worker=row.get("worker"),
+            )
+            for row in payload.get("specs", ())
+        ]
+        return cls(
+            specs,
+            hang_seconds=float(payload.get("hang_seconds", 3600.0)),
+            slow_seconds=float(payload.get("slow_seconds", 0.25)),
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)

@@ -1,0 +1,104 @@
+"""Tests for the fleet chaos harness (:mod:`repro.testing.chaos`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing.chaos import (
+    CHAOS_KINDS,
+    ChaosPlan,
+    ChaosSpec,
+    WorkerKilled,
+    corrupt_result,
+    hang_worker,
+    kill_worker,
+    slow_worker,
+)
+from repro.testing.faults import ALWAYS
+
+
+class TestChaosSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            ChaosSpec("explode", 0)
+
+    def test_rejects_negative_group(self):
+        with pytest.raises(ValueError, match="group index"):
+            kill_worker(-1)
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="attempts"):
+            ChaosSpec("kill", 0, attempts=0)
+
+    def test_fires_on_first_attempts_only(self):
+        spec = kill_worker(3, attempts=2)
+        assert spec.fires_on("w0", 0)
+        assert spec.fires_on("w0", 1)
+        assert not spec.fires_on("w0", 2)
+
+    def test_always_fires_on_every_attempt(self):
+        spec = corrupt_result(0, attempts=ALWAYS)
+        assert all(spec.fires_on("w0", attempt) for attempt in range(10))
+
+    def test_worker_pinning(self):
+        spec = hang_worker(1, attempts=ALWAYS, worker="w1")
+        assert spec.fires_on("w1", 0)
+        assert not spec.fires_on("w0", 0)
+
+    def test_helpers_cover_every_kind(self):
+        specs = [kill_worker(0), hang_worker(0), slow_worker(0), corrupt_result(0)]
+        assert sorted(spec.kind for spec in specs) == sorted(CHAOS_KINDS)
+
+
+class TestChaosPlan:
+    def test_action_matches_group_and_attempt(self):
+        plan = ChaosPlan([kill_worker(2, attempts=1)])
+        assert plan.action("w0", 2, 0) == "kill"
+        assert plan.action("w0", 2, 1) is None  # second dispatch survives
+        assert plan.action("w0", 1, 0) is None  # other groups untouched
+
+    def test_first_matching_spec_wins(self):
+        plan = ChaosPlan(
+            [kill_worker(0, attempts=1), slow_worker(0, attempts=ALWAYS)]
+        )
+        assert plan.action("w0", 0, 0) == "kill"
+        assert plan.action("w0", 0, 1) == "slow"
+
+    def test_empty_plan_is_falsy_and_inert(self):
+        plan = ChaosPlan()
+        assert not plan
+        assert plan.action("w0", 0, 0) is None
+
+    def test_json_round_trip(self):
+        plan = ChaosPlan(
+            [kill_worker(2), corrupt_result(0, attempts=ALWAYS, worker="w1")],
+            hang_seconds=7.5,
+            slow_seconds=0.125,
+        )
+        restored = ChaosPlan.from_json(plan.to_json())
+        assert restored.specs == plan.specs
+        assert restored.hang_seconds == 7.5
+        assert restored.slow_seconds == 0.125
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError, match="malformed"):
+            ChaosPlan.from_json("{not json")
+        with pytest.raises(ValueError, match="JSON object"):
+            ChaosPlan.from_json("[1, 2]")
+
+    def test_in_process_kill_raises_worker_killed(self):
+        plan = ChaosPlan([kill_worker(0)])
+        with pytest.raises(WorkerKilled):
+            plan.die(in_process=True)
+
+    def test_worker_killed_evades_exception_handlers(self):
+        # Task-isolation boundaries catch Exception; a chaos kill must
+        # sail through them like a real process death would.
+        assert not issubclass(WorkerKilled, Exception)
+
+    def test_apply_timing_is_noop_for_non_timing_kinds(self):
+        plan = ChaosPlan(slow_seconds=0.01)
+        plan.apply_timing(None)
+        plan.apply_timing("kill")
+        plan.apply_timing("corrupt")
+        plan.apply_timing("slow")  # sleeps 0.01s

@@ -1,0 +1,541 @@
+"""Tests for the distributed prediction fleet (:mod:`repro.fleet`).
+
+Unit tests cover the protocol framing and lease state machine; the
+integration tests run a real coordinator with in-process thread workers
+(chaos kills drop the connection — the same EOF a dead process leaves)
+over a shared on-disk artifact store, on tiny SPRNG planes.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.stages.requests import PredictSpec
+from repro.core.stages.store import ArtifactStore
+from repro.errors import DegradedResultError
+from repro.fleet import (
+    FleetCoordinator,
+    FleetPolicy,
+    FleetWorker,
+    LeaseTable,
+    MessageChannel,
+    ProtocolError,
+    make_result_validator,
+    result_key_for,
+)
+from repro.harness.runner import Runner
+from repro.harness.service import ServiceRunner
+from repro.testing.chaos import (
+    ChaosPlan,
+    corrupt_result,
+    hang_worker,
+    kill_worker,
+    slow_worker,
+)
+from repro.testing.faults import ALWAYS
+
+# ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def channel_pair():
+    left_sock, right_sock = socket.socketpair()
+    left, right = MessageChannel(left_sock), MessageChannel(right_sock)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestMessageChannel:
+    def test_round_trip(self, channel_pair):
+        left, right = channel_pair
+        left.send({"type": "hello", "worker": "w0"})
+        assert right.recv(timeout=2.0) == {"type": "hello", "worker": "w0"}
+
+    def test_timeout_then_successful_recv(self, channel_pair):
+        # Regression: a buffered file reader would poison itself after
+        # one timeout; the hand-rolled buffer must keep working.
+        left, right = channel_pair
+        with pytest.raises(socket.timeout):
+            right.recv(timeout=0.05)
+        left.send({"type": "heartbeat"})
+        assert right.recv(timeout=2.0) == {"type": "heartbeat"}
+
+    def test_eof_returns_none(self, channel_pair):
+        left, right = channel_pair
+        left.close()
+        assert right.recv(timeout=2.0) is None
+
+    def test_malformed_json_raises(self, channel_pair):
+        left, right = channel_pair
+        left.sock.sendall(b"{broken\n")
+        with pytest.raises(ProtocolError, match="malformed"):
+            right.recv(timeout=2.0)
+
+    def test_non_object_message_raises(self, channel_pair):
+        left, right = channel_pair
+        left.sock.sendall(b"[1, 2, 3]\n")
+        with pytest.raises(ProtocolError, match="'type'"):
+            right.recv(timeout=2.0)
+
+    def test_oversized_line_raises(self, channel_pair):
+        from repro.fleet import MAX_LINE_BYTES
+
+        left, right = channel_pair
+
+        def flood():
+            try:
+                left.sock.sendall(b"x" * (MAX_LINE_BYTES + 2))
+            except OSError:
+                pass
+
+        sender = threading.Thread(target=flood, daemon=True)
+        sender.start()
+        with pytest.raises(ProtocolError, match="exceeds"):
+            right.recv(timeout=5.0)
+        sender.join(5.0)
+
+
+# ---------------------------------------------------------------------------
+# policy + lease table
+# ---------------------------------------------------------------------------
+
+
+class TestFleetPolicy:
+    def test_grace_must_exceed_interval(self):
+        with pytest.raises(ValueError, match="heartbeat_grace"):
+            FleetPolicy(heartbeat_interval=1.0, heartbeat_grace=0.5)
+
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = FleetPolicy(backoff_base=0.05, backoff_cap=0.4, seed=7)
+        delays = [policy.backoff_delay(3, attempt) for attempt in range(1, 8)]
+        assert delays == [policy.backoff_delay(3, a) for a in range(1, 8)]
+        assert all(delay <= 0.4 for delay in delays)
+        assert delays[0] < delays[-1]  # grows before hitting the cap
+
+    def test_backoff_differs_across_groups(self):
+        policy = FleetPolicy()
+        assert policy.backoff_delay(0, 1) != policy.backoff_delay(1, 1)
+
+
+class TestLeaseTable:
+    def make(self, max_dispatches=3):
+        policy = FleetPolicy(max_dispatches=max_dispatches, backoff_base=0.1)
+        return LeaseTable(policy)
+
+    def test_lifecycle_to_done(self):
+        table = self.make()
+        lease = table.add("J1", "bundle", 0)
+        assert lease.state == "pending" and not lease.terminal
+        table.assign(lease, "w0", now=100.0)
+        assert lease.state == "assigned"
+        assert lease.dispatches == 1
+        assert lease.deadline == 100.0 + table.policy.lease_timeout
+        table.complete(lease, "key0")
+        assert lease.terminal and lease.result_key == "key0"
+
+    def test_release_requeues_with_backoff_until_exhausted(self):
+        table = self.make(max_dispatches=2)
+        lease = table.add("J1", "bundle", 0)
+        table.assign(lease, "w0", now=0.0)
+        assert table.release(lease, now=0.0, error="X", message="boom") is True
+        assert lease.state == "pending"
+        assert lease.not_before > 0.0  # backoff applied
+        assert not table.ready(now=0.0)  # not dispatchable yet
+        assert table.ready(now=lease.not_before + 1.0) == [lease]
+        table.assign(lease, "w1", now=1.0)
+        assert table.release(lease, now=1.0, error="X", message="boom") is False
+        assert lease.state == "failed" and lease.terminal
+
+    def test_expired_finds_overdue_assignments(self):
+        table = self.make()
+        lease = table.add("J1", "bundle", 0)
+        table.assign(lease, "w0", now=0.0)
+        assert table.expired(now=table.policy.lease_timeout - 1.0) == []
+        assert table.expired(now=table.policy.lease_timeout + 1.0) == [lease]
+
+    def test_failure_record_carries_audit_fields(self):
+        table = self.make(max_dispatches=1)
+        lease = table.add("J1", "bundle", 5)
+        table.assign(lease, "w0", now=0.0)
+        table.release(lease, now=0.0, error="WorkerCrashError", message="died")
+        record = table.failure_record(lease)
+        assert record.index == 5
+        assert record.error == "WorkerCrashError"
+        assert record.attempts == 1
+
+    def test_forget_job_drops_only_that_job(self):
+        table = self.make()
+        keep = table.add("J1", "bundle", 0)
+        table.add("J2", "bundle", 0)
+        table.forget_job("J2")
+        assert list(table.leases.values()) == [keep]
+
+
+# ---------------------------------------------------------------------------
+# coordinator + workers (integration)
+# ---------------------------------------------------------------------------
+
+FAST = dict(
+    lease_timeout=3.0,
+    heartbeat_interval=0.1,
+    heartbeat_grace=0.8,
+    backoff_base=0.01,
+    backoff_cap=0.05,
+    no_worker_grace=2.0,
+    min_workers=1,
+)
+
+
+class FleetHarness:
+    """One coordinator + N in-process thread workers over a tmp store."""
+
+    def __init__(self, tmp_path, workers=2, chaos=None, policy=None, validate=True):
+        self.runner = Runner(cache_dir=tmp_path / "cache")
+        self.coordinator = FleetCoordinator(
+            policy=policy or FleetPolicy(**FAST),
+            result_validator=(
+                make_result_validator(self.runner.store) if validate else None
+            ),
+        ).start()
+        self.workers: list[FleetWorker] = []
+        self.threads: list[threading.Thread] = []
+        for index in range(workers):
+            self.add_worker(f"t{index}", chaos)
+        deadline = time.monotonic() + 5.0
+        while (
+            self.coordinator.live_workers() < workers
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+
+    def add_worker(self, worker_id, chaos=None):
+        worker = FleetWorker(
+            "127.0.0.1",
+            self.coordinator.port,
+            ArtifactStore(self.runner.cache_dir),
+            worker_id=worker_id,
+            chaos=chaos,
+            in_process=True,
+        )
+        worker.connect()
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        self.workers.append(worker)
+        self.threads.append(thread)
+        return worker
+
+    def execute(self, spec):
+        return ServiceRunner(self.runner, fleet=self.coordinator).execute(spec)
+
+    def close(self):
+        self.coordinator.close()
+
+
+@pytest.fixture()
+def harness_factory(tmp_path):
+    harnesses = []
+
+    def build(**kwargs):
+        harness = FleetHarness(tmp_path, **kwargs)
+        harnesses.append(harness)
+        return harness
+
+    yield build
+    for harness in harnesses:
+        harness.close()
+
+
+SPEC = PredictSpec(scene="SPRNG", size=16)
+
+
+def _strip_timing(payload):
+    clean = dict(payload)
+    clean.pop("host_seconds", None)
+    clean.pop("stages", None)
+    return clean
+
+
+class TestFleetExecution:
+    def test_no_faults_matches_local_prediction_exactly(
+        self, harness_factory, tmp_path
+    ):
+        local = ServiceRunner(Runner(cache_dir=tmp_path / "local")).execute(SPEC)
+        harness = harness_factory(workers=2)
+        served = harness.execute(SPEC)
+        assert _strip_timing(served) == _strip_timing(local)
+        assert not served["degraded"]
+        stats = harness.coordinator.stats
+        assert stats.leases_completed == stats.leases_dispatched
+        assert stats.redispatches == 0
+
+    def test_killed_worker_fails_over_to_survivor(self, harness_factory, tmp_path):
+        local = ServiceRunner(Runner(cache_dir=tmp_path / "local")).execute(SPEC)
+        harness = harness_factory(
+            workers=2, chaos=ChaosPlan([kill_worker(1, attempts=1)])
+        )
+        served = harness.execute(SPEC)
+        # The re-dispatched group recomputes bit-identically: failover is
+        # invisible in the result, visible in the stats.
+        assert _strip_timing(served) == _strip_timing(local)
+        stats = harness.coordinator.stats
+        assert stats.workers_lost >= 1
+        assert stats.redispatches >= 1
+
+    def test_hung_worker_is_declared_dead_and_lease_requeues(
+        self, harness_factory
+    ):
+        chaos = ChaosPlan([hang_worker(0, attempts=1)], hang_seconds=5.0)
+        harness = harness_factory(workers=2, chaos=chaos)
+        served = harness.execute(SPEC)
+        assert not served["degraded"]
+        assert harness.coordinator.stats.workers_lost >= 1
+        assert harness.coordinator.stats.redispatches >= 1
+
+    def test_slow_worker_still_correct(self, harness_factory, tmp_path):
+        local = ServiceRunner(Runner(cache_dir=tmp_path / "local")).execute(SPEC)
+        chaos = ChaosPlan(
+            [slow_worker(0, attempts=ALWAYS)], slow_seconds=0.05
+        )
+        harness = harness_factory(workers=2, chaos=chaos)
+        served = harness.execute(SPEC)
+        assert _strip_timing(served) == _strip_timing(local)
+
+    def test_corrupt_results_degrade_with_quorum_like_local_failures(
+        self, harness_factory
+    ):
+        # One group's result is tampered on every dispatch: validation
+        # rejects it each time, the lease exhausts its dispatch budget,
+        # and the combine renormalizes over survivors — PR-1 semantics.
+        chaos = ChaosPlan([corrupt_result(0, attempts=ALWAYS)])
+        harness = harness_factory(workers=2, chaos=chaos)
+        served = harness.execute(SPEC)
+        assert served["degraded"]
+        assert 0.0 < served["coverage"] < 1.0
+        assert [f["group"] for f in served["failures"]] == [0]
+        failure = served["failures"][0]
+        assert failure["attempts"] == harness.coordinator.policy.max_dispatches
+        assert failure["pixel_count"] > 0
+        assert harness.coordinator.stats.results_corrupt >= 1
+
+    def test_every_group_corrupt_raises_quorum_violation(self, harness_factory):
+        specs = [
+            corrupt_result(group, attempts=ALWAYS) for group in range(16)
+        ]
+        harness = harness_factory(workers=2, chaos=ChaosPlan(specs))
+        with pytest.raises(DegradedResultError, match="quorum"):
+            harness.execute(SPEC)
+
+    def test_circuit_breaker_ejects_repeat_offender(self, harness_factory):
+        # Worker t0 corrupts everything it touches; after breaker_failures
+        # consecutive rejections it must be ejected, letting t1 finish.
+        # The dispatch budget exceeds the breaker threshold so no lease
+        # can exhaust itself on t0 before the breaker opens.
+        specs = [
+            corrupt_result(group, attempts=ALWAYS, worker="t0")
+            for group in range(16)
+        ]
+        harness = harness_factory(
+            workers=2,
+            chaos=ChaosPlan(specs),
+            policy=FleetPolicy(**{**FAST, "breaker_failures": 2, "max_dispatches": 4}),
+        )
+        served = harness.execute(SPEC)
+        assert not served["degraded"]
+        assert harness.coordinator.stats.workers_ejected == 1
+
+    def test_dead_fleet_fails_pending_leases_fast(self, tmp_path):
+        policy = FleetPolicy(**{**FAST, "no_worker_grace": 0.2})
+        coordinator = FleetCoordinator(policy=policy).start()
+        try:
+            start = time.monotonic()
+            report = coordinator.scatter("bundle", 3, timeout=10.0)
+            elapsed = time.monotonic() - start
+            assert elapsed < 5.0  # failed fast, not wedged to the timeout
+            assert len(report.failures) == 3
+            assert all(
+                record.error == "WorkerCrashError" for record in report.failures
+            )
+        finally:
+            coordinator.close()
+
+    def test_scatter_refused_while_draining(self, harness_factory):
+        harness = harness_factory(workers=1)
+        harness.coordinator.drain(timeout=2.0)
+        with pytest.raises(RuntimeError, match="not accepting"):
+            harness.coordinator.scatter("bundle", 1)
+
+    def test_worker_sigterm_drain_says_goodbye(self, harness_factory):
+        harness = harness_factory(workers=2)
+        harness.workers[0].request_drain()
+        deadline = time.monotonic() + 5.0
+        while (
+            harness.coordinator.stats.workers_drained < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert harness.coordinator.stats.workers_drained == 1
+        assert harness.coordinator.live_workers() == 1
+        # The fleet keeps serving with the survivor.
+        served = harness.execute(SPEC)
+        assert not served["degraded"]
+
+    def test_duplicate_worker_id_rejected(self, harness_factory):
+        harness = harness_factory(workers=1)
+        clone = FleetWorker(
+            "127.0.0.1",
+            harness.coordinator.port,
+            ArtifactStore(harness.runner.cache_dir),
+            worker_id="t0",
+            in_process=True,
+        )
+        with pytest.raises(RuntimeError, match="rejected|closed"):
+            clone.connect()
+            # The coordinator closes the duplicate without a welcome.
+        assert harness.coordinator.live_workers() == 1
+
+    def test_fleet_view_reports_workers_and_leases(self, harness_factory):
+        harness = harness_factory(workers=2)
+        view = harness.coordinator.fleet_view()
+        assert view["live_workers"] == 2
+        assert view["quorum"] == 1
+        assert {w["id"] for w in view["workers"]} == {"t0", "t1"}
+        assert view["leases"] == {"active": 0, "pending": 0, "assigned": 0}
+
+    def test_below_quorum_when_workers_die(self, tmp_path):
+        harness = FleetHarness(
+            tmp_path, workers=1,
+            policy=FleetPolicy(**{**FAST, "min_workers": 2}),
+        )
+        try:
+            assert harness.coordinator.below_quorum()  # 1 live < quorum 2
+            harness.add_worker("t9")
+            assert not harness.coordinator.below_quorum()
+        finally:
+            harness.close()
+
+
+class TestFleetService:
+    """The HTTP service fronting a fleet: observability + quorum gating."""
+
+    def test_service_scatters_and_exposes_fleet_state(self, tmp_path):
+        import json
+        import urllib.error
+        import urllib.request
+
+        from repro.service import ZatelService
+
+        harness = FleetHarness(
+            tmp_path, workers=2, chaos=ChaosPlan([kill_worker(1, attempts=1)])
+        )
+        service = ZatelService(
+            runner=harness.runner, port=0, workers=1, queue_capacity=4,
+            fleet=harness.coordinator, use_cache=False,
+        )
+
+        def get(path):
+            url = f"http://127.0.0.1:{service.port}{path}"
+            try:
+                with urllib.request.urlopen(url, timeout=30) as response:
+                    return response.status, json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                return error.code, json.loads(error.read())
+
+        try:
+            with service.background():
+                body = json.dumps({"scene": "SPRNG", "size": 16}).encode()
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{service.port}/predict",
+                    data=body, method="POST",
+                )
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    served = json.loads(response.read())
+                # The chaos kill was absorbed: the prediction is intact
+                # and the coordinator kept the service alive throughout.
+                assert not served["degraded"]
+
+                status, health = get("/healthz")
+                assert status == 200 and health["status"] == "ok"
+                assert health["fleet"]["quorum"] == 1
+                assert {w["id"] for w in health["fleet"]["workers"]} == {
+                    "t0", "t1"
+                }
+
+                status, ready = get("/readyz")
+                assert status == 200, ready  # survivor keeps quorum
+
+                status, metrics = get("/metrics")
+                assert status == 200
+                assert metrics["counters"]["fleet.redispatches"] >= 1
+                assert metrics["counters"]["fleet.workers_lost"] >= 1
+                assert metrics["fleet"]["live_workers"] == 1
+        finally:
+            harness.close()
+
+    def test_readyz_503_when_fleet_below_quorum(self, tmp_path):
+        import json
+        import urllib.error
+        import urllib.request
+
+        from repro.service import ZatelService
+
+        harness = FleetHarness(
+            tmp_path, workers=1,
+            policy=FleetPolicy(**{**FAST, "min_workers": 2}),
+        )
+        service = ZatelService(
+            runner=harness.runner, port=0, workers=1, queue_capacity=4,
+            fleet=harness.coordinator, use_cache=False,
+        )
+        try:
+            with service.background():
+                url = f"http://127.0.0.1:{service.port}/readyz"
+                try:
+                    with urllib.request.urlopen(url, timeout=30) as response:
+                        status, payload = response.status, json.loads(
+                            response.read()
+                        )
+                except urllib.error.HTTPError as error:
+                    status, payload = error.code, json.loads(error.read())
+                assert status == 503
+                assert any(
+                    reason.startswith("fleet_below_quorum")
+                    for reason in payload["reasons"]
+                )
+        finally:
+            harness.close()
+
+
+class TestResultValidator:
+    def test_rejects_missing_and_wrong_shape(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        validate = make_result_validator(store)
+
+        class FakeLease:
+            bundle_key = "bundle"
+            index = 0
+            result_key = result_key_for("bundle", 0)
+
+        lease = FakeLease()
+        assert "missing" in validate(lease)
+        store.put(lease.result_key, {"chaos": "tampered"})
+        problem = validate(lease)
+        assert "not a GroupPrediction" in problem
+        # The rejected artifact was purged so the re-dispatch starts clean.
+        assert store.get(lease.result_key) is None
+
+    def test_rejects_mismatched_key(self, tmp_path):
+        validate = make_result_validator(ArtifactStore(tmp_path))
+
+        class FakeLease:
+            bundle_key = "bundle"
+            index = 1
+            result_key = "somewhere_else"
+
+        assert "expected" in validate(FakeLease())

@@ -457,6 +457,97 @@ class TestServiceHttp:
         assert "shutting down" in payload["error"]
 
 
+class TestReadiness:
+    def test_idle_service_is_ready(self, service_factory):
+        _, base = service_factory(executor_fn=_payload_for)
+        status, payload = _get(base, "/readyz")
+        assert status == 200
+        assert payload == {"status": "ready", "reasons": []}
+
+    def test_saturated_queue_is_unready_but_alive(self, service_factory):
+        release = threading.Event()
+
+        def blocked(spec):
+            release.wait(10)
+            return _payload_for(spec)
+
+        service, base = service_factory(
+            executor_fn=blocked, queue_capacity=2, use_cache=False
+        )
+        try:
+            for size in (16, 32):
+                status, _, _ = _post(
+                    base, {"scene": "SPRNG", "size": size, "wait": False}
+                )
+                assert status == 202
+            deadline = time.monotonic() + 5
+            while (
+                service.queue.depth < service.queue.capacity
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            status, payload = _get(base, "/readyz")
+            assert status == 503
+            assert payload["status"] == "unavailable"
+            assert any(
+                reason.startswith("queue_saturated")
+                for reason in payload["reasons"]
+            )
+            # Liveness is a different question: a busy instance must not
+            # look restart-worthy to an orchestrator.
+            assert _get(base, "/healthz")[1]["status"] == "ok"
+        finally:
+            release.set()
+
+    def test_closed_queue_reports_shutting_down(self, service_factory):
+        service, base = service_factory(executor_fn=_payload_for)
+        service.queue.close()
+        status, payload = _get(base, "/readyz")
+        assert status == 503
+        assert any(
+            reason.startswith("shutting_down") for reason in payload["reasons"]
+        )
+
+
+class TestShutdownWatchdog:
+    def test_drain_deadline_abandons_hung_job(self, tmp_path):
+        started = threading.Event()
+        release = threading.Event()
+
+        def wedged(spec):
+            started.set()
+            release.wait(30)
+            return _payload_for(spec)
+
+        service = ZatelService(
+            runner=Runner(cache_dir=tmp_path / "cache"), port=0,
+            workers=1, queue_capacity=4, executor_fn=wedged,
+            use_cache=False, drain_timeout=0.3,
+        )
+        thread = threading.Thread(target=service.run, daemon=True)
+        thread.start()
+        try:
+            assert service.started.wait(15)
+            base = f"http://127.0.0.1:{service.port}"
+            status, ticket, _ = _post(
+                base, {"scene": "SPRNG", "size": 16, "wait": False}
+            )
+            assert status == 202
+            assert started.wait(5)
+            # Shutdown with the executor wedged: the drain deadline must
+            # abandon the job as failed instead of hanging the process.
+            service.shutdown()
+            thread.join(30)
+            assert not thread.is_alive()
+            job = service.jobs[ticket["job"]]
+            assert job.status == "failed"
+            assert "drain deadline" in job.error
+            assert service.stats.abandoned == 1
+            assert service.queue.depth == 0
+        finally:
+            release.set()
+
+
 # ---------------------------------------------------------------------------
 # end to end: the real pipeline through the service
 # ---------------------------------------------------------------------------
