@@ -157,6 +157,8 @@ def cmd_predict(args) -> int:
         division=args.division,
         distribution=args.distribution,
         fraction_override=args.fraction,
+        sampler=getattr(args, "sampler", "heatmap"),
+        replicates=getattr(args, "replicates", 5),
     )
     checkpoint_dir = args.checkpoint_dir
     if checkpoint_dir is None and args.resume:
@@ -173,13 +175,18 @@ def cmd_predict(args) -> int:
     result = predictor_class(gpu, config).predict(scene, frame, policy=policy)
     if getattr(args, "json", False):
         return _print_predict_json(args, workload, gpu, runner, result)
+    sampler_name = result.sampler.get("name", "heatmap")
+    sampler_note = (
+        "" if sampler_name == "heatmap" else f", sampler {sampler_name}"
+    )
     print(
         f"Zatel on {workload.scene_name} / {gpu.name}: "
         f"K={result.downscale_factor}, "
-        f"mean traced fraction {result.mean_fraction():.0%}"
+        f"mean traced fraction {result.mean_fraction():.0%}{sampler_note}"
     )
     if result.degraded:
         print(degraded_summary(result))
+    intervals = result.confidence_intervals()
     if args.compare:
         full = runner.full_sim(workload, gpu)
         errors = metric_errors(result.metrics, full)
@@ -194,9 +201,17 @@ def cmd_predict(args) -> int:
                 f"(speedup {result.speedup_vs(full):.1f}x)",
             )
         )
+        for name in METRICS:
+            if name in intervals:
+                lo, hi = intervals[name]
+                print(f"  {name:16s} 95% CI [{lo:.4f}, {hi:.4f}]")
     else:
         for name in METRICS:
-            print(f"  {name:16s} {result.metrics[name]:12.4f}")
+            line = f"  {name:16s} {result.metrics[name]:12.4f}"
+            if name in intervals:
+                lo, hi = intervals[name]
+                line += f"  95% CI [{lo:.4f}, {hi:.4f}]"
+            print(line)
     return 0
 
 
@@ -229,6 +244,8 @@ def _cmd_predict_remote(args) -> int:
         "division": args.division,
         "distribution": args.distribution,
         "adaptive": bool(args.adaptive),
+        "sampler": getattr(args, "sampler", "heatmap"),
+        "replicates": getattr(args, "replicates", 5),
     }
     if args.fraction is not None:
         request["fraction"] = args.fraction
@@ -251,8 +268,13 @@ def _cmd_predict_remote(args) -> int:
             f"  DEGRADED: coverage {payload['coverage']:.0%}, "
             f"{len(payload['failures'])} failed group(s)"
         )
+    intervals = payload.get("confidence_intervals") or {}
     for name in METRICS:
-        print(f"  {name:16s} {payload['metrics'][name]:12.4f}")
+        line = f"  {name:16s} {payload['metrics'][name]:12.4f}"
+        if name in intervals:
+            lo, hi = intervals[name]
+            line += f"  95% CI [{lo:.4f}, {hi:.4f}]"
+        print(line)
     return 0
 
 

@@ -121,6 +121,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin the traced fraction (default: equation (1))",
     )
     predict.add_argument(
+        "--sampler", choices=("heatmap", "ranked_set", "two_phase"),
+        default="heatmap",
+        help=(
+            "pixel-selection engine: the paper's K-Means heatmap quotas "
+            "(heatmap, point prediction), ranked set sampling with "
+            "repeated subsampling (ranked_set), or two-phase stratified "
+            "sampling with Neyman allocation (two_phase); the latter two "
+            "report per-metric variances and confidence intervals"
+        ),
+    )
+    predict.add_argument(
+        "--replicates", type=int, default=5, metavar="R",
+        help=(
+            "independent replicate subsets for the variance-estimating "
+            "samplers (default 5; ignored by the heatmap sampler)"
+        ),
+    )
+    predict.add_argument(
         "--workers", type=int, default=None,
         help="run the K group simulations on this many CPU cores",
     )

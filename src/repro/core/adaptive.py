@@ -26,7 +26,6 @@ from dataclasses import dataclass
 from ..gpu.simulator import CycleSimulator
 from ..scene.scene import Scene
 from ..tracer.trace import FrameTrace
-from .extrapolate import linear_extrapolate
 from .pipeline import GroupPrediction, Zatel, ZatelConfig
 from .quantize import QuantizedHeatmap
 
@@ -106,13 +105,12 @@ class AdaptiveZatel(Zatel):
             # Same seed across attempts: selections nest (common random
             # numbers), so consecutive estimates differ from genuine
             # saturation curvature, not from re-rolled block choices.
-            stats, selected = self._simulate_subset(
+            attempt = self._sample_estimate(
                 pixels, fraction, frame, quantized, simulator, scene,
                 group_seed,
             )
-            work += stats.work_units
-            metrics = linear_extrapolate(stats, fraction)
-            estimate = metrics["cycles"]
+            work += attempt.work_units
+            estimate = attempt.metrics["cycles"]
             converged = (
                 previous_estimate is not None
                 and abs(estimate - previous_estimate)
@@ -130,8 +128,10 @@ class AdaptiveZatel(Zatel):
             index=index,
             pixel_count=len(pixels),
             fraction=fraction,
-            selected_count=selected,
-            stats=stats,
-            metrics=metrics,
+            selected_count=attempt.selected_count,
+            stats=attempt.stats,
+            metrics=attempt.metrics,
             work_units=work,
+            variances=attempt.variances,
+            replicates=attempt.replicates,
         )

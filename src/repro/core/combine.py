@@ -15,9 +15,14 @@ sum-vs-average behaviour is declared once on its
 from __future__ import annotations
 
 from ..errors import DegradedResultError
-from ..gpu.telemetry import aggregate_metrics
+from ..gpu.telemetry import aggregate_metrics, aggregate_variances
 
-__all__ = ["combine_group_metrics", "combine_degraded_metrics"]
+__all__ = [
+    "combine_group_metrics",
+    "combine_degraded_metrics",
+    "combine_group_variances",
+    "combine_degraded_variances",
+]
 
 
 def combine_group_metrics(group_metrics: list[dict[str, float]]) -> dict[str, float]:
@@ -62,3 +67,43 @@ def combine_degraded_metrics(
     if not 0.0 < coverage <= 1.0:
         raise ValueError(f"coverage must be in (0, 1], got {coverage}")
     return aggregate_metrics(group_metrics, throughput_divisor=coverage)
+
+
+def combine_group_variances(
+    group_variances: list[dict[str, float]],
+) -> dict[str, float]:
+    """Variance of :func:`combine_group_metrics` over independent groups.
+
+    Mirrors the metric rules with squared scalings (see
+    :func:`~repro.gpu.telemetry.aggregate_variances`): summed throughput
+    metrics add their variances, averaged metrics add then divide by K².
+
+    Raises:
+        ValueError: for an empty group list.
+    """
+    if not group_variances:
+        raise ValueError("cannot combine zero groups")
+    return aggregate_variances(group_variances)
+
+
+def combine_degraded_variances(
+    group_variances: list[dict[str, float]], coverage: float
+) -> dict[str, float]:
+    """Variance of :func:`combine_degraded_metrics` over survivors.
+
+    The ``1 / coverage`` rescaling of throughput sums enters the
+    variance squared; averaged metrics divide by the survivor count
+    squared, matching the renormalized point estimates.
+
+    Raises:
+        DegradedResultError: if no groups survived.
+        ValueError: for a coverage outside (0, 1].
+    """
+    if not group_variances:
+        raise DegradedResultError(
+            "no surviving groups to combine — every group simulation "
+            "failed permanently"
+        )
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+    return aggregate_variances(group_variances, throughput_divisor=coverage)

@@ -21,6 +21,7 @@ Usage::
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -35,6 +36,7 @@ from .executor import ExecutionPolicy
 from .extrapolate import exponential_regression, linear_extrapolate
 from .heatmap import Heatmap
 from .quantize import QuantizedHeatmap
+from .samplers import SAMPLER_NAMES, make_sampler, replicate_mean_and_variance
 from .selection import (
     MAX_FRACTION,
     MIN_FRACTION,
@@ -58,7 +60,13 @@ from .stages.fingerprint import (
 )
 from .stages.store import ArtifactStore
 
-__all__ = ["ZatelConfig", "GroupPrediction", "ZatelResult", "Zatel"]
+__all__ = [
+    "ZatelConfig",
+    "GroupPrediction",
+    "SubsetEstimate",
+    "ZatelResult",
+    "Zatel",
+]
 
 
 @dataclass(frozen=True)
@@ -92,6 +100,14 @@ class ZatelConfig:
     heatmap_percentile: float = 99.5
     heatmap_warp_width: int = 32
     seed: int = 0
+    #: Pixel-selection engine: ``"heatmap"`` (the paper's K-Means quota
+    #: method, point predictions), ``"ranked_set"`` or ``"two_phase"``
+    #: (replicate-based samplers with variance estimates — see
+    #: :mod:`repro.core.samplers`).
+    sampler: str = "heatmap"
+    #: Independent replicate subsets drawn by the variance-estimating
+    #: samplers; ignored by ``"heatmap"`` (always one replicate).
+    replicates: int = 5
 
     def __post_init__(self) -> None:
         if self.division not in ("fine", "coarse"):
@@ -102,6 +118,12 @@ class ZatelConfig:
             0.0 < self.fraction_override <= 1.0
         ):
             raise ValueError("fraction_override must be in (0, 1]")
+        if self.sampler not in SAMPLER_NAMES:
+            raise ValueError(
+                f"unknown sampler {self.sampler!r}; use one of {SAMPLER_NAMES}"
+            )
+        if self.replicates < 2:
+            raise ValueError("replicates must be >= 2")
 
 
 @dataclass
@@ -115,8 +137,33 @@ class GroupPrediction:
     stats: SimulationStats
     metrics: dict[str, float]
     #: Work done by this group's simulation instance(s); regression mode
-    #: accumulates all three runs.
+    #: accumulates all three runs, replicate samplers all R draws.
     work_units: int
+    #: Variance of each metric's replicate-mean estimate (``None`` for
+    #: single-replicate point predictions and regression mode).
+    variances: dict[str, float] | None = None
+    #: Independent replicate subsets behind ``metrics``; the variance's
+    #: degrees of freedom are ``replicates - 1``.
+    replicates: int = 1
+
+
+@dataclass
+class SubsetEstimate:
+    """Steps 5-6 for one group at one nominal fraction.
+
+    The sampler's :class:`~repro.core.samplers.SampleDesign` replicates
+    are each simulated and extrapolated separately; ``metrics`` is the
+    replicate mean and ``variances`` the variance *of that mean* (``None``
+    when the design has a single replicate).
+    """
+
+    metrics: dict[str, float]
+    variances: dict[str, float] | None
+    stats: SimulationStats
+    fraction: float
+    selected_count: int
+    work_units: int
+    replicates: int
 
 
 @dataclass
@@ -140,6 +187,14 @@ class ZatelResult:
     host_seconds: float = 0.0
     degraded: bool = False
     failures: list[FailureRecord] = field(default_factory=list)
+    #: Variance of each combined metric, aggregated across groups with the
+    #: same :data:`~repro.harness.metrics.METRIC_SPECS`-driven rules as the
+    #: metrics themselves (empty for point predictions).
+    variances: dict[str, float] = field(default_factory=dict)
+    #: Sampler provenance: ``{"name", "params", "seed"}`` of the engine
+    #: that chose the pixels (see :meth:`~repro.core.samplers.Sampler.
+    #: provenance`).
+    sampler: dict = field(default_factory=dict)
     #: ``workers > 1`` was requested but the platform has no ``fork``
     #: start method, so the group simulations ran serially in-process.
     #: Metrics are unaffected (groups are independent); only wall-clock
@@ -193,6 +248,36 @@ class ZatelResult:
             )
         return sum(g.fraction for g in self.groups) / len(self.groups)
 
+    @property
+    def dof(self) -> int:
+        """Degrees of freedom pooled across groups (Σ replicates-1)."""
+        return sum(max(0, g.replicates - 1) for g in self.groups)
+
+    def confidence_intervals(
+        self, level: float = 0.95
+    ) -> dict[str, tuple[float, float]]:
+        """Two-sided Student-t intervals for every metric with a variance.
+
+        Empty for point predictions (the default ``heatmap`` sampler draws
+        one replicate, so there is no spread to pool).  The t critical
+        value uses the replicate degrees of freedom pooled over groups.
+        """
+        if not 0.0 < level < 1.0:
+            raise ValueError(f"confidence level must be in (0, 1), got {level}")
+        if not self.variances or self.dof <= 0:
+            return {}
+        from scipy.stats import t as student_t
+
+        critical = float(student_t.ppf(0.5 + level / 2.0, self.dof))
+        intervals: dict[str, tuple[float, float]] = {}
+        for name, variance in self.variances.items():
+            if name not in self.metrics:
+                continue
+            center = self.metrics[name]
+            half_width = critical * math.sqrt(max(0.0, variance))
+            intervals[name] = (center - half_width, center + half_width)
+        return intervals
+
 
 class Zatel:
     """The Zatel predictor for one GPU configuration.
@@ -205,6 +290,15 @@ class Zatel:
     def __init__(self, gpu_config: GPUConfig, config: ZatelConfig | None = None) -> None:
         self.gpu_config = gpu_config
         self.config = config if config is not None else ZatelConfig()
+        #: The pluggable pixel-selection engine (frozen, picklable — fleet
+        #: workers receive it inside the predictor bundle).
+        self.sampler = make_sampler(self.config)
+
+    def sampler_provenance(self) -> dict:
+        """``{"name", "params", "seed"}`` describing the selection engine;
+        surfaced in :attr:`ZatelResult.sampler`, ``predict --json``, and
+        the service payload."""
+        return self.sampler.provenance(self.config.seed)
 
     def predict(
         self,
@@ -306,7 +400,12 @@ class Zatel:
             scaled=scaled,
         )
         fractions = graph.add(
-            SelectStage(cfg.min_fraction, cfg.max_fraction, cfg.fraction_override),
+            SelectStage(
+                cfg.min_fraction,
+                cfg.max_fraction,
+                cfg.fraction_override,
+                sampler_identity=self.sampler.fingerprint_params(),
+            ),
             quantized=quantized,
             groups=groups,
         )
@@ -320,7 +419,7 @@ class Zatel:
             scene=scene_src,
         )
         combined = graph.add(
-            CombineStage(quorum),
+            CombineStage(quorum, sampler_provenance=self.sampler_provenance()),
             simulated=simulated,
             groups=groups,
             scaled=scaled,
@@ -356,6 +455,7 @@ class Zatel:
             cfg.min_fraction,
             cfg.max_fraction,
             cfg.fraction_override,
+            ("sampler",) + self.sampler.fingerprint_params(),
         )
 
     def _group_fraction(
@@ -391,41 +491,94 @@ class Zatel:
         group_seed = cfg.seed * 10007 + index
 
         if cfg.extrapolation == "linear":
-            stats, selected = self._simulate_subset(
+            estimate = self._sample_estimate(
                 pixels, fraction, frame, quantized, simulator, scene, group_seed
             )
-            metrics = linear_extrapolate(stats, fraction)
-            work = stats.work_units
-        else:
-            samples: list[tuple[float, dict[str, float]]] = []
-            work = 0
-            stats = None
-            selected = 0
-            for i, sample_fraction in enumerate(cfg.regression_fractions):
-                stats, selected = self._simulate_subset(
-                    pixels,
-                    sample_fraction,
-                    frame,
-                    quantized,
-                    simulator,
-                    scene,
-                    group_seed + i,
-                )
-                samples.append(
-                    (sample_fraction, linear_extrapolate(stats, sample_fraction))
-                )
-                work += stats.work_units
-            metrics = exponential_regression(samples)
-            fraction = max(cfg.regression_fractions)
-        assert stats is not None
+            return GroupPrediction(
+                index=index,
+                pixel_count=len(pixels),
+                fraction=estimate.fraction,
+                selected_count=estimate.selected_count,
+                stats=estimate.stats,
+                metrics=estimate.metrics,
+                work_units=estimate.work_units,
+                variances=estimate.variances,
+                replicates=estimate.replicates,
+            )
+
+        # Regression mode fits a saturation curve through the per-fraction
+        # point estimates; the fit is nonlinear, so replicate variances do
+        # not propagate through it — regression predictions stay point
+        # estimates regardless of sampler.
+        samples: list[tuple[float, dict[str, float]]] = []
+        work = 0
+        estimate = None
+        for i, sample_fraction in enumerate(cfg.regression_fractions):
+            estimate = self._sample_estimate(
+                pixels,
+                sample_fraction,
+                frame,
+                quantized,
+                simulator,
+                scene,
+                group_seed + i,
+            )
+            samples.append((sample_fraction, estimate.metrics))
+            work += estimate.work_units
+        assert estimate is not None
         return GroupPrediction(
             index=index,
             pixel_count=len(pixels),
-            fraction=fraction,
-            selected_count=selected,
-            stats=stats,
-            metrics=metrics,
+            fraction=max(cfg.regression_fractions),
+            selected_count=estimate.selected_count,
+            stats=estimate.stats,
+            metrics=exponential_regression(samples),
             work_units=work,
+        )
+
+    def _sample_estimate(
+        self,
+        pixels: list[tuple[int, int]],
+        fraction: float,
+        frame: FrameTrace,
+        quantized: QuantizedHeatmap,
+        simulator: CycleSimulator,
+        scene: Scene,
+        seed: int,
+    ) -> SubsetEstimate:
+        """Design a sample, simulate every replicate, pool the estimates.
+
+        The single-replicate default sampler reduces exactly to the
+        historical select → simulate → ``linear_extrapolate`` path (the
+        golden predict metrics pin this byte-for-byte).
+        """
+        design = self.sampler.design(quantized, pixels, fraction, seed)
+        estimates: list[dict[str, float]] = []
+        work = 0
+        stats: SimulationStats | None = None
+        for subset, subset_fraction in zip(design.replicates, design.fractions):
+            warps = compile_kernel(
+                frame, pixels, _addresses_of(scene), selected=subset
+            )
+            stats = simulator.run(warps)
+            # Provenance: which tracing backend produced the replayed trace
+            # (getattr: traces cached before the field existed are "scalar").
+            stats.backend = getattr(frame, "backend", "scalar")
+            estimates.append(linear_extrapolate(stats, subset_fraction))
+            work += stats.work_units
+        assert stats is not None
+        if design.replicate_count == 1:
+            metrics, variances = estimates[0], None
+        else:
+            metrics, variances = replicate_mean_and_variance(estimates)
+        return SubsetEstimate(
+            metrics=metrics,
+            variances=variances,
+            stats=stats,
+            fraction=math.fsum(design.fractions) / design.replicate_count,
+            selected_count=design.selected_count,
+            work_units=work,
+            replicates=design.replicate_count,
         )
 
     def _simulate_subset(
@@ -438,7 +591,13 @@ class Zatel:
         scene: Scene,
         seed: int,
     ) -> tuple[SimulationStats, int]:
-        """Select a subset and run one downscaled simulation instance."""
+        """Select a subset and run one downscaled simulation instance.
+
+        The historical single-draw path, still used by the sampling-mode
+        stage (:class:`~repro.core.stages.concrete.SamplingSimulateStage`),
+        which predates the sampler protocol and always uses the paper's
+        selection.
+        """
         cfg = self.config
         selected = select_pixels(
             quantized,

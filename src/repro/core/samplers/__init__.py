@@ -1,0 +1,59 @@
+"""Pluggable pixel-selection samplers (the Zatel step-5 design space).
+
+:data:`SAMPLER_NAMES` is the registry surfaced by ``predict --sampler``,
+:class:`~repro.core.stages.requests.PredictSpec` validation, and the
+sweep grids; :func:`make_sampler` builds the configured sampler from a
+:class:`~repro.core.pipeline.ZatelConfig`.
+"""
+
+from __future__ import annotations
+
+from .base import Pixel, SampleDesign, Sampler, replicate_mean_and_variance
+from .heatmap_kmeans import HeatmapKMeansSampler
+from .ranked_set import RankedSetSampler
+from .two_phase import TwoPhaseStratifiedSampler
+
+__all__ = [
+    "Pixel",
+    "SAMPLER_NAMES",
+    "SampleDesign",
+    "Sampler",
+    "HeatmapKMeansSampler",
+    "RankedSetSampler",
+    "TwoPhaseStratifiedSampler",
+    "make_sampler",
+    "replicate_mean_and_variance",
+]
+
+#: Registry order is the CLI/docs presentation order; "heatmap" is the
+#: paper's method and the default everywhere.
+SAMPLER_NAMES = ("heatmap", "ranked_set", "two_phase")
+
+
+def make_sampler(config) -> Sampler:
+    """The sampler a :class:`~repro.core.pipeline.ZatelConfig` describes.
+
+    Raises:
+        ValueError: for an unknown ``config.sampler`` name.
+    """
+    if config.sampler == "heatmap":
+        return HeatmapKMeansSampler(
+            distribution=config.distribution,
+            block_width=config.block_width,
+            block_height=config.block_height,
+        )
+    if config.sampler == "ranked_set":
+        return RankedSetSampler(
+            replicates=config.replicates,
+            block_width=config.block_width,
+            block_height=config.block_height,
+        )
+    if config.sampler == "two_phase":
+        return TwoPhaseStratifiedSampler(
+            replicates=config.replicates,
+            block_width=config.block_width,
+            block_height=config.block_height,
+        )
+    raise ValueError(
+        f"unknown sampler {config.sampler!r}; use one of {SAMPLER_NAMES}"
+    )

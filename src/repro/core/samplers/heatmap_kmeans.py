@@ -1,0 +1,62 @@
+"""The paper's K-Means-heatmap sampler as a :class:`~.base.Sampler`.
+
+This is a pure extraction of the historical pipeline behaviour: one
+seeded :func:`~repro.core.selection.select_pixels` draw (section blocks,
+color quotas per equations (2)-(3)), one replicate, extrapolation by the
+*nominal* group fraction.  A prediction through this sampler is
+byte-identical to the pre-refactor pipeline — the golden predict metrics
+pin that contract — and it reports no variance estimate, exactly like
+the paper's point predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from ..selection import select_pixels
+from .base import Pixel, SampleDesign, Sampler
+
+__all__ = ["HeatmapKMeansSampler"]
+
+
+@dataclass(frozen=True)
+class HeatmapKMeansSampler(Sampler):
+    """Section III-E selection: section blocks drawn by color quota."""
+
+    name: ClassVar[str] = "heatmap"
+
+    distribution: str = "uniform"
+    block_width: int = 32
+    block_height: int = 2
+
+    def design(
+        self,
+        quantized,
+        pixels: list[Pixel],
+        fraction: float,
+        seed: int,
+    ) -> SampleDesign:
+        selected = select_pixels(
+            quantized,
+            pixels,
+            fraction,
+            distribution=self.distribution,
+            block_width=self.block_width,
+            block_height=self.block_height,
+            seed=seed,
+        )
+        return SampleDesign(
+            replicates=(frozenset(selected),),
+            fractions=(fraction,),
+            sampler=self.name,
+            params=self.params(),
+            seed=seed,
+        )
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "distribution": self.distribution,
+            "block_width": self.block_width,
+            "block_height": self.block_height,
+        }

@@ -1,0 +1,197 @@
+"""Two-phase stratified sampling over quantized-heatmap strata.
+
+After Ekman, "CPU Simulation Using Two-Phase Stratified Sampling"
+(PAPERS.md).  Phase one is the cheap pass the pipeline has already
+paid for: the K-Means quantization assigns every section block a
+stratum (its dominant quantized color) and the raw heatmap provides a
+per-block proxy temperature.  Phase two allocates the expensive
+simulation budget across strata by **Neyman allocation** on the proxy —
+``n_h ∝ N_h · S_h`` where ``S_h`` is the within-stratum proxy standard
+deviation — so strata whose blocks disagree most about cost get the
+most simulation; homogeneous (zero-variance) strata degrade gracefully
+to proportional-share allocation.
+
+Like the ranked-set sampler, the design draws ``replicates`` independent
+full-budget phase-two samples; the spread of the replicate estimates is
+the variance estimate behind the reported confidence intervals, and the
+R-fold simulation cost is charged honestly through ``work_units``
+(splitting the budget would amplify Section IV-D's extrapolation bias).
+Integer allocations come from *randomized* systematic rounding of the
+real-valued Neyman shares (:func:`systematic_round`), so replicates stay
+distinct even on tiny groups where deterministic rounding saturates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from ..selection import make_section_blocks
+from .base import Pixel, SampleDesign, Sampler
+from .ranked_set import block_temperatures
+
+__all__ = ["TwoPhaseStratifiedSampler", "neyman_shares", "systematic_round"]
+
+
+def neyman_shares(
+    stratum_sizes: dict[int, int],
+    stratum_stds: dict[int, float],
+    budget: int,
+) -> dict[int, float]:
+    """Real-valued Neyman allocation ``n_h = budget * N_h S_h / Σ N S``.
+
+    Zero-weight strata (``N_h * S_h == 0`` for every stratum, e.g. a
+    perfectly flat heatmap) fall back to plain proportional allocation.
+    The budget is clamped to the total capacity, so the shares always
+    sum to ``min(budget, sum of sizes)``.
+    """
+    if budget <= 0:
+        raise ValueError("allocation budget must be positive")
+    weights = {
+        h: stratum_sizes[h] * max(0.0, stratum_stds.get(h, 0.0))
+        for h in stratum_sizes
+    }
+    if sum(weights.values()) <= 0.0:
+        weights = {h: float(stratum_sizes[h]) for h in stratum_sizes}
+    total_weight = sum(weights.values())
+    budget = min(budget, sum(stratum_sizes.values()))
+    return {h: budget * weights[h] / total_weight for h in weights}
+
+
+def systematic_round(
+    shares: dict[int, float],
+    stratum_sizes: dict[int, int],
+    rng: random.Random,
+) -> dict[int, int]:
+    """Randomized systematic rounding of real shares to integers.
+
+    One uniform offset decides every stratum's rounding direction at
+    once (classic PPS systematic sampling): stratum ``h`` receives the
+    number of thresholds ``u + k`` that fall inside its slice of the
+    cumulative share line, which is ``floor(share)`` or
+    ``ceil(share)`` with probability equal to the fractional part.
+    The expectation is exactly the Neyman optimum, and — crucially for
+    repeated subsampling — two draws with different offsets can differ
+    even when deterministic largest-remainder rounding would produce the
+    same saturated allocation every time, which would collapse every
+    replicate onto the same blocks and report zero variance.
+
+    Any allocation a small stratum cannot absorb is redistributed to
+    strata with capacity (largest share first), so the total equals the
+    rounded share total.
+    """
+    order = sorted(shares)
+    budget = round(math.fsum(shares.values()))
+    u = rng.random()
+    allocation: dict[int, int] = {}
+    cumulative = 0.0
+    for h in order:
+        lo, hi = cumulative, cumulative + shares[h]
+        allocation[h] = max(0, math.floor(hi - u) - math.floor(lo - u))
+        cumulative = hi
+    # Clamp to capacity; push overflow to strata with room.
+    overflow = 0
+    for h in order:
+        if allocation[h] > stratum_sizes[h]:
+            overflow += allocation[h] - stratum_sizes[h]
+            allocation[h] = stratum_sizes[h]
+    for h in sorted(order, key=lambda h: shares[h], reverse=True):
+        while overflow > 0 and allocation[h] < stratum_sizes[h]:
+            allocation[h] += 1
+            overflow -= 1
+    # Float-edge slack: top up or trim so the total matches the budget.
+    total = sum(allocation.values())
+    for h in sorted(order, key=lambda h: shares[h], reverse=True):
+        while total < budget and allocation[h] < stratum_sizes[h]:
+            allocation[h] += 1
+            total += 1
+        while total > budget and allocation[h] > 0:
+            allocation[h] -= 1
+            total -= 1
+    return allocation
+
+
+@dataclass(frozen=True)
+class TwoPhaseStratifiedSampler(Sampler):
+    """Stratified phase-two block draws with Neyman proxy allocation."""
+
+    name: ClassVar[str] = "two_phase"
+
+    replicates: int = 5
+    block_width: int = 32
+    block_height: int = 2
+
+    def __post_init__(self) -> None:
+        if self.replicates < 2:
+            raise ValueError("two-phase sampling needs >= 2 replicates")
+
+    def design(
+        self,
+        quantized,
+        pixels: list[Pixel],
+        fraction: float,
+        seed: int,
+    ) -> SampleDesign:
+        if not pixels:
+            raise ValueError("cannot design a sample for an empty group")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"traced fraction must be in (0, 1], got {fraction}")
+        blocks = make_section_blocks(
+            pixels, quantized, self.block_width, self.block_height
+        )
+        proxies = block_temperatures(blocks, quantized)
+
+        # Phase one: stratify blocks by dominant quantized color and
+        # summarize each stratum's proxy spread.
+        strata: dict[int, list[int]] = {}
+        for index, block in enumerate(blocks):
+            strata.setdefault(block.dominant_color, []).append(index)
+        sizes = {h: len(members) for h, members in strata.items()}
+        stds = {
+            h: _std([proxies[i] for i in members])
+            for h, members in strata.items()
+        }
+
+        block_size = self.block_width * self.block_height
+        budget = max(1, round(fraction * len(pixels) / block_size))
+
+        shares = neyman_shares(sizes, stds, min(budget, len(blocks)))
+        rng = random.Random(seed)
+        subsets: list[frozenset[Pixel]] = []
+        fractions: list[float] = []
+        for _ in range(self.replicates):
+            allocation = systematic_round(shares, sizes, rng)
+            chosen: list[int] = []
+            for h in sorted(strata):
+                n_h = allocation.get(h, 0)
+                if n_h > 0:
+                    chosen.extend(rng.sample(strata[h], n_h))
+            subset = frozenset(
+                p for index in chosen for p in blocks[index].pixels
+            )
+            subsets.append(subset)
+            fractions.append(len(subset) / len(pixels))
+        return SampleDesign(
+            replicates=tuple(subsets),
+            fractions=tuple(fractions),
+            sampler=self.name,
+            params=self.params(),
+            seed=seed,
+        )
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "replicates": self.replicates,
+            "block_width": self.block_width,
+            "block_height": self.block_height,
+        }
+
+
+def _std(values: list[float]) -> float:
+    """Population standard deviation (0.0 for singleton strata)."""
+    if len(values) < 2:
+        return 0.0
+    mean = math.fsum(values) / len(values)
+    return math.sqrt(math.fsum((v - mean) ** 2 for v in values) / len(values))

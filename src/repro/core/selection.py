@@ -137,6 +137,8 @@ def color_quotas(
         raise ValueError(
             f"unknown distribution {distribution!r}; use one of {DISTRIBUTIONS}"
         )
+    if not pixels:
+        raise ValueError("cannot compute color quotas for an empty group")
     histogram = quantized.color_histogram(pixels).astype(np.float64)
     if distribution == "uniform":
         weights = histogram
@@ -149,6 +151,8 @@ def color_quotas(
         # Degenerate (e.g. everything ice-cold): fall back to uniform.
         weights = histogram
         total = float(weights.sum())
+    if total <= 0.0:  # unreachable for non-empty groups; guard anyway
+        raise ValueError("color histogram is empty; cannot form quotas")
     return weights / total
 
 
@@ -168,10 +172,22 @@ def select_pixels(
     met; any shortfall is topped up from random leftover blocks.
 
     Returns the selected pixel set (a multiple of the block size, bounded
-    by the group size).
+    by the group size).  Two budget invariants hold for any quota
+    distribution, including degenerate ones (zero-weight sections, quota
+    mass on colors that dominate no block):
+
+    * never more than one block *over* the requested budget
+      (``len(selected) < fraction * len(pixels) + block size``);
+    * never *under* it while unselected blocks remain
+      (``len(selected) >= min(fraction * len(pixels), len(pixels))``).
+
+    Raises:
+        ValueError: for an empty group or a fraction outside (0, 1].
     """
     if not 0.0 < fraction <= 1.0:
         raise ValueError(f"traced fraction must be in (0, 1], got {fraction}")
+    if not pixels:
+        raise ValueError("cannot select pixels for an empty group")
     blocks = make_section_blocks(pixels, quantized, block_width, block_height)
     quotas = color_quotas(quantized, pixels, distribution)
     target_pixels = fraction * len(pixels)

@@ -32,7 +32,12 @@ from typing import Any
 from ...errors import DegradedResultError
 from ...gpu.frontend import compile_kernel
 from ...gpu.simulator import CycleSimulator
-from ..combine import combine_degraded_metrics, combine_group_metrics
+from ..combine import (
+    combine_degraded_metrics,
+    combine_degraded_variances,
+    combine_group_metrics,
+    combine_group_variances,
+)
 from ..downscale import downscale_gpu
 from ..executor import GroupExecutor, default_quorum
 from ..extrapolate import linear_extrapolate
@@ -141,23 +146,39 @@ class PartitionStage(Stage):
 
 
 class SelectStage(Stage):
-    """Step 5 (planning half): per-group traced fraction via equation (1)."""
+    """Step 5 (planning half): per-group traced fraction via equation (1).
+
+    The fractions it emits are sampler-independent (equation (1) only
+    needs the quantized heatmap), but the plan's *identity* is not: the
+    simulate stage consumes these fractions through a specific sampler,
+    so the sampler's name and parameters are part of the fingerprint —
+    two sweeps over different samplers never alias select artifacts.
+    """
 
     name = "select"
-    code_version = "1"
+    # v2: fingerprint carries the sampler identity (pluggable sampling
+    # engine refactor); emitted fractions are unchanged.
+    code_version = "2"
 
     def __init__(
         self,
         min_fraction: float,
         max_fraction: float,
         fraction_override: float | None = None,
+        sampler_identity: Any = None,
     ) -> None:
         self.min_fraction = min_fraction
         self.max_fraction = max_fraction
         self.fraction_override = fraction_override
+        self.sampler_identity = sampler_identity
 
     def params(self) -> Any:
-        return (self.min_fraction, self.max_fraction, self.fraction_override)
+        return (
+            self.min_fraction,
+            self.max_fraction,
+            self.fraction_override,
+            self.sampler_identity,
+        )
 
     def run(self, ctx: StageContext, quantized, groups) -> list[float]:  # noqa: ARG002
         if self.fraction_override is not None:
@@ -185,7 +206,9 @@ class SimulateGroupStage(Stage):
     name = "simulate_groups"
     # v2: group stats now carry tracing-backend provenance.
     # v3: stats carry a telemetry field (interval snapshots + timelines).
-    code_version = "3"
+    # v4: predictions carry replicate counts + per-metric variances
+    #     (pluggable sampling engine refactor).
+    code_version = "4"
     cacheable = True
 
     def __init__(self, predictor) -> None:
@@ -277,19 +300,33 @@ class CombineStage(Stage):
     # v2: combination goes through the telemetry metric registry's
     # semantics-aware aggregator (arithmetic unchanged; bumped so cached
     # artifacts never alias across the refactor).
-    code_version = "2"
+    # v3: results carry combined variances + sampler provenance
+    #     (pluggable sampling engine refactor).
+    code_version = "3"
 
-    def __init__(self, quorum: int | None = None) -> None:
+    def __init__(
+        self, quorum: int | None = None, sampler_provenance: dict | None = None
+    ) -> None:
         self.quorum = quorum
+        #: Baked into the result artifact (and therefore this stage's
+        #: fingerprint): which sampling engine produced the groups.
+        self.sampler_provenance = sampler_provenance
 
     def params(self) -> Any:
-        return (self.quorum,)
+        return (self.quorum, self.sampler_provenance)
 
     def run(self, ctx: StageContext, simulated, groups, scaled, heatmap, quantized, gpu):  # noqa: ARG002
         from ..pipeline import ZatelResult
 
         predictions, failures = simulated
         scaled_gpu, k = scaled
+        # Variances combine only when every surviving group carries one
+        # (single-replicate point predictions report none).
+        group_variances = [g.variances for g in predictions]
+        has_variances = bool(predictions) and all(
+            v is not None for v in group_variances
+        )
+        variances: dict[str, float] = {}
         if failures:
             failures = [
                 dataclasses.replace(record, pixel_count=len(groups[record.index]))
@@ -306,12 +343,16 @@ class CombineStage(Stage):
                 )
             total_pixels = sum(len(pixels) for pixels in groups)
             surviving_pixels = sum(p.pixel_count for p in predictions)
+            coverage = surviving_pixels / total_pixels
             combined = combine_degraded_metrics(
-                [g.metrics for g in predictions],
-                surviving_pixels / total_pixels,
+                [g.metrics for g in predictions], coverage
             )
+            if has_variances:
+                variances = combine_degraded_variances(group_variances, coverage)
         else:
             combined = combine_group_metrics([g.metrics for g in predictions])
+            if has_variances:
+                variances = combine_group_variances(group_variances)
         return ZatelResult(
             metrics=combined,
             groups=predictions,
@@ -322,6 +363,8 @@ class CombineStage(Stage):
             quantized=quantized,
             degraded=bool(failures),
             failures=list(failures),
+            variances=variances,
+            sampler=dict(self.sampler_provenance or {}),
         )
 
 

@@ -34,6 +34,7 @@ from .fingerprint import stable_hash
 
 __all__ = [
     "MAX_PLANE_SIZE",
+    "MAX_REPLICATES",
     "MAX_SPP",
     "PredictSpec",
     "spec_fingerprint",
@@ -54,6 +55,11 @@ _DIVISIONS = ("fine", "coarse")
 _DISTRIBUTIONS = ("uniform", "lintmp", "exptmp")
 _GPU_PRESETS = ("mobile", "rtx2060")
 
+#: Bound on the replicate count a single request may demand: each
+#: replicate is a separate simulation pass over its subset, so this is a
+#: direct work multiplier like ``spp``.
+MAX_REPLICATES = 16
+
 
 @dataclass(frozen=True)
 class PredictSpec:
@@ -73,6 +79,8 @@ class PredictSpec:
     distribution: str = "uniform"
     fraction: float | None = None
     adaptive: bool = False
+    sampler: str = "heatmap"
+    replicates: int = 5
 
     def __post_init__(self) -> None:
         from ...scene.library import EXTRA_SCENES, SCENE_NAMES
@@ -127,6 +135,24 @@ class PredictSpec:
                 )
         if not isinstance(self.adaptive, bool):
             raise ValueError(f"adaptive must be a boolean, got {self.adaptive!r}")
+        from ..samplers import SAMPLER_NAMES
+
+        if self.sampler not in SAMPLER_NAMES:
+            raise ValueError(
+                f"unknown sampler {self.sampler!r}; available: "
+                f"{', '.join(SAMPLER_NAMES)}"
+            )
+        if not isinstance(self.replicates, int) or isinstance(
+            self.replicates, bool
+        ):
+            raise ValueError(
+                f"replicates must be an integer, got {self.replicates!r}"
+            )
+        if not 2 <= self.replicates <= MAX_REPLICATES:
+            raise ValueError(
+                f"replicates must be in [2, {MAX_REPLICATES}], "
+                f"got {self.replicates}"
+            )
 
 
 def spec_fingerprint(spec: PredictSpec, version: Any = 0) -> str:
@@ -149,6 +175,8 @@ def spec_fingerprint(spec: PredictSpec, version: Any = 0) -> str:
         spec.distribution,
         spec.fraction,
         spec.adaptive,
+        spec.sampler,
+        spec.replicates,
     )
 
 
@@ -161,6 +189,8 @@ def spec_zatel_config(spec: PredictSpec):
         distribution=spec.distribution,
         fraction_override=spec.fraction,
         seed=spec.seed,
+        sampler=spec.sampler,
+        replicates=spec.replicates,
     )
 
 

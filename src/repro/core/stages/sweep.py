@@ -55,9 +55,13 @@ class SweepPoint:
                 )
 
     def describe(self) -> str:
-        suffix = (
-            f"sampling@{self.fraction:.0%}" if self.mode == "sampling" else "zatel"
-        )
+        if self.mode == "sampling":
+            suffix = f"sampling@{self.fraction:.0%}"
+        else:
+            suffix = "zatel"
+            sampler = getattr(self.config, "sampler", "heatmap")
+            if sampler != "heatmap":
+                suffix = f"zatel[{sampler}]"
         return f"{self.scene}/{self.gpu.name}/{suffix}"
 
 

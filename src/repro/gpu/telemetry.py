@@ -48,6 +48,7 @@ __all__ = [
     "METRIC_SPECS",
     "METRIC_REGISTRY",
     "aggregate_metrics",
+    "aggregate_variances",
     "Instrument",
     "Counter",
     "CycleCounter",
@@ -190,6 +191,47 @@ def aggregate_metrics(
             )
         else:
             combined[spec.name] = total / mean_divisor
+    return combined
+
+
+def aggregate_variances(
+    group_variances: list[dict[str, float]],
+    throughput_divisor: float = 1.0,
+    mean_divisor: float | None = None,
+) -> dict[str, float]:
+    """Variance of :func:`aggregate_metrics`' output under independence.
+
+    Each group's dict holds the variance of *that group's* metric
+    estimate (replicate-based, see :mod:`repro.core.samplers`).  Groups
+    are simulated independently, so variances of a sum add; the linear
+    scalings ``aggregate_metrics`` applies enter squared:
+
+    * ``THROUGHPUT``: ``Var(Σ m_g / d) = Σ var_g / d²``;
+    * everything else: ``Var(Σ m_g / K) = Σ var_g / K²``.
+
+    The same divisor conventions apply (``throughput_divisor`` is the
+    survivors' coverage for degraded runs, ``mean_divisor`` defaults to
+    the group count), and only metrics present in every group aggregate,
+    in registry order.
+
+    Raises:
+        ValueError: for an empty group list or a non-positive divisor.
+    """
+    if not group_variances:
+        raise ValueError("cannot aggregate zero variance groups")
+    if mean_divisor is None:
+        mean_divisor = float(len(group_variances))
+    if throughput_divisor <= 0.0 or mean_divisor <= 0.0:
+        raise ValueError("aggregation divisors must be positive")
+    combined: dict[str, float] = {}
+    for spec in METRIC_SPECS:
+        if not all(spec.name in variances for variances in group_variances):
+            continue
+        total = sum(variances[spec.name] for variances in group_variances)
+        if spec.kind == KIND_THROUGHPUT:
+            combined[spec.name] = total / throughput_divisor**2
+        else:
+            combined[spec.name] = total / mean_divisor**2
     return combined
 
 

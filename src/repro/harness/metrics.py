@@ -27,6 +27,8 @@ __all__ = [
     "mae",
     "result_errors",
     "degraded_summary",
+    "interval_half_width",
+    "interval_brackets",
 ]
 
 #: Metrics whose values live in [0, 1]; errors are percentage points.
@@ -104,6 +106,50 @@ def degraded_summary(result) -> str:
     ]
     lines += [f"  {record.describe()}" for record in result.failures]
     return "\n".join(lines)
+
+
+def interval_half_width(variance: float, dof: int, level: float = 0.95) -> float:
+    """Student-t half-width of a two-sided interval at ``level``.
+
+    The harness-side primitive behind
+    :meth:`~repro.core.pipeline.ZatelResult.confidence_intervals`; exposed
+    so benchmark reports can annotate any (variance, dof) pair without a
+    full result object.
+
+    Raises:
+        ValueError: for a negative variance, non-positive dof, or a
+            level outside (0, 1).
+    """
+    import math
+
+    if variance < 0.0:
+        raise ValueError(f"variance must be non-negative, got {variance}")
+    if dof <= 0:
+        raise ValueError(f"degrees of freedom must be positive, got {dof}")
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"confidence level must be in (0, 1), got {level}")
+    from scipy.stats import t as student_t
+
+    return float(student_t.ppf(0.5 + level / 2.0, dof)) * math.sqrt(variance)
+
+
+def interval_brackets(
+    result,
+    actual: SimulationStats | dict[str, float],
+    level: float = 0.95,
+) -> dict[str, bool]:
+    """Does each metric's interval bracket the ground-truth value?
+
+    Returns ``{metric: bool}`` for every metric the result carries an
+    interval for (empty for point predictions) — the sampler-parity CI
+    gate's core check.
+    """
+    reference = actual.metrics() if isinstance(actual, SimulationStats) else actual
+    return {
+        name: lo <= reference[name] <= hi
+        for name, (lo, hi) in result.confidence_intervals(level).items()
+        if name in reference
+    }
 
 
 def mae(errors: dict[str, float] | list[float]) -> float:

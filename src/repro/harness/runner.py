@@ -43,7 +43,9 @@ from ..tracer.trace import FrameTrace
 __all__ = ["Workload", "Runner", "shared_runner", "DEFAULT_WIDTH", "DEFAULT_HEIGHT"]
 
 #: Bump to invalidate on-disk caches after model-affecting code changes.
-CACHE_VERSION = 8
+#: v9: pluggable sampling engine (sampler identity in stage fingerprints,
+#: results carry variances + sampler provenance).
+CACHE_VERSION = 9
 
 DEFAULT_WIDTH = 128
 DEFAULT_HEIGHT = 128

@@ -51,6 +51,16 @@ def result_payload(
         "downscale_factor": result.downscale_factor,
         "mean_fraction": result.mean_fraction(),
         "metrics": {name: result.metrics[name] for name in result.metrics},
+        # Sampling-engine provenance ({"name", "params", "seed"}) plus
+        # the uncertainty block: per-metric variances and 95% Student-t
+        # intervals as {metric: [lo, hi]} — both empty for the default
+        # single-replicate point predictions.
+        "sampler": dict(result.sampler),
+        "variances": dict(result.variances),
+        "confidence_intervals": {
+            name: [lo, hi]
+            for name, (lo, hi) in result.confidence_intervals().items()
+        },
         "degraded": result.degraded,
         "coverage": result.coverage,
         "failures": [

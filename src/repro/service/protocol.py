@@ -43,6 +43,8 @@ SPEC_FIELDS: dict[str, type | tuple[type, ...]] = {
     "distribution": str,
     "fraction": (int, float),
     "adaptive": bool,
+    "sampler": str,
+    "replicates": int,
 }
 
 

@@ -182,3 +182,55 @@ class TestSelectPixels:
         )
         assert 0 < len(selected) <= len(plane_pixels)
         assert selected <= set(plane_pixels)
+
+
+class TestDegenerateInputs:
+    """Guards against degenerate quota/selection inputs (regressions)."""
+
+    def test_empty_group_rejected_by_quotas(self, quantized):
+        with pytest.raises(ValueError, match="empty group"):
+            color_quotas(quantized, [], "uniform")
+
+    def test_empty_group_rejected_by_select(self, quantized):
+        with pytest.raises(ValueError, match="empty group"):
+            select_pixels(quantized, [], 0.5)
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_single_color_group_quotas_are_finite(
+        self, quantized, distribution
+    ):
+        # All pixels from the cold side: the temperature distributions can
+        # put all their weight on a color whose warmth is ~0; the uniform
+        # fallback must keep quotas finite and normalized.
+        cold = [(x, y) for y in range(8) for x in range(8)]
+        quotas = color_quotas(quantized, cold, distribution)
+        assert np.isfinite(quotas).all()
+        assert quotas.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.sampled_from(DISTRIBUTIONS),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_property_budget_never_over_or_under_allocated(
+        self, quantized, plane_pixels, distribution, fraction, seed
+    ):
+        # Quota rounding must neither overshoot the budget by more than
+        # one section block nor leave it unmet while blocks remain.
+        block_size = 64
+        selected = select_pixels(
+            quantized, plane_pixels, fraction,
+            distribution=distribution, seed=seed,
+        )
+        target = fraction * len(plane_pixels)
+        assert len(selected) < target + block_size
+        assert len(selected) >= min(target, len(plane_pixels))
+
+    def test_quota_mass_on_undominant_colors_is_topped_up(self, quantized):
+        # A group whose blocks are dominated by few colors still fills the
+        # budget: quota mass assigned to colors that dominate no block is
+        # redistributed via the leftover top-up.
+        hot = [(x, y) for y in range(8) for x in range(16, 32)]
+        selected = select_pixels(quantized, hot, 0.6, distribution="exptmp", seed=4)
+        assert len(selected) >= min(0.6 * len(hot), len(hot))
