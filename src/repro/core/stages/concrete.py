@@ -31,7 +31,7 @@ from typing import Any
 
 from ...errors import DegradedResultError
 from ...gpu.frontend import compile_kernel
-from ...gpu.simulator import CycleSimulator
+from ...gpu.simulator import make_simulator
 from ..combine import (
     combine_degraded_metrics,
     combine_degraded_variances,
@@ -208,7 +208,9 @@ class SimulateGroupStage(Stage):
     # v3: stats carry a telemetry field (interval snapshots + timelines).
     # v4: predictions carry replicate counts + per-metric variances
     #     (pluggable sampling engine refactor).
-    code_version = "4"
+    # v5: simulators come from make_simulator (backend-selectable engine;
+    #     stats carry sim_backend provenance).
+    code_version = "5"
     cacheable = True
 
     def __init__(self, predictor) -> None:
@@ -229,7 +231,7 @@ class SimulateGroupStage(Stage):
             return self._run_fleet(
                 ctx, frame, quantized, groups, scaled_gpu, fractions, scene
             )
-        simulator = CycleSimulator(scaled_gpu, scene.addresses)
+        simulator = make_simulator(scaled_gpu, scene.addresses)
         predictor = self.predictor
 
         def task(index: int, attempt: int):  # noqa: ARG001
@@ -302,7 +304,8 @@ class CombineStage(Stage):
     # artifacts never alias across the refactor).
     # v3: results carry combined variances + sampler provenance
     #     (pluggable sampling engine refactor).
-    code_version = "3"
+    # v4: results carry simulator-backend provenance (sim_backend).
+    code_version = "4"
 
     def __init__(
         self, quorum: int | None = None, sampler_provenance: dict | None = None
@@ -365,6 +368,7 @@ class CombineStage(Stage):
             failures=list(failures),
             variances=variances,
             sampler=dict(self.sampler_provenance or {}),
+            sim_backend=scaled_gpu.sim_backend,
         )
 
 
@@ -377,7 +381,9 @@ class SamplingSimulateStage(Stage):
 
     name = "sampling_simulate"
     # v2: stats carry a telemetry field (interval snapshots + timelines).
-    code_version = "2"
+    # v3: simulators come from make_simulator (backend-selectable engine;
+    #     stats carry sim_backend provenance).
+    code_version = "3"
     cacheable = True
 
     def __init__(
@@ -419,7 +425,7 @@ class SamplingSimulateStage(Stage):
             seed=self.seed,
         )
         warps = compile_kernel(frame, pixels, scene.addresses, selected=selected)
-        stats = CycleSimulator(gpu, scene.addresses).run(warps)
+        stats = make_simulator(gpu, scene.addresses).run(warps)
         stats.backend = getattr(frame, "backend", "scalar")
         return SamplingPrediction(
             fraction=self.fraction,

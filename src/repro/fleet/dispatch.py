@@ -109,7 +109,7 @@ def execute_lease(store: ArtifactStore, bundle_key: str, index: int) -> str:
     the deterministic key is always safe.
     """
     from ..scene.library import make_scene
-    from ..gpu.simulator import CycleSimulator
+    from ..gpu.simulator import make_simulator
 
     bundle = store.get(bundle_key)
     if bundle is None:
@@ -123,7 +123,7 @@ def execute_lease(store: ArtifactStore, bundle_key: str, index: int) -> str:
             f"lease index {index} out of range for a {len(groups)}-group bundle"
         )
     scene = make_scene(bundle["scene"])
-    simulator = CycleSimulator(bundle["scaled_gpu"], scene.addresses)
+    simulator = make_simulator(bundle["scaled_gpu"], scene.addresses)
     prediction = bundle["predictor"]._predict_group(
         index,
         groups[index],

@@ -8,7 +8,8 @@ from .frontend import compile_kernel
 from .interconnect import Interconnect
 from .memory import MemorySubsystem
 from .rt_unit import RTStats, RTUnit
-from .simulator import CoreStats, CycleSimulator
+from .parallel import ShardedCycleSimulator
+from .simulator import CoreStats, CycleSimulator, SimEngine, make_simulator
 from .sm import SM, SMStats
 from .stats import (
     EXTENDED_METRICS,
@@ -70,6 +71,8 @@ __all__ = [
     "SM",
     "SMStats",
     "ServiceStats",
+    "ShardedCycleSimulator",
+    "SimEngine",
     "SimulationStats",
     "StatGroup",
     "StoreOp",
@@ -84,6 +87,7 @@ __all__ = [
     "export_zperf",
     "line_of",
     "load_config",
+    "make_simulator",
     "load_zperf",
     "merge_simulation_stats",
     "preset",

@@ -20,6 +20,7 @@ loads one directly.
 from __future__ import annotations
 
 import configparser
+import dataclasses
 from pathlib import Path
 
 from .config import CacheConfig, GPUConfig
@@ -50,10 +51,13 @@ _GPU_FIELDS = (
     "warp_scheduler",
     "telemetry_interval",
     "timeline_trace",
+    "sim_backend",
+    "sim_shards",
+    "sim_epoch_cycles",
 )
 
 #: ``[gpu]`` keys parsed as strings / booleans (everything else is int).
-_STR_FIELDS = ("name", "warp_scheduler")
+_STR_FIELDS = ("name", "warp_scheduler", "sim_backend")
 _BOOL_FIELDS = ("timeline_trace",)
 
 #: Cache-valued fields, each serialized as its own section.
@@ -178,6 +182,18 @@ def load_config(path: str | Path) -> GPUConfig:
                 key: _parse_int(path, section, key, values[key])
                 for key in _CACHE_KEYS
             }
+        )
+    missing = [
+        field.name
+        for field in dataclasses.fields(GPUConfig)
+        if field.default is dataclasses.MISSING
+        and field.default_factory is dataclasses.MISSING
+        and field.name not in kwargs
+    ]
+    if missing:
+        raise ValueError(
+            f"{path}: [gpu] missing required key(s) "
+            f"{', '.join(repr(k) for k in missing)}"
         )
     return GPUConfig(**kwargs)
 

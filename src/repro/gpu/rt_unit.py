@@ -24,6 +24,8 @@ Two properties of this model carry the paper's story:
 
 from __future__ import annotations
 
+from collections import deque
+
 from .telemetry import Counter, Histogram, NULL_BUS, StatGroup, TelemetryBus
 from .warp import TraceOp
 
@@ -73,8 +75,9 @@ class RTUnit:
         self.max_warps = max_warps
         self.free_slots = max_warps
         #: Warps waiting for a slot (FIFO of WarpState, managed by the
-        #: simulator's event loop).
-        self.waiters: list = []
+        #: simulator's event loop).  A deque: the head is popped on every
+        #: slot release, and ``list.pop(0)`` is O(n) in queue depth.
+        self.waiters: deque = deque()
         self.step_cycles = step_cycles
         self._bus = bus
         self.component = component
@@ -131,6 +134,11 @@ class TraversalJob:
         self._tri_steps = op.max_tri_steps()
         self._step = 0
         self.done = self._node_steps + self._tri_steps == 0
+        # Hoisted per-step constants (advance() is the simulator's hottest
+        # function; attribute chains through unit/sm/config add up).
+        config = unit._sm.config
+        self._prefetch_depth = config.rt_prefetch_depth
+        self._pipeline_depth = config.rt_fetch_pipeline
 
     def advance(self, cycle: float) -> float:
         """Run the next traversal step starting at ``cycle``.
@@ -142,44 +150,47 @@ class TraversalJob:
             raise RuntimeError("advance() called on a finished traversal job")
         unit = self.unit
         sm = unit._sm
+        stats = unit.stats
         line_bytes = self._line_bytes
+        mem_access = sm.mem_access
         # line address -> data-ready cycle, deduplicated within the step
-        # (lanes converging on the same node fetch it once).
+        # (lanes converging on the same node fetch it once).  Fetches
+        # issue in lane order at first touch — the memory subsystem is
+        # stateful, so the dedup must not reorder them.
         line_ready: dict[int, float] = {}
-        ray_lines: list[tuple[int, int]] = []  # (ray index, line)
         if self._step < self._node_steps:
             step = self._step
             active = 0
-            for ray, nodes in enumerate(self._node_lists):
+            node_address = self._node_address
+            for nodes in self._node_lists:
                 if step < len(nodes):
                     active += 1
-                    addr = self._node_address(nodes[step])
-                    ray_lines.append((ray, addr - (addr % line_bytes)))
-            unit.stats.traversal_steps += 1
-            unit.stats.active_ray_steps += active
-            unit.stats.active_lane_hist[
+                    addr = node_address(nodes[step])
+                    line = addr - (addr % line_bytes)
+                    if line not in line_ready:
+                        line_ready[line] = mem_access(line, cycle)
+            stats.traversal_steps += 1
+            stats.active_ray_steps += active
+            stats.active_lane_hist[
                 min(active, ACTIVE_LANE_BUCKETS - 1)
             ] += 1
+            stats.node_fetches += len(line_ready)
         else:
             step = self._step - self._node_steps
-            for ray, tris in enumerate(self._tri_lists):
+            triangle_address = self._triangle_address
+            for tris in self._tri_lists:
                 if step < len(tris):
-                    addr = self._triangle_address(tris[step])
-                    ray_lines.append((ray, addr - (addr % line_bytes)))
-
-        for ray, line in ray_lines:
-            if line not in line_ready:
-                line_ready[line] = sm.mem_access(line, cycle)
-        if self._step < self._node_steps:
-            unit.stats.node_fetches += len(line_ready)
-        else:
-            unit.stats.tri_fetches += len(line_ready)
+                    addr = triangle_address(tris[step])
+                    line = addr - (addr % line_bytes)
+                    if line not in line_ready:
+                        line_ready[line] = mem_access(line, cycle)
+            stats.tri_fetches += len(line_ready)
 
         # Treelet-style prefetch: warm the lines the rays will need
         # ``rt_prefetch_depth`` steps from now (0 disables).  Prefetches
         # go through the real memory path and land in the MSHR, so later
         # demand fetches merge with them.
-        depth = sm.config.rt_prefetch_depth
+        depth = self._prefetch_depth
         if depth > 0:
             ahead = self._step + depth
             if ahead < self._node_steps:
@@ -196,7 +207,7 @@ class TraversalJob:
         # *warp clock* matters: the next steps' fetches then issue after
         # the stall, so a cold-start bandwidth storm delays a warp once
         # instead of taxing its every subsequent fetch.
-        pipeline_depth = sm.config.rt_fetch_pipeline
+        pipeline_depth = self._pipeline_depth
         stall = 0.0
         for ready in line_ready.values():
             extra = ready - cycle - pipeline_depth

@@ -70,6 +70,17 @@ class SM:
         self._next_issue_free = 0.0
         self._next_rt_unit = 0
         self.stats = bus.register(self.component, SMStats())
+        # Warm-slot memo for fetch_instructions: op slots whose icache
+        # line is resident and can never be evicted again (see below).
+        self._warm_op_slots: set[int] = set()
+        # A slot index below this bound touches one of the icache's first
+        # ``num_lines`` code lines; consecutive lines map to consecutive
+        # sets, so at most ``ways`` of them share a set and eviction is
+        # impossible — the memo is then exactly equivalent to replaying
+        # the guaranteed hit (counted, zero latency).
+        self._warm_slot_limit = config.icache.num_lines * (
+            config.icache.line_bytes // 16
+        )
 
     @property
     def mem_accesses(self) -> int:
@@ -84,10 +95,18 @@ class SM:
         """Fetch the instruction group for a warp-op slot.
 
         Returns the extra latency a cold icache line costs (shader code is
-        tiny, so after the first warp touches a slot this is zero).
+        tiny, so after the first warp touches a slot this is zero).  Warm
+        slots are memoized: the access is still counted, but the LRU
+        bookkeeping is skipped — byte-identical because the line provably
+        cannot have been evicted (see ``_warm_slot_limit``).
         """
+        if op_slot in self._warm_op_slots:
+            self.icache.stats.accesses += 1
+            return 0.0
         address = _SHADER_CODE_BASE + op_slot * 16
         line = line_of(address, self.config.icache.line_bytes)
+        if op_slot < self._warm_slot_limit:
+            self._warm_op_slots.add(op_slot)
         if self.icache.access(line):
             return 0.0
         return float(self.config.icache.latency)

@@ -629,6 +629,14 @@ class _WindowTracker:
         return self.closed
 
 
+def _noop_advance(cycle: float) -> None:
+    """Zero-cost :meth:`TelemetryBus.advance` for a bus without snapshots."""
+
+
+def _noop_window(component: str, kind: str, start: float, end: float) -> None:
+    """Zero-cost :meth:`TelemetryBus.window` for a bus without a timeline."""
+
+
 class TelemetryBus:
     """Per-simulation hub: component registry, snapshots, timelines.
 
@@ -638,6 +646,12 @@ class TelemetryBus:
     A disabled bus (interval 0, no timeline) is inert: registration and
     window recording are no-ops, so the module-level :data:`NULL_BUS`
     can safely back components constructed outside a simulation.
+
+    :meth:`advance` and :meth:`window` sit on the event loop's per-pop
+    hot path, so when their feature is off they are swapped for
+    module-level no-op functions at construction time — the disabled
+    cost is one instance-attribute lookup and an empty call, with no
+    boundary arithmetic or tracker lookups behind it.
     """
 
     def __init__(self, interval: int = 0, timeline: bool = False) -> None:
@@ -650,6 +664,10 @@ class TelemetryBus:
         self._trackers: dict[tuple[str, str], _WindowTracker] = {}
         self._next_boundary = float(interval) if interval else float("inf")
         self._last_boundary = 0.0
+        if not self.interval:
+            self.advance = _noop_advance
+        if not self.timeline:
+            self.window = _noop_window
 
     @property
     def enabled(self) -> bool:

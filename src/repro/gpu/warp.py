@@ -123,6 +123,10 @@ class WarpState:
     #: Cycle this warp parked in an RT unit's wait queue (telemetry:
     #: the park-to-wake span becomes an ``rt_wait`` timeline window).
     parked_cycle: float = 0.0
+    #: Precomputed per-op dispatch table (kind code + derived scalars),
+    #: attached by the fast event loop so the per-pop path neither walks
+    #: an ``isinstance`` chain nor recomputes lane reductions.
+    program: tuple = ()
 
     def done(self) -> bool:
         return self.op_index >= len(self.task.ops)

@@ -33,7 +33,7 @@ from ..core.stages.store import ArtifactStore
 from ..core.stages.sweep import SweepPlanner, SweepPoint, SweepResult
 from ..gpu.config import GPUConfig
 from ..gpu.frontend import compile_kernel
-from ..gpu.simulator import CycleSimulator
+from ..gpu.simulator import make_simulator
 from ..gpu.stats import SimulationStats
 from ..scene.library import make_scene
 from ..scene.scene import Scene
@@ -45,7 +45,9 @@ __all__ = ["Workload", "Runner", "shared_runner", "DEFAULT_WIDTH", "DEFAULT_HEIG
 #: Bump to invalidate on-disk caches after model-affecting code changes.
 #: v9: pluggable sampling engine (sampler identity in stage fingerprints,
 #: results carry variances + sampler provenance).
-CACHE_VERSION = 9
+#: v10: backend-selectable cycle simulator (SimulationStats carries
+#: sim_backend provenance; older pickles lack the field).
+CACHE_VERSION = 10
 
 DEFAULT_WIDTH = 128
 DEFAULT_HEIGHT = 128
@@ -136,7 +138,7 @@ class Runner:
             frame = self.frame(workload)
             pixels = workload.settings().all_pixels()
             warps = compile_kernel(frame, pixels, scene.addresses)
-            stats = CycleSimulator(gpu, scene.addresses).run(warps)
+            stats = make_simulator(gpu, scene.addresses).run(warps)
             stats.backend = getattr(frame, "backend", "scalar")
             return stats
 

@@ -1,0 +1,206 @@
+"""Sharded parallel simulator backend: determinism, drift, degeneracy.
+
+Three properties make the sharded backend shippable:
+
+1. **Determinism** — fork workers and the in-process fallback run the
+   same lock-step epoch protocol, so they must produce *identical*
+   stats, and repeated runs must too.
+2. **Bounded drift** — private L2/DRAM partitions drift timing-derived
+   metrics versus the exact serial engine (the same systematic bias as
+   the paper's Section III-G group splitting).  The measured envelope
+   over all eight paper scenes and both schedulers, with headroom, is
+   asserted here at 48x48; additive counters must stay *exact*.
+3. **Degenerate exactness** — configs whose SM/partition counts are
+   coprime (the downscaled predict GPUs) plan one shard and fall back to
+   the serial engine, byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.gpu import MOBILE_SOC, CycleSimulator, ShardedCycleSimulator, compile_kernel
+from repro.gpu.parallel import (
+    DRIFT_TOLERANCE,
+    EXACT_COUNTERS,
+    MAX_PENALTY_FRACTION,
+    epoch_penalty,
+    plan_shards,
+)
+from repro.gpu.simulator import make_simulator
+from repro.gpu.stats import SimulationStats, merge_simulation_stats
+from repro.scene.library import SCENE_NAMES, make_scene
+from repro.tracer import FunctionalTracer, RenderSettings
+
+
+def _warps(scene, width=48, height=48, seed=0):
+    settings = RenderSettings(
+        width=width, height=height, samples_per_pixel=1, seed=seed
+    )
+    frame = FunctionalTracer(scene, settings).trace_frame()
+    return compile_kernel(frame, settings.all_pixels(), scene.addresses)
+
+
+def _rel_drift(sharded: float, exact: float) -> float:
+    return abs(sharded - exact) / max(abs(exact), 1e-12)
+
+
+def _strip_wallclock(stats: SimulationStats) -> SimulationStats:
+    return replace(stats, host_seconds=0.0)
+
+
+class TestShardPlanning:
+    def test_caps_at_component_gcd(self):
+        assert plan_shards(MOBILE_SOC) == 4  # gcd(8 SMs, 4 partitions)
+        assert plan_shards(replace(MOBILE_SOC, sim_shards=2)) == 2
+        assert plan_shards(replace(MOBILE_SOC, sim_shards=64)) == 4
+
+    def test_rounds_down_to_a_divisor(self):
+        # gcd=4, request 3: 3 does not divide 4, so the plan drops to 2.
+        assert plan_shards(replace(MOBILE_SOC, sim_shards=3)) == 2
+
+    def test_coprime_counts_plan_single_shard(self):
+        # The scaled predict GPUs: mobile at K=4 has 2 SMs / 1 partition.
+        assert plan_shards(MOBILE_SOC.downscale(4)) == 1
+
+
+class TestEpochPenalty:
+    def test_balanced_traffic_is_free(self):
+        # foreign == (shards-1) * own is exactly the balanced share.
+        assert epoch_penalty(100, 300, 4, 1, 4.0, 2048) == 0.0
+        assert epoch_penalty(100, 250, 4, 1, 4.0, 2048) == 0.0
+
+    def test_excess_charged_at_service_rate_per_channel(self):
+        # 100 - 1*20 = 80 excess lines at 4 cycles/line over 2 channels.
+        assert epoch_penalty(20, 100, 2, 2, 4.0, 2048) == 160.0
+
+    def test_capped_at_epoch_fraction(self):
+        huge = epoch_penalty(0, 10**9, 2, 1, 4.0, 2048)
+        assert huge == 2048 * MAX_PENALTY_FRACTION
+
+    def test_idle_shard_pays_for_foreign_traffic(self):
+        assert epoch_penalty(0, 10, 4, 1, 4.0, 2048) == 40.0
+
+
+class TestDeterminism:
+    def test_fork_and_inprocess_identical(self, small_scene):
+        warps = _warps(small_scene, width=32, height=32)
+        config = replace(MOBILE_SOC, sim_backend="sharded", sim_shards=4)
+        forked = ShardedCycleSimulator(
+            config, small_scene.addresses, in_process=False
+        ).run(list(warps))
+        local = ShardedCycleSimulator(
+            config, small_scene.addresses, in_process=True
+        ).run(list(warps))
+        assert _strip_wallclock(forked) == _strip_wallclock(local)
+
+    def test_repeat_runs_identical(self, small_scene):
+        warps = _warps(small_scene, width=32, height=32)
+        config = replace(MOBILE_SOC, sim_backend="sharded", sim_shards=4)
+        sim = ShardedCycleSimulator(config, small_scene.addresses)
+        first = _strip_wallclock(sim.run(list(warps)))
+        second = _strip_wallclock(sim.run(list(warps)))
+        assert first == second
+
+    def test_last_run_reports_plan(self, small_scene):
+        warps = _warps(small_scene, width=32, height=32)
+        config = replace(MOBILE_SOC, sim_backend="sharded", sim_shards=4)
+        sim = ShardedCycleSimulator(config, small_scene.addresses)
+        stats = sim.run(warps)
+        run = sim.last_run
+        assert run["shards"] == 4
+        assert run["epochs"] >= 1
+        assert len(run["shard_work_units"]) == 4
+        assert sum(run["shard_work_units"]) == stats.work_units
+        assert stats.sim_backend == "sharded"
+
+
+class TestDegenerateExactness:
+    def test_coprime_config_matches_serial_byte_identical(self, small_scene):
+        warps = _warps(small_scene, width=32, height=32)
+        scaled = MOBILE_SOC.downscale(4)  # 2 SMs / 1 partition: gcd 1
+        serial = CycleSimulator(scaled, small_scene.addresses).run(list(warps))
+        sharded_config = replace(scaled, sim_backend="sharded")
+        sim = ShardedCycleSimulator(sharded_config, small_scene.addresses)
+        sharded = sim.run(list(warps))
+        assert sim.last_run["mode"] == "serial-fallback"
+        assert sharded.sim_backend == "sharded"
+        # Everything but the provenance label and wall clock is identical.
+        assert _strip_wallclock(
+            replace(sharded, sim_backend="serial")
+        ) == _strip_wallclock(serial)
+
+    def test_empty_workload_falls_back(self, small_scene):
+        config = replace(MOBILE_SOC, sim_backend="sharded")
+        sim = ShardedCycleSimulator(config, small_scene.addresses)
+        stats = sim.run([])
+        assert stats.sim_backend == "sharded"
+        assert sim.last_run["mode"] == "serial-fallback"
+
+    def test_make_simulator_dispatch(self, small_scene):
+        sharded = make_simulator(
+            replace(MOBILE_SOC, sim_backend="sharded"), small_scene.addresses
+        )
+        assert isinstance(sharded, ShardedCycleSimulator)
+        serial = make_simulator(MOBILE_SOC, small_scene.addresses)
+        assert isinstance(serial, CycleSimulator)
+
+
+class TestDriftEnvelope:
+    """Exact counters stay exact; timing drift stays inside the envelope."""
+
+    @pytest.mark.parametrize("scheduler", ["gto", "lrr"])
+    @pytest.mark.parametrize("scene_name", SCENE_NAMES)
+    def test_drift_within_documented_tolerance(self, scene_name, scheduler):
+        scene = make_scene(scene_name)
+        warps = _warps(scene)
+        base = replace(MOBILE_SOC, warp_scheduler=scheduler)
+        exact = CycleSimulator(base, scene.addresses).run(list(warps))
+        sim = ShardedCycleSimulator(
+            replace(base, sim_backend="sharded", sim_shards=4),
+            scene.addresses,
+            in_process=True,
+        )
+        sharded = sim.run(list(warps))
+        assert sim.last_run["shards"] == 4
+
+        for name in EXACT_COUNTERS:
+            assert getattr(sharded, name) == getattr(exact, name), name
+        # Ratios of exact counters are exact too.
+        assert sharded.simd_efficiency == pytest.approx(exact.simd_efficiency)
+        assert sharded.rt_efficiency == pytest.approx(exact.rt_efficiency)
+
+        for name, tolerance in DRIFT_TOLERANCE.items():
+            drift = _rel_drift(getattr(sharded, name), getattr(exact, name))
+            assert drift <= tolerance, (
+                f"{scene_name}/{scheduler}: {name} drift {drift:.3f} "
+                f"exceeds documented tolerance {tolerance}"
+            )
+
+
+class TestStatsProvenance:
+    def test_merge_inherits_backend(self):
+        a = SimulationStats(sim_backend="serial")
+        b = SimulationStats()
+        merged = merge_simulation_stats([b, a])
+        assert merged.sim_backend == "serial"
+
+    def test_merge_rejects_mixed_backends(self):
+        a = SimulationStats(sim_backend="serial")
+        b = SimulationStats(sim_backend="sharded")
+        with pytest.raises(ValueError, match="different simulator backends"):
+            merge_simulation_stats([a, b])
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown sim backend"):
+            replace(MOBILE_SOC, sim_backend="gpu")
+
+    def test_rejects_nonpositive_knobs(self):
+        with pytest.raises(ValueError):
+            replace(MOBILE_SOC, sim_shards=0)
+        with pytest.raises(ValueError):
+            replace(MOBILE_SOC, sim_epoch_cycles=0)

@@ -1,0 +1,256 @@
+"""The fast event loop is byte-identical to the reference loop.
+
+``CycleSimulator.run`` drives the restructured :class:`~repro.gpu.
+simulator.SimEngine` (per-op dispatch table, slim heap entries, batched
+telemetry clock, memoized icache fetches); ``run_reference`` preserves
+the original straight-line loop.  Every optimization is pinned here by
+full-stats A/B comparison — including telemetry snapshots and timeline
+events, which observe intermediate (not just final) counter state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, replace
+
+import pytest
+
+from repro.gpu import MOBILE_SOC, CycleSimulator, compile_kernel
+from repro.gpu.rt_unit import RTUnit
+from repro.gpu.simulator import OP_COMPUTE, OP_STORE, OP_TRACE, compile_program
+from repro.gpu.warp import ComputeOp, StoreOp, TraceOp, WarpTask
+from repro.tracer import FunctionalTracer, RenderSettings
+
+
+def _assert_identical(fast, ref):
+    """Full-field equality, ignoring only wall-clock and telemetry."""
+    fast = replace(fast, host_seconds=0.0)
+    ref = replace(ref, host_seconds=0.0)
+    fast_tel, ref_tel = fast.telemetry, ref.telemetry
+    fast.telemetry = ref.telemetry = None
+    if fast != ref:
+        diffs = {
+            f.name: (getattr(fast, f.name), getattr(ref, f.name))
+            for f in fields(fast)
+            if getattr(fast, f.name) != getattr(ref, f.name)
+        }
+        raise AssertionError(f"fast loop diverged from reference: {diffs}")
+    if ref_tel is not None:
+        assert fast_tel is not None
+        assert fast_tel.interval == ref_tel.interval
+        assert fast_tel.snapshots == ref_tel.snapshots
+        assert fast_tel.events == ref_tel.events
+
+
+def _run_both(config, scene, warps_factory):
+    sim = CycleSimulator(config, scene.addresses)
+    return sim.run(warps_factory()), sim.run_reference(warps_factory())
+
+
+class TestFastPathIdentity:
+    @pytest.mark.parametrize("scheduler", ["gto", "lrr"])
+    def test_byte_identical(self, small_scene, small_frame, small_settings, scheduler):
+        config = replace(MOBILE_SOC, warp_scheduler=scheduler)
+
+        def warps():
+            return compile_kernel(
+                small_frame, small_settings.all_pixels(), small_scene.addresses
+            )
+
+        fast, ref = _run_both(config, small_scene, warps)
+        _assert_identical(fast, ref)
+
+    @pytest.mark.parametrize("scheduler", ["gto", "lrr"])
+    def test_byte_identical_with_telemetry(
+        self, small_scene, small_frame, small_settings, scheduler
+    ):
+        # Interval snapshots observe counters mid-run: they pin the batched
+        # advance()/local-counter-flush protocol, not just the final sums.
+        config = replace(
+            MOBILE_SOC,
+            warp_scheduler=scheduler,
+            telemetry_interval=200,
+            timeline_trace=True,
+        )
+
+        def warps():
+            return compile_kernel(
+                small_frame, small_settings.all_pixels(), small_scene.addresses
+            )
+
+        fast, ref = _run_both(config, small_scene, warps)
+        _assert_identical(fast, ref)
+
+    def test_byte_identical_under_rt_slot_pressure(
+        self, small_scene, small_frame, small_settings
+    ):
+        # One RT slot per unit forces heavy parking/waking: pins the
+        # deque-based FIFO wake order of both loops against each other.
+        config = replace(MOBILE_SOC, rt_max_warps=1)
+
+        def warps():
+            return compile_kernel(
+                small_frame, small_settings.all_pixels(), small_scene.addresses
+            )
+
+        fast, ref = _run_both(config, small_scene, warps)
+        _assert_identical(fast, ref)
+
+    def test_byte_identical_with_prefetch(
+        self, small_scene, small_frame, small_settings
+    ):
+        config = replace(MOBILE_SOC, rt_prefetch_depth=2)
+
+        def warps():
+            return compile_kernel(
+                small_frame, small_settings.all_pixels(), small_scene.addresses
+            )
+
+        fast, ref = _run_both(config, small_scene, warps)
+        _assert_identical(fast, ref)
+
+    def test_empty_workload(self, small_scene):
+        sim = CycleSimulator(MOBILE_SOC, small_scene.addresses)
+        _assert_identical(sim.run([]), sim.run_reference([]))
+
+    def test_sets_sim_backend_provenance(self, small_full_stats):
+        assert small_full_stats.sim_backend == "serial"
+
+
+class TestCompileProgram:
+    def test_rows_carry_kind_and_derived_scalars(self):
+        compute = ComputeOp(per_thread_instructions=(3, 0, 5))
+        trace = TraceOp(
+            per_thread_nodes=([1, 2], None, [3]),
+            per_thread_tris=([], None, [4]),
+        )
+        store = StoreOp(per_thread_addresses=(0x100, None, 0x140))
+        task = WarpTask(warp_id=0, pixels=(), ops=[compute, trace, store])
+        rows = compile_program(task)
+        assert rows[0] == (OP_COMPUTE, compute, 5, 8)
+        assert rows[1] == (OP_TRACE, trace, 2, 2)
+        assert rows[2] == (OP_STORE, store, 2, 1)
+
+    def test_masked_store_has_zero_issue_slots(self):
+        store = StoreOp(per_thread_addresses=(None, None))
+        task = WarpTask(warp_id=0, pixels=(), ops=[store])
+        assert compile_program(task)[0][3] == 0
+
+    def test_unknown_op_rejected(self):
+        task = WarpTask(warp_id=0, pixels=(), ops=[object()])
+        with pytest.raises(TypeError, match="unknown warp op"):
+            compile_program(task)
+
+
+class TestRTWaiterQueue:
+    def test_waiters_wake_in_fifo_order(self):
+        # The waiters queue is a deque precisely because the simulator pops
+        # the head on every slot release; the wake order is load-bearing
+        # (it decides which warp's traversal starts first) and must stay
+        # first-parked-first-woken.
+        unit = RTUnit(sm=None, max_warps=1, step_cycles=4)
+        assert unit.try_acquire_slot()
+        parked = [f"warp{i}" for i in range(5)]
+        for state in parked:
+            unit.waiters.append(state)
+        woken = [unit.waiters.popleft() for _ in parked]
+        assert woken == parked
+
+    def test_fast_loop_uses_single_fifo_per_unit(
+        self, small_scene, small_frame, small_settings
+    ):
+        # After a full run every waiter must have been woken (drained).
+        from repro.gpu.simulator import SimEngine
+
+        warps = compile_kernel(
+            small_frame, small_settings.all_pixels(), small_scene.addresses
+        )
+        config = replace(MOBILE_SOC, rt_max_warps=1)
+        engine = SimEngine(config, small_scene.addresses, warps)
+        engine.run_until(float("inf"))
+        engine.finish()
+        for sm in engine.sms:
+            for unit in sm.rt_units:
+                assert not unit.waiters
+                assert unit.free_slots == unit.max_warps
+
+
+class TestIcacheWarmSlotMemo:
+    def test_memo_counts_accesses_like_real_hits(self, small_scene):
+        from repro.gpu.memory import MemorySubsystem
+        from repro.gpu.sm import SM
+
+        memory = MemorySubsystem(MOBILE_SOC)
+        sm = SM(0, MOBILE_SOC, memory)
+        # Cold fetch pays the icache latency, the warm replays are free
+        # but still counted (miss-rate telemetry must not drift).
+        assert sm.fetch_instructions(0) == float(MOBILE_SOC.icache.latency)
+        before = sm.icache.stats.accesses
+        for _ in range(3):
+            assert sm.fetch_instructions(0) == 0.0
+        assert sm.icache.stats.accesses == before + 3
+        assert 0 in sm._warm_op_slots
+
+    def test_slots_beyond_guarantee_bound_not_memoized(self, small_scene):
+        from repro.gpu.memory import MemorySubsystem
+        from repro.gpu.sm import SM
+
+        memory = MemorySubsystem(MOBILE_SOC)
+        sm = SM(0, MOBILE_SOC, memory)
+        beyond = sm._warm_slot_limit
+        sm.fetch_instructions(beyond)
+        assert beyond not in sm._warm_op_slots
+
+
+class TestSimEngineResumability:
+    def test_epoch_stepping_matches_single_shot(
+        self, small_scene, small_frame, small_settings
+    ):
+        # The sharded backend steps engines epoch by epoch; chunked
+        # run_until calls must replay the serial run exactly.
+        from repro.gpu.simulator import SimEngine
+
+        def warps():
+            return compile_kernel(
+                small_frame, small_settings.all_pixels(), small_scene.addresses
+            )
+
+        whole = SimEngine(MOBILE_SOC, small_scene.addresses, warps())
+        whole.run_until(float("inf"))
+        one_shot = whole.finish()
+
+        stepped = SimEngine(MOBILE_SOC, small_scene.addresses, warps())
+        limit = 256.0
+        while not stepped.done:
+            stepped.run_until(limit)
+            limit += 256.0
+        chunked = stepped.finish()
+
+        _assert_identical(one_shot, chunked)
+
+    def test_explicit_sm_placement(self, small_scene, small_frame, small_settings):
+        # Pinning every warp to SM 0 must match a 1-SM config's layout.
+        from repro.gpu.simulator import SimEngine
+
+        warps = compile_kernel(
+            small_frame, small_settings.all_pixels(), small_scene.addresses
+        )
+        engine = SimEngine(
+            MOBILE_SOC, small_scene.addresses, warps, sm_of_task=[0] * len(warps)
+        )
+        assert len(engine.queues[0]) + sum(
+            1 for _, _, s in engine.heap if s.sm_index == 0
+        ) == len(warps)
+        for queue in engine.queues[1:]:
+            assert not queue
+
+
+def test_trace_smoke_regression(small_scene):
+    """Timeline trace still renders from a fast-path run (zperf shape)."""
+    settings = RenderSettings(width=16, height=16, samples_per_pixel=1, seed=3)
+    frame = FunctionalTracer(small_scene, settings).trace_frame()
+    warps = compile_kernel(frame, settings.all_pixels(), small_scene.addresses)
+    config = replace(MOBILE_SOC, telemetry_interval=100, timeline_trace=True)
+    stats = CycleSimulator(config, small_scene.addresses).run(warps)
+    assert stats.telemetry is not None
+    assert stats.telemetry.snapshots
+    assert stats.telemetry.events
