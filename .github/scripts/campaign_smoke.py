@@ -1,0 +1,163 @@
+"""End-to-end smoke test of ``POST /campaigns``, run by CI's campaign-smoke job.
+
+Boots the real service as a subprocess and drives a small campaign —
+a 2-frame procedural saturation sequence — through it over plain HTTP,
+checking the campaign-engine acceptance contract from the outside:
+
+1. the campaign completes and the report carries one verdict per frame;
+2. a deliberately untrippable-by-this-sampler QC gate
+   (``max_ci_half_width`` on a point-estimate run) degrades the frames
+   instead of failing the campaign — the report says ``degraded`` with
+   the violation spelled out, and ``succeeded`` stays true;
+3. the cross-frame prediction-cache carry-over is visible on
+   ``GET /metrics``: ``service.seq_cache_lookups`` is nonzero and
+   ``service.seq_cache_carried_hits`` recorded carried confirmations;
+4. an invalid samplesheet is refused with 400 naming the bad row.
+
+Run locally with::
+
+    PYTHONPATH=src python .github/scripts/campaign_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+SAMPLESHEET = {
+    "campaign": {
+        "name": "ci-smoke",
+        "size": 16,
+        "spp": 1,
+        "seed": 0,
+        "backend": "packet",
+        "gpus": ["mobile"],
+    },
+    "points": [
+        {
+            "scene": {
+                "sequence": "saturation",
+                "frames": 2,
+                "knobs": {"level": 0.4},
+                "seed": 2,
+                "orbit_degrees": 10.0,
+            },
+            # Tripped on purpose: the default sampler returns point
+            # estimates with no confidence intervals, so any CI-width
+            # demand is unsatisfiable and must degrade the point.
+            "qc": {"max_ci_half_width": 0.05},
+        }
+    ],
+}
+
+BAD_SHEET = {
+    "campaign": {"name": "bad", "size": 16},
+    "points": [{"scene": "SPRNG", "gppu": "mobile"}],
+}
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _post(base: str, body: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        f"{base}/campaigns", data=json.dumps(body).encode(), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(f"{base}{path}", timeout=30) as response:
+        return json.loads(response.read())
+
+
+def main() -> int:
+    port = _free_port()
+    base = f"http://127.0.0.1:{port}"
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    with tempfile.TemporaryDirectory() as cache_dir:
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", str(port),
+             "--cache-dir", cache_dir, "--workers", "1"],
+            env=env, cwd=REPO,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            for _ in range(150):
+                try:
+                    health = _get(base, "/healthz")
+                    break
+                except (urllib.error.URLError, ConnectionError):
+                    if server.poll() is not None:
+                        print(server.communicate()[0], file=sys.stderr)
+                        raise SystemExit("serve process died during startup")
+                    time.sleep(0.2)
+            else:
+                raise SystemExit("service did not come up within 30s")
+            assert health["status"] == "ok", health
+
+            # 1. + 2. the sequence campaign completes, degraded-not-failed
+            status, report = _post(base, SAMPLESHEET)
+            assert status == 200, (status, report)
+            assert report["campaign"] == "ci-smoke", report
+            points = report["points"]
+            assert len(points) == 2, points
+            assert all(p["verdict"] == "degraded" for p in points), points
+            assert any(
+                "confidence" in v
+                for p in points
+                for v in p.get("violations", [])
+            ), points
+            assert report["succeeded"] is True, report
+
+            # 3. frame 1 reused frame 0's prediction cache, observably
+            counters = _get(base, "/metrics")["counters"]
+            lookups = counters.get("service.seq_cache_lookups", 0)
+            carried = counters.get("service.seq_cache_carried_hits", 0)
+            assert counters.get("service.campaigns") == 1, counters
+            assert counters.get("service.campaign_points") == 2, counters
+            assert lookups > 0, counters
+            assert carried > 0, (
+                "no carried prediction-cache hits recorded across frames: "
+                f"{counters}"
+            )
+
+            # 4. invalid samplesheets are refused loudly, naming the row
+            status, error = _post(base, BAD_SHEET)
+            assert status == 400, (status, error)
+            assert "points[0]" in error["error"], error
+
+            print(
+                "campaign smoke OK: 2-frame sequence served, QC gate "
+                f"degraded both frames as designed, seq cache lookups="
+                f"{lookups} carried_hits={carried}, 400 on bad samplesheet"
+            )
+            return 0
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

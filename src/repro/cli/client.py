@@ -106,20 +106,23 @@ class ZatelClient:
         exponentially — honoring the server's ``Retry-After`` hint as a
         floor when present, and never hot-looping when it is absent.
         """
-        attempts = self.backpressure_retries + 1
-        for attempt in range(attempts):
-            try:
-                return self._request("POST", "/predict", body=request)
-            except RemoteServiceError as error:
-                if error.status != 429 or attempt == attempts - 1:
-                    raise
-                raw_hint = error.payload.get("retry_after")
-                try:
-                    hint = float(raw_hint) if raw_hint is not None else None
-                except (TypeError, ValueError):
-                    hint = None
-                time.sleep(self.backoff_delay(attempt, hint))
-        raise AssertionError("unreachable")
+        return self._post_backpressure("/predict", request)
+
+    def campaign(self, samplesheet: dict[str, Any]) -> dict:
+        """POST a samplesheet document to ``/campaigns``.
+
+        ``samplesheet`` is the ``{"campaign": {...}, "points": [...]}``
+        document (plus an optional transport-level ``wait`` key).  With
+        ``wait`` true (the default) the response is the full campaign
+        report; with ``wait: false`` it is a 202 body carrying the
+        ``job`` id to poll via :meth:`campaign_status`.  Shares the
+        predict endpoint's 429 backpressure handling.
+        """
+        return self._post_backpressure("/campaigns", samplesheet)
+
+    def campaign_status(self, job_id: str) -> dict:
+        """``GET /campaigns/<id>`` — status and, once done, the report."""
+        return self._request("GET", f"/campaigns/{job_id}")
 
     def job(self, job_id: str) -> dict:
         """``GET /jobs/<id>`` — status and, once done, the result."""
@@ -160,6 +163,23 @@ class ZatelClient:
         return self._request("GET", "/metrics")
 
     # -- transport ------------------------------------------------------
+
+    def _post_backpressure(self, path: str, body: dict[str, Any]) -> dict:
+        """POST with the capped-exponential 429 retry loop."""
+        attempts = self.backpressure_retries + 1
+        for attempt in range(attempts):
+            try:
+                return self._request("POST", path, body=body)
+            except RemoteServiceError as error:
+                if error.status != 429 or attempt == attempts - 1:
+                    raise
+                raw_hint = error.payload.get("retry_after")
+                try:
+                    hint = float(raw_hint) if raw_hint is not None else None
+                except (TypeError, ValueError):
+                    hint = None
+                time.sleep(self.backoff_delay(attempt, hint))
+        raise AssertionError("unreachable")
 
     def _request(
         self, method: str, path: str, body: dict | None = None

@@ -7,6 +7,7 @@ the working directory).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from ..core import (
@@ -27,7 +28,6 @@ from ..harness import (
     metric_errors,
     shared_runner,
 )
-from ..models import SamplingPredictor
 from ..scene import SCENE_NAMES, make_scene
 from ..scene.library import EXTRA_SCENES
 from ..tracer import FunctionalTracer
@@ -42,6 +42,7 @@ __all__ = [
     "cmd_predict",
     "cmd_serve",
     "cmd_sweep",
+    "cmd_campaign",
 ]
 
 
@@ -516,20 +517,53 @@ def cmd_inspect(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    """§IV-D in miniature: error and speedup per traced percentage."""
+    """§IV-D in miniature: error and speedup per traced percentage.
+
+    Deprecated alias: the sweep is now a one-point-per-percentage
+    sampling-mode samplesheet executed by the campaign engine, so its
+    profile/quantize stages deduplicate through the same planner (and
+    the same shared store) every other campaign uses.  Output and
+    numbers are unchanged; prefer ``campaign run`` for multi-scene or
+    multi-GPU grids.
+    """
+    from ..core.stages.campaign import parse_samplesheet
+    from ..errors import SimulationError
+
     workload = _workload(args)
     gpu = resolve_gpu(args.gpu)
     runner = shared_runner()
-    scene = runner.scene(workload.scene_name)
-    frame = runner.frame(workload)
     full = runner.full_sim(workload, gpu)
-    predictor = SamplingPredictor(gpu, seed=args.seed)
 
     percentages = [int(p) for p in args.percentages.split(",") if p.strip()]
+    document = {
+        "campaign": {
+            "name": f"sweep-{workload.scene_name.lower()}",
+            "size": args.size,
+            "spp": args.spp,
+            "seed": args.seed,
+            "backend": workload.backend,
+            "gpus": [args.gpu],
+        },
+        "points": [
+            {
+                "scene": workload.scene_name,
+                "mode": "sampling",
+                "fraction": perc / 100.0,
+                "config": {"seed": args.seed},
+            }
+            for perc in percentages
+        ],
+    }
+    result = runner.campaign(parse_samplesheet(document))
+
     rows = []
     speedups = []
-    for perc in percentages:
-        prediction = predictor.predict(scene, frame, perc / 100.0)
+    for perc, outcome in zip(percentages, result.outcomes):
+        if not outcome.ok:
+            raise SimulationError(
+                f"sweep point at {perc}% failed: {outcome.error}"
+            )
+        prediction = outcome.value
         errors = metric_errors(prediction.metrics, full)
         speedup = prediction.speedup_vs(full)
         speedups.append(speedup)
@@ -547,4 +581,111 @@ def cmd_sweep(args) -> int:
         )
         print(f"fitted speedup(perc) = {a:.1f} * perc^{b:.2f} "
               "(paper eq. 4: 181 * perc^-1.15)")
+    print("note: `sweep` is a deprecated alias over the campaign engine "
+          "(see `campaign run --help`)")
     return 0
+
+
+def _print_campaign_report(report: dict) -> None:
+    """Human summary of a campaign report (local or served)."""
+    rows = []
+    for entry in report["points"]:
+        notes: list[str] = []
+        if entry.get("error"):
+            notes.append(entry["error"])
+        notes.extend(entry.get("violations", ()))
+        sequence = entry.get("sequence_cache")
+        if sequence:
+            notes.append(
+                f"carried {sequence['carried_hits']}/{sequence['lookups']} "
+                "occlusion lookups"
+            )
+        cycles = entry.get("metrics", {}).get("cycles", "-")
+        rows.append(
+            [
+                entry["scene"],
+                entry["gpu"],
+                entry["mode"],
+                entry["verdict"],
+                cycles,
+                "; ".join(notes) if notes else "",
+            ]
+        )
+    print(
+        format_table(
+            ["point", "gpu", "mode", "verdict", "cycles", "notes"], rows,
+            title=(
+                f"campaign {report['campaign']} "
+                f"({report['fingerprint'][:12]}): "
+                f"{len(report['points'])} points, {report['waves']} wave(s)"
+            ),
+            precision=0,
+        )
+    )
+    dag = report["dag"]
+    print(
+        f"dag: {dag['total_nodes']} stage nodes planned, "
+        f"{dag['unique_nodes']} unique "
+        f"({dag['deduplicated_nodes']} deduplicated)"
+    )
+    if report.get("sequence_hit_rate"):
+        print(
+            "sequence cache: "
+            f"{report['sequence_hit_rate']:.1%} of confirmed occlusion "
+            "predictions came from entries carried across frames"
+        )
+    verdicts = ", ".join(
+        f"{name}={count}"
+        for name, count in report["verdicts"].items()
+        if count
+    )
+    print(f"verdicts: {verdicts}")
+
+
+def cmd_campaign(args) -> int:
+    """``campaign run``/``campaign status``: the samplesheet front end."""
+    from .client import ZatelClient
+
+    if args.action == "status":
+        payload = ZatelClient(args.remote).campaign_status(args.job_id)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 3 if payload.get("status") == "failed" else 0
+
+    if args.remote is not None:
+        from ..core.stages.campaign import (
+            load_samplesheet_document,
+            parse_samplesheet,
+        )
+
+        document = load_samplesheet_document(args.samplesheet)
+        # Validate locally first: a schema error costs one parse, not a
+        # round trip, and the message names the offending row either way.
+        parse_samplesheet(document, name=Path(args.samplesheet).stem)
+        client = ZatelClient(
+            args.remote,
+            backpressure_retries=max(0, getattr(args, "max_retries", 5)),
+        )
+        payload = client.campaign({**document, "wait": not args.no_wait})
+        if args.no_wait:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        report = payload
+    else:
+        from ..core.stages.campaign import load_samplesheet
+        from ..harness.reporting import campaign_report
+
+        campaign = load_samplesheet(args.samplesheet)
+        result = shared_runner().campaign(campaign)
+        report = campaign_report(result)
+
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        _print_campaign_report(report)
+        if args.out:
+            print(f"wrote {args.out}")
+    return 0 if report.get("succeeded", False) else 3

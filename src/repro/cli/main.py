@@ -11,7 +11,12 @@ Subcommands cover the workflows a downstream user runs most:
 ``simulate``   run the full cycle-level simulation and print Table I
 ``predict``    run the Zatel pipeline (optionally validating against a
                full simulation)
-``sweep``      the accuracy/speedup trade-off sweep of §IV-D
+``sweep``      the accuracy/speedup trade-off sweep of §IV-D (now a thin
+               alias over the campaign engine)
+``campaign``   run a TOML/JSON samplesheet of scene recipes x GPU grids
+               as one deduplicated DAG with QC gates (``campaign run``),
+               locally or against a service (``POST /campaigns``); poll a
+               submitted job with ``campaign status``
 ``trace``      export a frame trace as a portable ``.ztrace`` file, or —
                with ``--timeline`` — run the simulator with telemetry on
                and export a ``.zperf`` timeline trace
@@ -36,6 +41,7 @@ import sys
 
 from ..errors import SimulationError
 from .commands import (
+    cmd_campaign,
     cmd_configs,
     cmd_heatmap,
     cmd_inspect,
@@ -221,7 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
     predict.set_defaults(func=cmd_predict)
 
     sweep = subparsers.add_parser(
-        "sweep", help="accuracy/speedup sweep over traced fractions (§IV-D)"
+        "sweep",
+        help=(
+            "accuracy/speedup sweep over traced fractions (§IV-D); "
+            "deprecated alias: runs as a one-point-per-percentage "
+            "campaign (prefer `campaign run` for grids)"
+        ),
     )
     add_workload_args(sweep)
     sweep.add_argument("--gpu", default="mobile")
@@ -230,6 +241,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated traced percentages",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help=(
+            "execute a TOML/JSON samplesheet (scene recipes x GPU grids "
+            "x samplers) as one deduplicated DAG with QC gates"
+        ),
+    )
+    campaign_sub = campaign.add_subparsers(dest="action", required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run a samplesheet locally or on a serve instance"
+    )
+    campaign_run.add_argument(
+        "samplesheet", help="path to a .toml or .json samplesheet"
+    )
+    campaign_run.add_argument(
+        "--remote", default=None, metavar="URL",
+        help=(
+            "submit to a running `repro serve` instance "
+            "(POST /campaigns) instead of executing locally"
+        ),
+    )
+    campaign_run.add_argument(
+        "--no-wait", action="store_true",
+        help=(
+            "with --remote: enqueue and print the job id instead of "
+            "blocking (poll with `campaign status`)"
+        ),
+    )
+    campaign_run.add_argument(
+        "--json", action="store_true",
+        help="emit the full campaign report as JSON on stdout",
+    )
+    campaign_run.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the JSON campaign report to FILE",
+    )
+    campaign_run.add_argument(
+        "--max-retries", type=int, default=5, metavar="N",
+        help=(
+            "with --remote: 429 backpressure responses to absorb before "
+            "giving up (default 5)"
+        ),
+    )
+    campaign_run.set_defaults(func=cmd_campaign)
+    campaign_status = campaign_sub.add_parser(
+        "status", help="poll a campaign job submitted with --no-wait"
+    )
+    campaign_status.add_argument("job_id", help="the job id the 202 returned")
+    campaign_status.add_argument(
+        "--remote", required=True, metavar="URL",
+        help="the serve instance holding the job",
+    )
+    campaign_status.set_defaults(func=cmd_campaign)
 
     trace = subparsers.add_parser(
         "trace",

@@ -27,6 +27,17 @@ from .concrete import (
     SelectStage,
     SimulateGroupStage,
 )
+from .campaign import (
+    Campaign,
+    CampaignOutcome,
+    CampaignPlanner,
+    CampaignPoint,
+    CampaignResult,
+    QCGates,
+    campaign_fingerprint,
+    load_samplesheet,
+    parse_samplesheet,
+)
 from .fingerprint import (
     frame_fingerprint,
     gpu_fingerprint,
@@ -39,10 +50,16 @@ from .sweep import SweepOutcome, SweepPlan, SweepPlanner, SweepPoint, SweepResul
 __all__ = [
     "Artifact",
     "ArtifactStore",
+    "Campaign",
+    "CampaignOutcome",
+    "CampaignPlanner",
+    "CampaignPoint",
+    "CampaignResult",
     "CombineStage",
     "DownscaleStage",
     "PartitionStage",
     "ProfileStage",
+    "QCGates",
     "QuantizeStage",
     "SamplingSimulateStage",
     "SelectStage",
@@ -58,8 +75,11 @@ __all__ = [
     "SweepPlanner",
     "SweepPoint",
     "SweepResult",
+    "campaign_fingerprint",
     "frame_fingerprint",
     "gpu_fingerprint",
+    "load_samplesheet",
+    "parse_samplesheet",
     "scene_fingerprint",
     "source",
     "stable_hash",

@@ -127,10 +127,15 @@ def gpu_fingerprint(gpu) -> str:
 
 
 def scene_fingerprint(scene) -> str:
-    """Identity of a scene: name plus geometry summary.
+    """Identity of a scene: its spec plus name and geometry summary.
 
     Library scenes are procedurally deterministic per name; the
     triangle/node counts catch a generator change that keeps the name.
+    The :class:`~repro.scene.spec.SceneSpec` (when the registry built
+    the scene) separates identities the display name conflates: two
+    ``saturation`` recipes with different seeds share ``SAT040`` but
+    must never share artifacts, and each frame of an animated sequence
+    is its own workload.
     """
     return stable_hash(
         "scene",
@@ -138,4 +143,5 @@ def scene_fingerprint(scene) -> str:
         scene.triangle_count(),
         scene.node_count(),
         scene.max_bounces,
+        getattr(scene, "spec", None),
     )

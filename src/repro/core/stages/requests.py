@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from ...scene.spec import SceneSpec
 from .fingerprint import stable_hash
 
 __all__ = [
@@ -69,7 +70,9 @@ class PredictSpec:
     :class:`~repro.core.pipeline.ZatelConfig` for the methodology knobs.
     """
 
-    scene: str
+    #: Scene identity: a library name string (legacy form) or a full
+    #: :class:`~repro.scene.spec.SceneSpec` (recipes, sequence frames).
+    scene: str | SceneSpec
     size: int = 64
     spp: int = 1
     seed: int = 0
@@ -83,13 +86,18 @@ class PredictSpec:
     replicates: int = 5
 
     def __post_init__(self) -> None:
-        from ...scene.library import EXTRA_SCENES, SCENE_NAMES
+        if not isinstance(self.scene, SceneSpec):
+            # Legacy string form: must name a library scene.  SceneSpec
+            # values validated themselves (recipe, knob ranges, frame
+            # index) at their own construction.
+            from ...scene.library import EXTRA_SCENES, SCENE_NAMES
 
-        known = SCENE_NAMES + EXTRA_SCENES
-        if self.scene not in known:
-            raise ValueError(
-                f"unknown scene {self.scene!r}; available: {', '.join(known)}"
-            )
+            known = SCENE_NAMES + EXTRA_SCENES
+            if self.scene not in known:
+                raise ValueError(
+                    f"unknown scene {self.scene!r}; available: "
+                    f"{', '.join(known)}"
+                )
         if not isinstance(self.size, int) or isinstance(self.size, bool):
             raise ValueError(f"size must be an integer, got {self.size!r}")
         if not 1 <= self.size <= MAX_PLANE_SIZE:

@@ -60,16 +60,29 @@ def bundle_key_for(predictor, frame, quantized, groups, scaled_gpu, fractions, s
     return stable_hash(
         (
             "fleet_bundle",
-            1,  # bundle layout version
+            # Bundle layout version.  v2: the scene travels as a
+            # SceneSpec (recipe knobs/seed/frame included), so two
+            # recipes sharing a display name never share a bundle.
+            2,
             predictor._simulate_params(),
             predictor.config,
             frame_fingerprint(frame),
             gpu_fingerprint(scaled_gpu),
             len(groups),
             list(fractions),
-            scene.name,
+            _scene_identity(scene),
         )
     )
+
+
+def _scene_identity(scene):
+    """The scene's spec when the registry built it, else its name.
+
+    The spec is what lets a worker rebuild procedural scenes it has
+    never seen: it is self-contained (recipe + knobs + seed + frame),
+    whereas a bare name only resolves against the fixed library.
+    """
+    return getattr(scene, "spec", None) or scene.name
 
 
 def result_key_for(bundle_key: str, index: int) -> str:
@@ -95,7 +108,7 @@ def pack_bundle(
                 "groups": groups,
                 "scaled_gpu": scaled_gpu,
                 "fractions": fractions,
-                "scene": scene.name,
+                "scene": _scene_identity(scene),
             },
         )
     return key
@@ -108,7 +121,7 @@ def execute_lease(store: ArtifactStore, bundle_key: str, index: int) -> str:
     dispatches reproduce bit-identical artifacts, so overwriting under
     the deterministic key is always safe.
     """
-    from ..scene.library import make_scene
+    from ..scene.registry import resolve_scene
     from ..gpu.simulator import make_simulator
 
     bundle = store.get(bundle_key)
@@ -122,7 +135,9 @@ def execute_lease(store: ArtifactStore, bundle_key: str, index: int) -> str:
         raise SimulationError(
             f"lease index {index} out of range for a {len(groups)}-group bundle"
         )
-    scene = make_scene(bundle["scene"])
+    # A SceneSpec rebuilds recipes and sequence frames from scratch; a
+    # bare string is the legacy library-name form.
+    scene = resolve_scene(bundle["scene"])
     simulator = make_simulator(bundle["scaled_gpu"], scene.addresses)
     prediction = bundle["predictor"]._predict_group(
         index,

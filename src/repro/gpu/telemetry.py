@@ -479,6 +479,14 @@ class ServiceStats(StatGroup):
     completed = Counter("jobs that finished successfully")
     failed = Counter("jobs that raised an execution error")
     abandoned = Counter("hung jobs force-failed at the shutdown drain deadline")
+    campaigns = Counter("POST /campaigns requests that passed validation")
+    campaign_points = Counter("campaign points executed across all campaigns")
+    seq_cache_lookups = Counter(
+        "path-prediction cache lookups during sequence carry-over passes"
+    )
+    seq_cache_carried_hits = Counter(
+        "validated hits served by cache entries carried from a previous frame"
+    )
     queue_peak = MaxGauge("high-water mark of queued + running jobs")
     cache_hit_rate = RatioGauge(
         "cache_hits", "predicts", "fraction of accepted predictions served from cache"

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from pathlib import Path
 
-__all__ = ["format_table", "format_value", "save_result", "results_dir"]
+__all__ = [
+    "campaign_report",
+    "format_table",
+    "format_value",
+    "save_result",
+    "results_dir",
+]
 
 
 def format_value(value, precision: int = 3) -> str:
@@ -44,6 +50,77 @@ def format_table(
     for row in rendered:
         lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
     return "\n".join(lines)
+
+
+def campaign_report(result) -> dict:
+    """JSON-able report artifact for one campaign execution.
+
+    Everything a CI job or reviewer needs to audit the run: per-point QC
+    verdicts with their violations, the predicted metrics (plus coverage
+    and confidence intervals when the result carries them), the
+    cross-frame prediction-cache stats for sequence frames, and the
+    DAG-level dedup accounting.  Pure data — safe to ``json.dumps`` and
+    diff across runs.
+    """
+    points = []
+    for outcome in result.outcomes:
+        point = outcome.point
+        entry: dict = {
+            "scene": point.spec.label(),
+            "scene_payload": point.spec.payload(),
+            "scene_fingerprint": point.spec.fingerprint(),
+            "gpu": point.gpu.name,
+            "mode": point.mode,
+            "size": point.size,
+            "spp": point.spp,
+            "seed": point.seed,
+            "backend": point.backend,
+            "row": point.row,
+            "verdict": outcome.verdict,
+            "violations": list(outcome.violations),
+        }
+        if point.fraction is not None:
+            entry["fraction"] = point.fraction
+        if outcome.error is not None:
+            entry["error"] = outcome.error
+        value = outcome.value
+        if value is not None:
+            metrics = getattr(value, "metrics", None)
+            if metrics:
+                entry["metrics"] = {
+                    name: float(metric) for name, metric in metrics.items()
+                }
+            coverage = getattr(value, "coverage", None)
+            if coverage is not None:
+                entry["coverage"] = float(coverage)
+            intervals_fn = getattr(value, "confidence_intervals", None)
+            intervals = intervals_fn() if callable(intervals_fn) else {}
+            if intervals:
+                entry["confidence_intervals"] = {
+                    name: [float(lo), float(hi)]
+                    for name, (lo, hi) in intervals.items()
+                }
+        if outcome.sequence is not None:
+            entry["sequence_cache"] = dict(outcome.sequence)
+        points.append(entry)
+    return {
+        "campaign": result.campaign.name,
+        "fingerprint": result.campaign.fingerprint(),
+        "succeeded": result.succeeded,
+        "waves": result.waves,
+        "verdicts": result.verdict_counts(),
+        "points": points,
+        "dag": {
+            "total_nodes": result.total_nodes,
+            "unique_nodes": result.unique_nodes,
+            "deduplicated_nodes": result.total_nodes - result.unique_nodes,
+        },
+        "stages": {
+            "executions": dict(result.counters.executions),
+            "cache_hits": dict(result.counters.cache_hits),
+        },
+        "sequence_hit_rate": result.sequence_hit_rate(),
+    }
 
 
 def results_dir() -> Path:

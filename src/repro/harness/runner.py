@@ -35,8 +35,9 @@ from ..gpu.config import GPUConfig
 from ..gpu.frontend import compile_kernel
 from ..gpu.simulator import make_simulator
 from ..gpu.stats import SimulationStats
-from ..scene.library import make_scene
+from ..scene.registry import resolve_scene
 from ..scene.scene import Scene
+from ..scene.spec import SceneSpec
 from ..tracer.tracer import FunctionalTracer, RenderSettings
 from ..tracer.trace import FrameTrace
 
@@ -47,7 +48,10 @@ __all__ = ["Workload", "Runner", "shared_runner", "DEFAULT_WIDTH", "DEFAULT_HEIG
 #: results carry variances + sampler provenance).
 #: v10: backend-selectable cycle simulator (SimulationStats carries
 #: sim_backend provenance; older pickles lack the field).
-CACHE_VERSION = 10
+#: v11: first-class scene specs (scene identity is a SceneSpec — recipe
+#: knobs, seeds and sequence frames enter every fingerprint; scenes carry
+#: their spec and scene_fingerprint hashes it).
+CACHE_VERSION = 11
 
 DEFAULT_WIDTH = 128
 DEFAULT_HEIGHT = 128
@@ -55,9 +59,15 @@ DEFAULT_HEIGHT = 128
 
 @dataclass(frozen=True)
 class Workload:
-    """One ray-tracing workload: a scene at a resolution and sample count."""
+    """One ray-tracing workload: a scene at a resolution and sample count.
 
-    scene_name: str
+    ``scene_name`` is either a library scene name string (legacy form)
+    or a full :class:`~repro.scene.spec.SceneSpec` — procedural recipes
+    and sequence frames hash into the cache keys exactly like any other
+    workload coordinate.
+    """
+
+    scene_name: str | SceneSpec
     width: int = DEFAULT_WIDTH
     height: int = DEFAULT_HEIGHT
     samples_per_pixel: int = 1
@@ -76,9 +86,19 @@ class Workload:
         )
 
     def key(self) -> str:
-        """Stable human-readable cache key component."""
+        """Stable, filesystem-safe cache key component.
+
+        Spec-identified scenes use a fingerprint-prefix token: recipe
+        labels repeat across seeds and contain path-hostile characters.
+        """
+        scene = self.scene_name
+        token = (
+            scene
+            if isinstance(scene, str)
+            else f"{scene.name}-{scene.fingerprint()[:16]}"
+        )
         return (
-            f"{self.scene_name}_{self.width}x{self.height}"
+            f"{token}_{self.width}x{self.height}"
             f"_spp{self.samples_per_pixel}_s{self.seed}"
             f"_{self.backend}_v{CACHE_VERSION}"
         )
@@ -117,9 +137,9 @@ class Runner:
 
     # ------------------------------------------------------------------
 
-    def scene(self, name: str) -> Scene:
-        """The (process-cached) library scene."""
-        return make_scene(name)
+    def scene(self, name: str | SceneSpec) -> Scene:
+        """The (process-cached) scene for a library name or spec."""
+        return resolve_scene(name)
 
     def frame(self, workload: Workload) -> FrameTrace:
         """Full-plane functional trace of a workload, cached to disk."""
@@ -215,6 +235,42 @@ class Runner:
             store=self.store, policy=policy, stage_policy=stage_policy
         )
         return planner.run(points, scenes, frames)
+
+    def campaign(
+        self,
+        campaign,
+        policy: ExecutionPolicy | None = None,
+        stage_policy: ExecutionPolicy | None = None,
+    ):
+        """Execute a :class:`~repro.core.stages.campaign.Campaign` with
+        every frame trace and stage artifact cached through the runner's
+        disk-backed store."""
+        from ..core.stages.campaign import CampaignPlanner
+
+        def frame_source(scene, point):
+            workload = Workload(
+                point.spec,
+                width=point.size,
+                height=point.size,
+                samples_per_pixel=point.spp,
+                seed=point.seed,
+                backend=point.backend,
+            )
+            return self.store.get_or_compute(
+                self.frame_key(workload),
+                lambda: FunctionalTracer(
+                    scene, workload.settings()
+                ).trace_frame(),
+            )
+
+        planner = CampaignPlanner(
+            store=self.store,
+            policy=policy,
+            stage_policy=stage_policy,
+            scene_source=self.scene,
+            frame_source=frame_source,
+        )
+        return planner.run(campaign)
 
     def checkpoint_dir(self, workload: Workload, gpu: GPUConfig) -> Path:
         """Canonical per-(workload, GPU) checkpoint directory for

@@ -28,6 +28,7 @@ from ..core.pipeline import ZatelResult
 from ..core.stages.base import StageContext
 from ..core.stages.requests import PredictSpec, build_spec_graph, spec_fingerprint
 from ..gpu.config import preset
+from ..scene.spec import scene_label
 from .runner import CACHE_VERSION, Runner, Workload, shared_runner
 
 __all__ = ["ServiceRunner", "result_payload"]
@@ -152,9 +153,44 @@ class ServiceRunner:
             stats.observe("trace_seconds", trace_seconds)
             stats.observe("predict_seconds", predict_seconds)
 
-        payload = result_payload(spec.scene, spec.backend, gpu.name, result)
+        payload = result_payload(
+            scene_label(spec.scene), spec.backend, gpu.name, result
+        )
         payload["stages"] = {
             "executions": dict(ctx.counters.executions),
             "cache_hits": dict(ctx.counters.cache_hits),
         }
         return payload
+
+    def campaign_fingerprint(self, campaign) -> str:
+        """A campaign's result-cache / single-flight key."""
+        from ..core.stages.fingerprint import stable_hash
+
+        return stable_hash(
+            "campaign_result", campaign.fingerprint(), CACHE_VERSION
+        )
+
+    def execute_campaign(self, campaign, stats=None) -> dict:
+        """Run one campaign end to end; returns the JSON-able report.
+
+        Uses the wrapped runner's disk-backed store for every frame
+        trace and stage artifact, so campaign points share work with
+        served single predictions and CLI sweeps.  ``stats`` (a
+        :class:`~repro.gpu.telemetry.ServiceStats`) picks up the
+        per-point and sequence-cache counters for ``GET /metrics``.
+        """
+        from .reporting import campaign_report
+
+        start = time.perf_counter()
+        result = self.runner.campaign(campaign, policy=self.policy)
+        report = campaign_report(result)
+        report["host_seconds"] = time.perf_counter() - start
+        if stats is not None:
+            stats.campaign_points += len(result.outcomes)
+            for outcome in result.outcomes:
+                if outcome.sequence:
+                    stats.seq_cache_lookups += outcome.sequence["lookups"]
+                    stats.seq_cache_carried_hits += outcome.sequence[
+                        "carried_hits"
+                    ]
+        return report

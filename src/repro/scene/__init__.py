@@ -14,6 +14,15 @@ from .library import (
     build_scene,
     make_scene,
 )
+from .spec import SceneSpec, as_scene_spec, scene_label
+from .animation import SceneSequence, interpolate_knobs
+from .registry import (
+    RECIPE_NAMES,
+    RECIPES,
+    build_scene_from_spec,
+    resolve_scene,
+    validate_recipe_knobs,
+)
 
 __all__ = [
     "AABB",
@@ -28,16 +37,26 @@ __all__ = [
     "MaterialTable",
     "PointLight",
     "Ray",
+    "RECIPES",
+    "RECIPE_NAMES",
     "REPRESENTATIVE_SUBSET",
     "SCENE_NAMES",
     "Scene",
+    "SceneSequence",
+    "SceneSpec",
     "TUNING_SCENES",
     "TraversalRecord",
     "Triangle",
+    "as_scene_spec",
     "build_bvh",
     "build_scene",
+    "build_scene_from_spec",
     "diffuse",
     "emissive",
+    "interpolate_knobs",
     "make_scene",
     "mirror",
+    "resolve_scene",
+    "scene_label",
+    "validate_recipe_knobs",
 ]

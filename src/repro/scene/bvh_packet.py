@@ -452,8 +452,10 @@ class PackedBVH:
                 hit_rows = rows[confirmed]
                 occluded[hit_rows] = True
                 hit_leaf[hit_rows] = predicted[candidates[confirmed]]
-                cache.hits += int(confirmed.sum())
-                cache.mispredictions += int(candidates.size - confirmed.sum())
+                cache.note_results(
+                    keys[candidates[confirmed]].tolist(),
+                    int(candidates.size - confirmed.sum()),
+                )
                 keep = np.ones(pending.size, dtype=bool)
                 keep[candidates[confirmed]] = False
                 pending = pending[keep]
@@ -612,6 +614,11 @@ class PathPredictionCache:
         self.lookups = 0
         self.hits = 0
         self.mispredictions = 0
+        #: Validated hits served by entries that were already in the
+        #: table at the last :meth:`rebind` — i.e. knowledge carried in
+        #: from a previous frame rather than learned within this one.
+        self.carried_hits = 0
+        self._carried: frozenset[int] = frozenset()
 
     def keys(self, origins: np.ndarray, dirs: np.ndarray) -> np.ndarray:
         """Quantized int64 keys for a batch of rays."""
@@ -651,6 +658,47 @@ class PathPredictionCache:
                 table[key] = leaf
             else:
                 table.pop(key, None)
+
+    def note_results(self, confirmed_keys: list[int], rejected: int) -> None:
+        """Account a batch of validated predictions.
+
+        ``confirmed_keys`` are the keys whose predicted leaf passed the
+        direct leaf test; ``rejected`` counts the predictions that
+        failed it.  Hits on keys present at the last :meth:`rebind`
+        accrue to :attr:`carried_hits` — the cross-frame signal.
+        """
+        self.hits += len(confirmed_keys)
+        self.mispredictions += rejected
+        carried = self._carried
+        if carried:
+            self.carried_hits += sum(
+                1 for key in confirmed_keys if key in carried
+            )
+
+    def rebind(self, packed: PackedBVH) -> None:
+        """Re-anchor the cache to a (new frame's) BVH, keeping the table.
+
+        Consecutive frames of an animated sequence share most of their
+        ray/occluder structure, so carrying the table across frames pays
+        off ("Hash-Based Ray Path Prediction"-style frame coherence).
+        Entries whose leaf index no longer names a leaf of the new BVH
+        are pruned; surviving entries stay *predictions* — every lookup
+        is still validated with a direct leaf test, so a stale entry can
+        cost a misprediction but never a wrong occlusion answer.
+        """
+        n_nodes = packed.node_count.shape[0]
+        self.table = {
+            key: leaf
+            for key, leaf in self.table.items()
+            if 0 <= leaf < n_nodes and packed.node_count[leaf] > 0
+        }
+        self.packed = packed
+        root_lo = packed.node_lo[0]
+        root_hi = packed.node_hi[0]
+        extent = np.maximum(root_hi - root_lo, 1e-9)
+        self._lo = root_lo
+        self._inv_extent = 1.0 / extent
+        self._carried = frozenset(self.table)
 
     @property
     def hit_rate(self) -> float:

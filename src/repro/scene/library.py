@@ -21,8 +21,6 @@ Use :func:`make_scene` (cached) or :func:`build_scene` (fresh instance).
 
 from __future__ import annotations
 
-import functools
-
 import numpy as np
 
 from .camera import Camera
@@ -86,10 +84,18 @@ def build_scene(name: str) -> Scene:
     return builder()
 
 
-@functools.lru_cache(maxsize=None)
-def make_scene(name: str) -> Scene:
-    """Cached scene factory; experiments share one instance per scene."""
-    return build_scene(name)
+def make_scene(name) -> Scene:
+    """Cached scene factory; experiments share one instance per scene.
+
+    Accepts a library name or any :class:`~repro.scene.spec.SceneSpec`
+    and delegates to the registry's bounded, content-fingerprint-keyed
+    cache (:func:`~repro.scene.registry.resolve_scene`) — the old
+    unbounded per-name ``lru_cache`` would leak under procedural sweeps
+    that mint unlimited distinct recipes.
+    """
+    from .registry import resolve_scene
+
+    return resolve_scene(name)
 
 
 def _spnza() -> Scene:

@@ -92,6 +92,9 @@ class Scene:
         self.bvh: BVH = build_bvh(triangles, method=bvh_method)
         self.addresses = AddressMap()
         self._packed_bvh = None
+        #: The :class:`~repro.scene.spec.SceneSpec` this scene was built
+        #: from (set by the registry); ``None`` for hand-assembled scenes.
+        self.spec = None
 
     @property
     def packed_bvh(self):

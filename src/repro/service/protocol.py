@@ -6,7 +6,9 @@ apart.  The body is a flat JSON object mirroring the ``predict`` CLI
 arguments::
 
     {
-      "scene": "SPRNG",          // required; library scene name
+      "scene": "SPRNG",          // library name, or a recipe object:
+                                 //   {"recipe": "saturation",
+                                 //    "knobs": {"level": 0.4}, "seed": 1}
       "size": 64,                // image-plane side length (<= 512)
       "spp": 1, "seed": 0,
       "backend": "packet",       // or "scalar"
@@ -16,6 +18,11 @@ arguments::
       "adaptive": false,
       "wait": true               // false: 202 + job id, poll /jobs/<id>
     }
+
+``POST /campaigns`` takes a whole samplesheet document (the same
+``{"campaign": {...}, "points": [...]}`` shape the TOML/JSON files
+carry) plus the transport-level ``wait`` flag; everything else is
+validated by :func:`~repro.core.stages.campaign.parse_samplesheet`.
 
 Validation is strict — unknown keys are rejected, so a typo'd field
 name fails loudly with a 400 instead of silently running defaults.  All
@@ -27,13 +34,16 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..core.stages.campaign import Campaign, parse_samplesheet
 from ..core.stages.requests import PredictSpec
+from ..scene.spec import SceneSpec
 
-__all__ = ["parse_predict_payload", "SPEC_FIELDS"]
+__all__ = ["parse_campaign_payload", "parse_predict_payload", "SPEC_FIELDS"]
 
 #: Body keys forwarded to :class:`PredictSpec`, with their JSON types.
+#: ``scene`` also accepts an object form (recipe/sequence-frame specs).
 SPEC_FIELDS: dict[str, type | tuple[type, ...]] = {
-    "scene": str,
+    "scene": (str, dict),
     "size": int,
     "spp": int,
     "seed": int,
@@ -94,7 +104,34 @@ def parse_predict_payload(payload: Any) -> tuple[PredictSpec, bool]:
             )
         kwargs[name] = float(value) if name == "fraction" else value
 
+    if isinstance(kwargs["scene"], dict):
+        # Object form: {"recipe"/"library": ..., "knobs": ..., "seed": ...}
+        # (SceneSpec.from_value is as strict as this parser).
+        kwargs["scene"] = SceneSpec.from_value(kwargs["scene"])
     wait = payload.get("wait", True)
     if not isinstance(wait, bool):
         raise ValueError(f"field 'wait' must be a boolean, got {wait!r}")
     return PredictSpec(**kwargs), wait
+
+
+def parse_campaign_payload(payload: Any) -> tuple[Campaign, bool]:
+    """Validate a ``POST /campaigns`` JSON body.
+
+    Returns ``(campaign, wait)``.  The body is a samplesheet document —
+    ``{"campaign": {...defaults...}, "points": [...]}`` — with one extra
+    transport-level key, ``wait`` (default true), stripped before the
+    samplesheet parser sees it.
+
+    Raises:
+        ValueError: on any malformed body; the message names the
+            offending row and is safe to return verbatim in a 400.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    wait = payload.get("wait", True)
+    if not isinstance(wait, bool):
+        raise ValueError(f"field 'wait' must be a boolean, got {wait!r}")
+    document = {key: value for key, value in payload.items() if key != "wait"}
+    return parse_samplesheet(document), wait

@@ -44,7 +44,7 @@ from typing import Any, Callable
 from ..gpu.telemetry import SERVICE_LATENCY_EDGES, ServiceStats, TelemetryBus
 from ..harness.service import ServiceRunner
 from .cache import ResultCache
-from .protocol import parse_predict_payload
+from .protocol import parse_campaign_payload, parse_predict_payload
 from .queue import JOB_DONE, JobQueue, QueueClosedError, QueueFullError
 
 __all__ = ["ZatelService"]
@@ -144,9 +144,7 @@ class ZatelService:
         )
         self.jobs: OrderedDict[str, Any] = OrderedDict()
         self._jobs_lock = threading.Lock()
-        self._executor_fn = executor_fn or (
-            lambda spec: self.service_runner.execute(spec, stats=self.stats)
-        )
+        self._executor_fn = executor_fn or self._execute_job
         self._worker_threads: list[threading.Thread] = []
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
@@ -254,6 +252,19 @@ class ZatelService:
     # ------------------------------------------------------------------
     # worker pool
     # ------------------------------------------------------------------
+
+    def _execute_job(self, spec) -> dict:
+        """Default per-job execution: dispatch on the submitted type.
+
+        The queue carries both single :class:`PredictSpec`\\ s and whole
+        :class:`~repro.core.stages.campaign.Campaign`\\ s; the worker
+        pool, single-flight coalescing and drain semantics are shared.
+        """
+        from ..core.stages.campaign import Campaign
+
+        if isinstance(spec, Campaign):
+            return self.service_runner.execute_campaign(spec, stats=self.stats)
+        return self.service_runner.execute(spec, stats=self.stats)
 
     def _start_workers(self) -> None:
         for index in range(self.num_workers):
@@ -389,6 +400,10 @@ class ZatelService:
             if method != "POST":
                 return 405, {"error": "use POST /predict"}, None
             return await self._handle_predict(body)
+        if path == "/campaigns":
+            if method != "POST":
+                return 405, {"error": "use POST /campaigns"}, None
+            return await self._handle_campaign(body)
         if method != "GET":
             return 405, {"error": f"{method} not supported on {path}"}, None
         if path == "/healthz":
@@ -399,6 +414,9 @@ class ZatelService:
             return 200, self._metrics_payload(), None
         if path.startswith("/jobs/"):
             return self._handle_job(path[len("/jobs/"):])
+        if path.startswith("/campaigns/"):
+            # Campaign jobs live in the same tracked-job table.
+            return self._handle_job(path[len("/campaigns/"):])
         return 404, {"error": f"unknown path {path!r}"}, None
 
     async def _handle_predict(
@@ -415,8 +433,31 @@ class ZatelService:
             self.stats.invalid += 1
             return 400, {"error": str(error)}, None
         self.stats.predicts += 1
-
         key = self.service_runner.fingerprint(spec)
+        return await self._submit(key, spec, wait)
+
+    async def _handle_campaign(
+        self, body: bytes
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self.stats.invalid += 1
+            return 400, {"error": f"request body is not valid JSON: {error}"}, None
+        try:
+            campaign, wait = parse_campaign_payload(payload)
+        except ValueError as error:
+            self.stats.invalid += 1
+            return 400, {"error": str(error)}, None
+        self.stats.campaigns += 1
+        key = self.service_runner.campaign_fingerprint(campaign)
+        return await self._submit(key, campaign, wait)
+
+    async def _submit(
+        self, key: str, spec, wait: bool
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        """Shared result-cache -> single-flight-queue -> wait tail of
+        ``POST /predict`` and ``POST /campaigns``."""
         if self.cache is not None:
             cached = self.cache.get(key)
             if cached is not None:

@@ -522,6 +522,35 @@ class WavefrontTracer:
                     )
         return frame
 
+    def occlusion_pass(
+        self,
+        cache: "PathPredictionCache | None" = None,
+        pixels: list[tuple[int, int]] | None = None,
+    ) -> "PathPredictionCache":
+        """Run a record-free pass that exercises the prediction cache.
+
+        The sequence-aware simulate stages use this to *thread* a
+        :class:`PathPredictionCache` across the frames of an animated
+        sequence: pass the previous frame's cache and it is rebound to
+        this tracer's BVH (stale leaves pruned) before the waves run, so
+        coherent shadow rays hit entries learned one frame earlier.  The
+        (re)trained cache is returned for the next frame.  No traversal
+        records are collected, so the byte-identical ``trace_frame``
+        output is untouched.
+        """
+        if cache is None:
+            cache = PathPredictionCache(self.scene.packed_bvh)
+        else:
+            cache.rebind(self.scene.packed_bvh)
+        if pixels is None:
+            pixels = self.settings.all_pixels()
+        for px_l, py_l, s_l in self._iter_waves(pixels):
+            self._trace_wave(
+                px_l, py_l, s_l,
+                collect_records=False, compute_radiance=True, cache=cache,
+            )
+        return cache
+
     def render_image(self) -> np.ndarray:
         """Render the full plane to an ``(H, W, 3)`` float RGB image.
 

@@ -1,0 +1,568 @@
+"""Tests for the campaign engine: samplesheets, QC gates, waves, goldens.
+
+The acceptance grid (2 library scenes + 2 procedural recipes + one
+4-frame orbiting sequence, crossed with both Table II GPU configs) runs
+once as a module fixture; the assertions then pin the three campaign
+guarantees: library points stay byte-identical to the golden predict
+metrics, shared stages execute once per unique scene, and the sequence
+shows a nonzero cross-frame prediction-cache hit rate.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import Zatel
+from repro.core.stages.campaign import (
+    Campaign,
+    CampaignPlanner,
+    CampaignPoint,
+    QCGates,
+    load_samplesheet,
+    load_samplesheet_document,
+    parse_samplesheet,
+)
+from repro.core.stages.store import ArtifactStore
+from repro.gpu import MOBILE_SOC, RTX_2060
+from repro.scene.animation import SceneSequence
+from repro.scene.registry import clear_scene_cache, resolve_scene
+from repro.scene.spec import SceneSpec
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "golden_predict.json").read_text()
+)
+
+CI_GATE = {"max_ci_half_width": 0.05}
+
+
+def _sheet(points, **campaign):
+    defaults = {"name": "t", "size": 12, "gpus": ["mobile"]}
+    defaults.update(campaign)
+    return {"campaign": defaults, "points": points}
+
+
+# ---------------------------------------------------------------------------
+# samplesheet schema
+# ---------------------------------------------------------------------------
+
+
+class TestSamplesheetSchema:
+    def test_minimal_sheet_parses(self):
+        campaign = parse_samplesheet(_sheet([{"scene": "SPRNG"}]))
+        assert campaign.name == "t"
+        assert len(campaign.points) == 1
+        point = campaign.points[0]
+        assert point.spec == SceneSpec.library("SPRNG")
+        assert point.size == 12 and point.gpu.name == "MobileSoC"
+
+    def test_not_a_mapping_rejected(self):
+        with pytest.raises(ValueError, match="must be a mapping"):
+            parse_samplesheet([{"scene": "SPRNG"}])
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown samplesheet section"):
+            parse_samplesheet({"points": [{"scene": "SPRNG"}], "rows": []})
+
+    def test_unknown_campaign_field_rejected(self):
+        with pytest.raises(ValueError, match="campaign: unknown field"):
+            parse_samplesheet(
+                {"campaign": {"sizes": 12}, "points": [{"scene": "SPRNG"}]}
+            )
+
+    def test_unknown_row_field_names_the_row(self):
+        sheet = _sheet([{"scene": "SPRNG"}, {"scene": "BUNNY", "gppu": "x"}])
+        with pytest.raises(ValueError, match=r"points\[1\]: unknown field"):
+            parse_samplesheet(sheet)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError, match="non-empty points"):
+            parse_samplesheet({"points": []})
+
+    def test_row_without_scene_rejected(self):
+        with pytest.raises(ValueError, match=r"points\[0\].*scene"):
+            parse_samplesheet(_sheet([{"mode": "zatel"}]))
+
+    def test_gpu_and_gpus_conflict_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            parse_samplesheet(
+                _sheet([{"scene": "SPRNG", "gpu": "mobile", "gpus": ["mobile"]}])
+            )
+
+    def test_unknown_gpu_names_the_row(self):
+        with pytest.raises(ValueError, match=r"points\[0\]"):
+            parse_samplesheet(_sheet([{"scene": "SPRNG", "gpu": "tpu"}]))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            parse_samplesheet(_sheet([{"scene": "SPRNG", "backend": "cuda"}]))
+
+    def test_unknown_config_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown config field"):
+            parse_samplesheet(
+                _sheet([{"scene": "SPRNG", "config": {"divsion": "fine"}}])
+            )
+
+    def test_unknown_qc_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown qc field"):
+            parse_samplesheet(
+                _sheet([{"scene": "SPRNG", "qc": {"min_cov": 0.5}}])
+            )
+
+    def test_qc_range_violation_names_the_row(self):
+        with pytest.raises(ValueError, match=r"points\[0\]: min_coverage"):
+            parse_samplesheet(
+                _sheet([{"scene": "SPRNG", "qc": {"min_coverage": 2.0}}])
+            )
+
+    def test_bad_scene_recipe_names_the_row(self):
+        with pytest.raises(ValueError, match=r"points\[0\]: unknown scene recipe"):
+            parse_samplesheet(_sheet([{"scene": {"recipe": "fog"}}]))
+
+    def test_gpus_expand_to_one_point_each(self):
+        campaign = parse_samplesheet(
+            _sheet([{"scene": "SPRNG", "gpus": ["mobile", "rtx2060"]}])
+        )
+        assert [p.gpu.name for p in campaign.points] == ["MobileSoC", "RTX2060"]
+        assert {p.row for p in campaign.points} == {0}
+
+    def test_sequence_expands_to_frame_points(self):
+        campaign = parse_samplesheet(
+            _sheet(
+                [
+                    {
+                        "scene": {
+                            "sequence": "saturation",
+                            "frames": 3,
+                            "knobs": {"level": 0.5},
+                        }
+                    }
+                ]
+            )
+        )
+        assert [p.spec.frame for p in campaign.points] == [0, 1, 2]
+        assert all(p.spec.kind == "frame" for p in campaign.points)
+        assert {p.row for p in campaign.points} == {0}
+
+    def test_row_overrides_beat_campaign_defaults(self):
+        campaign = parse_samplesheet(
+            _sheet(
+                [{"scene": "SPRNG", "size": 8, "seed": 7, "qc": CI_GATE}],
+                size=24,
+                qc={"min_coverage": 0.5},
+            )
+        )
+        point = campaign.points[0]
+        assert point.size == 8 and point.seed == 7
+        assert point.gates == QCGates(max_ci_half_width=0.05)
+
+    def test_campaign_fingerprint_is_content_addressed(self):
+        a = parse_samplesheet(_sheet([{"scene": "SPRNG"}]))
+        b = parse_samplesheet(_sheet([{"scene": "SPRNG"}]))
+        c = parse_samplesheet(_sheet([{"scene": "SPRNG", "seed": 1}]))
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+
+class TestSamplesheetFiles:
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "sheet.json"
+        path.write_text(json.dumps(_sheet([{"scene": "SPRNG"}])))
+        campaign = load_samplesheet(path)
+        assert campaign.points[0].spec == SceneSpec.library("SPRNG")
+
+    def test_json_default_name_is_stem(self, tmp_path):
+        path = tmp_path / "nightly.json"
+        path.write_text(json.dumps({"points": [{"scene": "SPRNG"}]}))
+        assert load_samplesheet(path).name == "nightly"
+
+    def test_invalid_json_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_samplesheet(path)
+
+    def test_non_mapping_document_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="must be a mapping"):
+            load_samplesheet_document(path)
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "sheet.yaml"
+        path.write_text("scene: SPRNG")
+        with pytest.raises(ValueError, match="unknown samplesheet format"):
+            load_samplesheet(path)
+
+    def test_toml_samplesheet(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "grid.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    "[campaign]",
+                    'name = "grid"',
+                    "size = 12",
+                    'gpus = ["mobile", "rtx2060"]',
+                    "",
+                    "[[points]]",
+                    'scene = "SPRNG"',
+                    "",
+                    "[[points]]",
+                    'scene = { recipe = "saturation", knobs = { level = 0.4 } }',
+                    "qc = { min_coverage = 0.9, on_violation = \"fail\" }",
+                ]
+            )
+        )
+        campaign = load_samplesheet(path)
+        assert campaign.name == "grid"
+        assert len(campaign.points) == 4  # 2 rows x 2 gpus
+        assert campaign.points[2].spec.kind == "recipe"
+        assert campaign.points[2].gates.on_violation == "fail"
+
+    def test_invalid_toml_names_the_file(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "bad.toml"
+        path.write_text("[campaign\nname=")
+        with pytest.raises(ValueError, match="invalid TOML"):
+            load_samplesheet(path)
+
+
+# ---------------------------------------------------------------------------
+# QC gates
+# ---------------------------------------------------------------------------
+
+
+class _FakeResult:
+    def __init__(self, coverage=1.0, metrics=None, intervals=None):
+        self.coverage = coverage
+        self.metrics = metrics or {}
+        self._intervals = intervals or {}
+
+    def confidence_intervals(self):
+        return self._intervals
+
+
+class TestQCGates:
+    def test_inactive_by_default(self):
+        assert not QCGates().active
+        assert QCGates().check(_FakeResult()) == []
+
+    def test_on_violation_validated(self):
+        with pytest.raises(ValueError, match="on_violation"):
+            QCGates(on_violation="explode")
+
+    def test_min_coverage_violation_message(self):
+        gates = QCGates(min_coverage=0.9)
+        violations = gates.check(_FakeResult(coverage=0.5))
+        assert violations and "coverage" in violations[0]
+        assert gates.check(_FakeResult(coverage=0.95)) == []
+
+    def test_ci_gate_passes_tight_intervals(self):
+        gates = QCGates(max_ci_half_width=0.10)
+        result = _FakeResult(
+            metrics={"cycles": 100.0}, intervals={"cycles": (95.0, 105.0)}
+        )
+        assert gates.check(result) == []
+
+    def test_ci_gate_flags_wide_intervals(self):
+        gates = QCGates(max_ci_half_width=0.01)
+        result = _FakeResult(
+            metrics={"cycles": 100.0}, intervals={"cycles": (80.0, 120.0)}
+        )
+        violations = gates.check(result)
+        assert violations and "cycles" in violations[0]
+
+    def test_ci_gate_violated_by_missing_intervals(self):
+        # A precision demand the result cannot certify is a violation —
+        # the point sampler must be replicated, not waved through.
+        violations = QCGates(max_ci_half_width=0.05).check(_FakeResult())
+        assert violations and "no confidence intervals" in violations[0]
+
+
+# ---------------------------------------------------------------------------
+# execution: verdicts, waves, propagation
+# ---------------------------------------------------------------------------
+
+
+def _frame_points(gates_by_frame, frames=3, size=10):
+    """One sequence row with per-frame QC gates (programmatic campaign)."""
+    sequence = SceneSequence.from_value(
+        {
+            "sequence": "saturation",
+            "frames": frames,
+            "knobs": {"level": 0.4},
+            "seed": 5,
+            "orbit_degrees": 6.0,
+        }
+    )
+    return [
+        CampaignPoint(
+            spec=spec,
+            gpu=MOBILE_SOC,
+            size=size,
+            gates=gates_by_frame.get(spec.frame, QCGates()),
+            row=0,
+        )
+        for spec in sequence.frame_specs()
+    ]
+
+
+class TestCampaignExecution:
+    def test_gate_trip_degrades_point(self):
+        campaign = parse_samplesheet(
+            _sheet([{"scene": "SPRNG", "qc": CI_GATE}], size=10)
+        )
+        result = CampaignPlanner().run(campaign)
+        outcome = result.outcomes[0]
+        assert outcome.verdict == "degraded"
+        assert "no confidence intervals" in outcome.violations[0]
+        assert result.succeeded  # degraded still counts as success
+
+    def test_replicated_sampler_satisfies_ci_gate(self):
+        campaign = parse_samplesheet(
+            _sheet(
+                [
+                    {
+                        "scene": "SPRNG",
+                        "qc": {"max_ci_half_width": 10.0},
+                        "config": {"sampler": "ranked_set", "replicates": 3},
+                    }
+                ],
+                size=10,
+            )
+        )
+        result = CampaignPlanner().run(campaign)
+        assert result.outcomes[0].verdict == "pass"
+
+    def test_failed_frame_skips_rest_of_row(self):
+        points = _frame_points(
+            {0: QCGates(max_ci_half_width=0.05, on_violation="fail")}
+        )
+        result = CampaignPlanner().run(Campaign(name="seq", points=tuple(points)))
+        assert [o.verdict for o in result.outcomes] == [
+            "failed", "skipped", "skipped",
+        ]
+        assert not result.succeeded
+        assert "skipped" in result.outcomes[1].violations[0]
+
+    def test_degraded_frame_taints_downstream_frames(self):
+        points = _frame_points({0: QCGates(max_ci_half_width=0.05)})
+        result = CampaignPlanner().run(Campaign(name="seq", points=tuple(points)))
+        assert [o.verdict for o in result.outcomes] == [
+            "degraded", "degraded", "degraded",
+        ]
+        assert "inherited" in result.outcomes[1].violations[0]
+
+    def test_sequence_frames_execute_in_waves(self):
+        points = _frame_points({})
+        result = CampaignPlanner().run(Campaign(name="seq", points=tuple(points)))
+        assert result.waves == 3
+        assert all(o.verdict == "pass" for o in result.outcomes)
+        # Every packet-backend frame reports its carry stats.
+        assert all(o.sequence is not None for o in result.outcomes)
+        assert result.outcomes[0].sequence["carried_hits"] == 0
+
+    def test_duplicate_points_share_all_stage_work(self):
+        campaign = parse_samplesheet(
+            _sheet([{"scene": "SPRNG"}, {"scene": "SPRNG"}], size=10)
+        )
+        result = CampaignPlanner().run(campaign)
+        assert result.executions_of("profile") == 1
+        assert result.executions_of("simulate_groups") == 1
+        # The two points collapse to one set of DAG nodes.
+        assert result.total_nodes == 2 * result.unique_nodes
+
+    def test_scene_token_separates_workload_coordinates(self):
+        spec = SceneSpec.library("SPRNG")
+        a = CampaignPoint(spec=spec, gpu=MOBILE_SOC, size=10, seed=0)
+        b = CampaignPoint(spec=spec, gpu=MOBILE_SOC, size=10, seed=1)
+        assert a.scene_token() != b.scene_token()
+
+    def test_campaign_needs_points(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            Campaign(name="empty", points=())
+
+
+# ---------------------------------------------------------------------------
+# acceptance: the full grid, golden identity, dedup, sequence carry
+# ---------------------------------------------------------------------------
+
+ACCEPTANCE_SHEET = {
+    "campaign": {
+        "name": "acceptance",
+        "size": 24,
+        "spp": 1,
+        "seed": 0,
+        "backend": "packet",
+        "gpus": ["mobile", "rtx2060"],
+    },
+    "points": [
+        {"scene": "SPRNG"},
+        {"scene": "BUNNY"},
+        {"scene": {"recipe": "saturation", "knobs": {"level": 0.4}, "seed": 1}},
+        {
+            "scene": {
+                "recipe": "clutter",
+                "knobs": {"triangles_target": 1500},
+                "seed": 3,
+            }
+        },
+        {
+            "scene": {
+                "sequence": "saturation",
+                "frames": 4,
+                "knobs": {"level": 0.5},
+                "seed": 2,
+                "orbit_degrees": 12.0,
+            }
+        },
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def acceptance():
+    campaign = parse_samplesheet(ACCEPTANCE_SHEET)
+    return campaign, CampaignPlanner(store=ArtifactStore()).run(campaign)
+
+
+class TestAcceptanceCampaign:
+    def test_grid_shape(self, acceptance):
+        campaign, result = acceptance
+        # (2 library + 2 recipes + 4 sequence frames) x 2 GPUs.
+        assert len(campaign.points) == 16
+        assert len(result.outcomes) == 16
+        assert result.waves == 4  # frame 0 wave + frames 1..3
+        assert result.succeeded
+        assert result.verdict_counts()["pass"] == 16
+
+    def test_library_points_byte_identical_to_golden(self, acceptance):
+        campaign, result = acceptance
+        meta = GOLDEN["meta"]
+        assert (meta["size"], meta["spp"], meta["seed"], meta["backend"]) == (
+            24, 1, 0, "packet",
+        )
+        checked = 0
+        for outcome in result.outcomes:
+            point = outcome.point
+            if point.spec.kind != "library" or point.gpu.name != meta["gpu"]:
+                continue
+            expected = GOLDEN["metrics"][point.spec.name]
+            assert set(outcome.value.metrics) == set(expected)
+            for name, value in expected.items():
+                assert outcome.value.metrics[name] == value, (
+                    f"{point.spec.name}.{name} drifted inside the campaign"
+                )
+            checked += 1
+        assert checked == 2  # SPRNG and BUNNY on the golden GPU
+
+    def test_shared_stages_execute_once_per_unique_scene(self, acceptance):
+        _, result = acceptance
+        # 8 unique scenes (2 library + 2 recipes + 4 frames); profile and
+        # quantize are GPU-independent, so both GPUs share them.
+        assert result.executions_of("profile") == 8
+        assert result.executions_of("quantize") == 8
+        # Per-(scene, gpu) stages run for all 16 points.
+        assert result.executions_of("simulate_groups") == 16
+        # One downscale per distinct (gpu, config).
+        assert result.executions_of("downscale") == 2
+        assert result.total_nodes > result.unique_nodes
+
+    def test_sequence_shows_cross_frame_cache_hits(self, acceptance):
+        _, result = acceptance
+        frames = [o for o in result.outcomes if o.sequence is not None]
+        # 4 frames x 2 GPU chains; carry stats are chain-independent
+        # (the pass is a scene/workload property, memoized by content).
+        assert len(frames) == 8
+        assert all(f.sequence["lookups"] > 0 for f in frames)
+        assert result.sequence_hit_rate() > 0.0
+        later = [f for f in frames if f.point.spec.frame > 0]
+        assert sum(f.sequence["carried_hits"] for f in later) > 0
+
+    def test_campaign_report_is_json_able(self, acceptance):
+        from repro.harness.reporting import campaign_report
+
+        _, result = acceptance
+        report = campaign_report(result)
+        encoded = json.loads(json.dumps(report))
+        assert encoded["succeeded"] is True
+        assert encoded["campaign"] == "acceptance"
+        assert len(encoded["points"]) == 16
+        assert encoded["dag"]["deduplicated_nodes"] > 0
+        assert encoded["sequence_hit_rate"] > 0.0
+        sequence_entries = [
+            p for p in encoded["points"] if "sequence_cache" in p
+        ]
+        assert len(sequence_entries) == 8
+
+
+# ---------------------------------------------------------------------------
+# fleet bundles carry scene specs
+# ---------------------------------------------------------------------------
+
+
+class TestFleetRecipeBundles:
+    def _simulate_inputs(self, scene, store):
+        """Resolve the Zatel graph up to the simulate stage's inputs."""
+        from repro.core.stages.base import StageContext
+        from repro.tracer.tracer import FunctionalTracer, RenderSettings
+
+        frame = FunctionalTracer(
+            scene, RenderSettings(width=10, height=10, tracing_backend="packet")
+        ).trace_frame()
+        predictor = Zatel(MOBILE_SOC)
+        graph, _ = predictor.build_graph(scene, frame)
+        nodes = {node.stage.name: node for node in graph.nodes}
+        ctx = StageContext(store=store)
+        quantized = graph.resolve(nodes["quantize"], ctx).value
+        groups = graph.resolve(nodes["partition"], ctx).value
+        fractions = graph.resolve(nodes["select"], ctx).value
+        scaled_gpu, _ = graph.resolve(nodes["downscale"], ctx).value
+        return predictor, frame, quantized, groups, scaled_gpu, fractions
+
+    def test_bundle_key_separates_equal_display_names(self):
+        from repro.fleet.dispatch import bundle_key_for
+
+        store = ArtifactStore()
+        spec_a = SceneSpec.recipe("saturation", {"level": 0.4}, seed=1)
+        spec_b = SceneSpec.recipe("saturation", {"level": 0.4}, seed=2)
+        scene_a, scene_b = resolve_scene(spec_a), resolve_scene(spec_b)
+        assert scene_a.name == scene_b.name  # display names collide
+        keys = set()
+        for scene in (scene_a, scene_b):
+            predictor, frame, quantized, groups, scaled, fractions = (
+                self._simulate_inputs(scene, store)
+            )
+            keys.add(
+                bundle_key_for(
+                    predictor, frame, quantized, groups, scaled, fractions,
+                    scene,
+                )
+            )
+        assert len(keys) == 2  # specs, not names, address the bundles
+
+    def test_execute_lease_rebuilds_recipe_scene_from_spec(self):
+        from repro.core.pipeline import GroupPrediction
+        from repro.fleet.dispatch import execute_lease, pack_bundle
+
+        store = ArtifactStore()
+        spec = SceneSpec.recipe("saturation", {"level": 0.3}, seed=4)
+        scene = resolve_scene(spec)
+        predictor, frame, quantized, groups, scaled, fractions = (
+            self._simulate_inputs(scene, store)
+        )
+        bundle_key = pack_bundle(
+            store, predictor, frame, quantized, groups, scaled, fractions,
+            scene,
+        )
+        # The bundle carries the self-contained spec, not the scene.
+        assert store.get(bundle_key)["scene"] == spec
+
+        # A worker that has never built this scene (cold registry)
+        # rebuilds it from the spec alone and computes the group.
+        clear_scene_cache()
+        result_key = execute_lease(store, bundle_key, 0)
+        prediction = store.get(result_key)
+        assert isinstance(prediction, GroupPrediction)
+        assert prediction.index == 0

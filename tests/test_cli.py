@@ -26,7 +26,7 @@ class TestParser:
         text = parser.format_help()
         for command in (
             "scenes", "configs", "render", "heatmap", "simulate",
-            "predict", "sweep",
+            "predict", "sweep", "campaign",
         ):
             assert command in text
 
@@ -162,6 +162,49 @@ class TestSimulationCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "fitted speedup" in out
+        assert "deprecated alias" in out
+
+
+class TestCampaignCommand:
+    def test_campaign_run_prints_report(self, tmp_path, capsys):
+        import json
+
+        sheet = tmp_path / "c.json"
+        sheet.write_text(
+            json.dumps(
+                {
+                    "campaign": {"name": "clirun", "size": 10},
+                    "points": [
+                        {"scene": "SPRNG"},
+                        {
+                            "scene": {
+                                "recipe": "saturation",
+                                "knobs": {"level": 0.2},
+                                "seed": 1,
+                            }
+                        },
+                    ],
+                }
+            )
+        )
+        out_file = tmp_path / "report.json"
+        code = main(["campaign", "run", str(sheet), "--out", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clirun" in out and "pass" in out
+        report = json.loads(out_file.read_text())
+        assert report["succeeded"] is True
+        assert len(report["points"]) == 2
+
+    def test_campaign_run_invalid_sheet_is_usage_error(self, tmp_path, capsys):
+        sheet = tmp_path / "bad.json"
+        sheet.write_text('{"points": [{"scene": "NOPE"}]}')
+        assert main(["campaign", "run", str(sheet)]) == 2
+        assert "NOPE" in capsys.readouterr().err
+
+    def test_campaign_status_requires_remote(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "status", "j-1"])
 
 
 class TestTraceCommands:

@@ -571,6 +571,76 @@ class TestServiceEndToEnd:
         assert served["serial_fallback"] is False
 
 
+class TestCampaignEndpoint:
+    @staticmethod
+    def _post_campaign(base: str, body: dict) -> tuple[int, dict]:
+        request = urllib.request.Request(
+            f"{base}/campaigns", data=json.dumps(body).encode(), method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=120) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    @staticmethod
+    def _sheet(points, **campaign):
+        defaults = {"name": "svc", "size": 10, "gpus": ["mobile"]}
+        defaults.update(campaign)
+        return {"campaign": defaults, "points": points}
+
+    def test_campaign_runs_and_counters_surface(self, service_factory):
+        service, base = service_factory()
+        sheet = self._sheet(
+            [
+                {
+                    "scene": {
+                        "sequence": "saturation",
+                        "frames": 2,
+                        "knobs": {"level": 0.3},
+                        "seed": 1,
+                        "orbit_degrees": 8.0,
+                    }
+                }
+            ]
+        )
+        status, report = self._post_campaign(base, sheet)
+        assert status == 200
+        assert report["campaign"] == "svc"
+        assert report["succeeded"] is True
+        assert len(report["points"]) == 2
+        assert all(p["verdict"] == "pass" for p in report["points"])
+
+        _, metrics = _get(base, "/metrics")
+        counters = metrics["counters"]
+        assert counters["service.campaigns"] == 1
+        assert counters["service.campaign_points"] == 2
+        assert counters["service.seq_cache_lookups"] > 0
+
+    def test_invalid_samplesheet_is_400(self, service_factory):
+        service, base = service_factory()
+        status, body = self._post_campaign(
+            base, self._sheet([{"scene": "SPRNG", "gppu": "x"}])
+        )
+        assert status == 400
+        assert "points[0]" in body["error"]
+
+    def test_async_submit_then_poll_campaign(self, service_factory):
+        service, base = service_factory()
+        sheet = self._sheet([{"scene": "SPRNG", "size": 8}])
+        status, body = self._post_campaign(base, {**sheet, "wait": False})
+        assert status == 202
+        job_id = body["job"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            status, job = _get(base, f"/campaigns/{job_id}")
+            if job["status"] == "done":
+                break
+            time.sleep(0.05)
+        assert job["status"] == "done"
+        assert job["result"]["succeeded"] is True
+
+
 class TestCliErrorMapping:
     def test_unreachable_remote_is_execution_error_not_traceback(self):
         from repro.cli.main import main
