@@ -1,8 +1,9 @@
 """End-to-end smoke test of ``POST /campaigns``, run by CI's campaign-smoke job.
 
-Boots the real service as a subprocess and drives a small campaign —
-a 2-frame procedural saturation sequence — through it over plain HTTP,
-checking the campaign-engine acceptance contract from the outside:
+Boots the real service as a subprocess (via :mod:`smoke_common`) and
+drives a small campaign — a 2-frame procedural saturation sequence —
+through it over plain HTTP, checking the campaign-engine acceptance
+contract from the outside:
 
 1. the campaign completes and the report carries one verdict per frame;
 2. a deliberately untrippable-by-this-sampler QC gate
@@ -21,18 +22,10 @@ Run locally with::
 
 from __future__ import annotations
 
-import json
-import os
-import socket
-import subprocess
 import sys
 import tempfile
-import time
-import urllib.error
-import urllib.request
-from pathlib import Path
 
-REPO = Path(__file__).resolve().parents[2]
+from smoke_common import SmokeServer, http_get, http_post
 
 SAMPLESHEET = {
     "campaign": {
@@ -66,97 +59,50 @@ BAD_SHEET = {
 }
 
 
-def _free_port() -> int:
-    with socket.socket() as sock:
-        sock.bind(("127.0.0.1", 0))
-        return sock.getsockname()[1]
-
-
-def _post(base: str, body: dict) -> tuple[int, dict]:
-    request = urllib.request.Request(
-        f"{base}/campaigns", data=json.dumps(body).encode(), method="POST",
-        headers={"Content-Type": "application/json"},
-    )
-    try:
-        with urllib.request.urlopen(request, timeout=300) as response:
-            return response.status, json.loads(response.read())
-    except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
-
-
-def _get(base: str, path: str) -> dict:
-    with urllib.request.urlopen(f"{base}{path}", timeout=30) as response:
-        return json.loads(response.read())
-
-
 def main() -> int:
-    port = _free_port()
-    base = f"http://127.0.0.1:{port}"
-    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
-    with tempfile.TemporaryDirectory() as cache_dir:
-        server = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--port", str(port),
-             "--cache-dir", cache_dir, "--workers", "1"],
-            env=env, cwd=REPO,
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    with tempfile.TemporaryDirectory() as cache_dir, SmokeServer(
+        "campaign-smoke", ["--cache-dir", cache_dir, "--workers", "1"]
+    ) as server:
+        base = server.base
+
+        # 1. + 2. the sequence campaign completes, degraded-not-failed
+        status, report = http_post(base, "/campaigns", SAMPLESHEET)
+        assert status == 200, (status, report)
+        assert report["campaign"] == "ci-smoke", report
+        points = report["points"]
+        assert len(points) == 2, points
+        assert all(p["verdict"] == "degraded" for p in points), points
+        assert any(
+            "confidence" in v
+            for p in points
+            for v in p.get("violations", [])
+        ), points
+        assert report["succeeded"] is True, report
+
+        # 3. frame 1 reused frame 0's prediction cache, observably
+        _, metrics = http_get(base, "/metrics")
+        counters = metrics["counters"]
+        lookups = counters.get("service.seq_cache_lookups", 0)
+        carried = counters.get("service.seq_cache_carried_hits", 0)
+        assert counters.get("service.campaigns") == 1, counters
+        assert counters.get("service.campaign_points") == 2, counters
+        assert lookups > 0, counters
+        assert carried > 0, (
+            "no carried prediction-cache hits recorded across frames: "
+            f"{counters}"
         )
-        try:
-            for _ in range(150):
-                try:
-                    health = _get(base, "/healthz")
-                    break
-                except (urllib.error.URLError, ConnectionError):
-                    if server.poll() is not None:
-                        print(server.communicate()[0], file=sys.stderr)
-                        raise SystemExit("serve process died during startup")
-                    time.sleep(0.2)
-            else:
-                raise SystemExit("service did not come up within 30s")
-            assert health["status"] == "ok", health
 
-            # 1. + 2. the sequence campaign completes, degraded-not-failed
-            status, report = _post(base, SAMPLESHEET)
-            assert status == 200, (status, report)
-            assert report["campaign"] == "ci-smoke", report
-            points = report["points"]
-            assert len(points) == 2, points
-            assert all(p["verdict"] == "degraded" for p in points), points
-            assert any(
-                "confidence" in v
-                for p in points
-                for v in p.get("violations", [])
-            ), points
-            assert report["succeeded"] is True, report
+        # 4. invalid samplesheets are refused loudly, naming the row
+        status, error = http_post(base, "/campaigns", BAD_SHEET)
+        assert status == 400, (status, error)
+        assert "points[0]" in error["error"], error
 
-            # 3. frame 1 reused frame 0's prediction cache, observably
-            counters = _get(base, "/metrics")["counters"]
-            lookups = counters.get("service.seq_cache_lookups", 0)
-            carried = counters.get("service.seq_cache_carried_hits", 0)
-            assert counters.get("service.campaigns") == 1, counters
-            assert counters.get("service.campaign_points") == 2, counters
-            assert lookups > 0, counters
-            assert carried > 0, (
-                "no carried prediction-cache hits recorded across frames: "
-                f"{counters}"
-            )
-
-            # 4. invalid samplesheets are refused loudly, naming the row
-            status, error = _post(base, BAD_SHEET)
-            assert status == 400, (status, error)
-            assert "points[0]" in error["error"], error
-
-            print(
-                "campaign smoke OK: 2-frame sequence served, QC gate "
-                f"degraded both frames as designed, seq cache lookups="
-                f"{lookups} carried_hits={carried}, 400 on bad samplesheet"
-            )
-            return 0
-        finally:
-            server.terminate()
-            try:
-                server.wait(timeout=30)
-            except subprocess.TimeoutExpired:
-                server.kill()
+        print(
+            "campaign smoke OK: 2-frame sequence served, QC gate "
+            f"degraded both frames as designed, seq cache lookups="
+            f"{lookups} carried_hits={carried}, 400 on bad samplesheet"
+        )
+        return 0
 
 
 if __name__ == "__main__":

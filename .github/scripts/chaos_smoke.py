@@ -1,11 +1,13 @@
 """Fleet chaos smoke test, run by CI's chaos-smoke job.
 
-Boots the real service as a coordinator with two supervised worker
-processes and a seeded chaos schedule, then checks the failover
-contract from the outside, over plain HTTP:
+Boots the real service (via :mod:`smoke_common`) as a coordinator with
+two supervised worker processes and a seeded chaos schedule, then checks
+the failover contract from the outside, over plain HTTP:
 
 1. ``zatel serve --fleet 2 --chaos ...`` comes up with two live fleet
-   workers visible on ``/healthz``;
+   workers (``--min-workers 2`` makes ``/readyz`` gate on exactly that,
+   so entering the server context already proves it) visible on
+   ``/healthz``;
 2. a ``POST /predict`` survives a worker being chaos-killed mid-run
    (the lease re-dispatches; the supervisor respawns the process) and
    a permanently-corrupted group (result validation rejects it every
@@ -15,7 +17,8 @@ contract from the outside, over plain HTTP:
    never goes down;
 3. ``GET /metrics`` shows the failover happened: re-dispatches, a lost
    worker, and rejected corrupt results;
-4. the service is still alive and ready afterwards.
+4. the fleet *heals*: the supervisor respawns the killed worker and
+   ``/readyz`` (quorum-gated at 2) recovers within 30 seconds.
 
 Run locally with::
 
@@ -25,22 +28,11 @@ Run locally with::
 from __future__ import annotations
 
 import json
-import os
-import socket
-import subprocess
 import sys
 import tempfile
 import time
-import urllib.error
-import urllib.request
-from pathlib import Path
 
-REPO = Path(__file__).resolve().parents[2]
-
-REQUEST = {
-    "scene": "SPRNG", "size": 24, "spp": 1, "seed": 0,
-    "backend": "packet", "gpu": "mobile",
-}
+from smoke_common import GOLDEN_REQUEST, SmokeServer, http_get, http_post
 
 # Group 2's first dispatch kills its worker (crash failover: the lease
 # re-dispatches, the supervisor respawns the process, the result is
@@ -60,104 +52,64 @@ CHAOS = json.dumps(
 )
 
 
-def _free_port() -> int:
-    with socket.socket() as sock:
-        sock.bind(("127.0.0.1", 0))
-        return sock.getsockname()[1]
-
-
-def _post(base: str, body: dict) -> tuple[int, dict]:
-    request = urllib.request.Request(
-        f"{base}/predict", data=json.dumps(body).encode(), method="POST",
-        headers={"Content-Type": "application/json"},
-    )
-    try:
-        with urllib.request.urlopen(request, timeout=300) as response:
-            return response.status, json.loads(response.read())
-    except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
-
-
-def _get(base: str, path: str) -> tuple[int, dict]:
-    try:
-        with urllib.request.urlopen(f"{base}{path}", timeout=30) as response:
-            return response.status, json.loads(response.read())
-    except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
-
-
 def main() -> int:
-    port = _free_port()
-    base = f"http://127.0.0.1:{port}"
-    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
-    with tempfile.TemporaryDirectory() as cache_dir:
-        server = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--port", str(port),
-             "--cache-dir", cache_dir, "--workers", "1",
-             "--fleet", "2", "--chaos", CHAOS],
-            env=env, cwd=REPO,
+    with tempfile.TemporaryDirectory() as cache_dir, SmokeServer(
+        "chaos-smoke",
+        ["--cache-dir", cache_dir, "--workers", "1",
+         "--fleet", "2", "--min-workers", "2", "--chaos", CHAOS],
+    ) as server:
+        base = server.base
+
+        # 1. coordinator up, with both fleet workers connected (readyz
+        # gated on --min-workers 2, so this is a re-check, not a wait)
+        status, health = http_get(base, "/healthz")
+        assert status == 200 and health["status"] == "ok", health
+        assert health["fleet"]["live_workers"] >= 2, health["fleet"]
+
+        # 2. the chaos-riddled predict degrades with quorum, service up
+        status, served = http_post(base, "/predict", GOLDEN_REQUEST)
+        assert status == 200, (status, served)
+        assert served["degraded"] is True, served
+        assert 0.0 < served["coverage"] < 1.0, served["coverage"]
+        failed_groups = [f["group"] for f in served["failures"]]
+        assert failed_groups == [0], served["failures"]
+        assert served["failures"][0]["error"] == "ResultValidationError", (
+            served["failures"]
         )
-        try:
-            # 1. coordinator up, with both fleet workers connected
-            deadline = time.monotonic() + 60
-            health: dict = {}
-            while time.monotonic() < deadline:
-                if server.poll() is not None:
-                    raise SystemExit("serve process died during startup")
-                try:
-                    _, health = _get(base, "/healthz")
-                    if health.get("fleet", {}).get("live_workers", 0) >= 2:
-                        break
-                except (urllib.error.URLError, ConnectionError):
-                    pass
-                time.sleep(0.2)
-            else:
-                raise SystemExit(
-                    f"fleet did not reach 2 live workers within 60s: {health}"
-                )
-            assert health["status"] == "ok", health
 
-            # 2. the chaos-riddled predict degrades with quorum, service up
-            status, served = _post(base, REQUEST)
-            assert status == 200, (status, served)
-            assert served["degraded"] is True, served
-            assert 0.0 < served["coverage"] < 1.0, served["coverage"]
-            failed_groups = [f["group"] for f in served["failures"]]
-            assert failed_groups == [0], served["failures"]
-            assert served["failures"][0]["error"] == "ResultValidationError", (
-                served["failures"]
+        # 3. /metrics shows the failover actually happened
+        status, metrics = http_get(base, "/metrics")
+        assert status == 200
+        counters = metrics["counters"]
+        assert counters["fleet.redispatches"] >= 1, counters
+        assert counters["fleet.workers_lost"] >= 1, counters
+        assert counters["fleet.results_corrupt"] >= 1, counters
+
+        # 4. the coordinator survived the chaos and the fleet heals: the
+        # supervisor respawns the killed worker, so /readyz (gated on
+        # the 2-worker quorum) comes back within the recovery window
+        assert server.process.poll() is None, "serve process died under chaos"
+        status, health = http_get(base, "/healthz")
+        assert status == 200 and health["status"] == "ok", health
+        deadline = time.monotonic() + 30.0
+        while True:
+            status, ready = http_get(base, "/readyz")
+            if status == 200:
+                break
+            assert time.monotonic() < deadline, (
+                f"fleet never recovered quorum after chaos: {ready}"
             )
+            time.sleep(0.25)
 
-            # 3. /metrics shows the failover actually happened
-            status, metrics = _get(base, "/metrics")
-            assert status == 200
-            counters = metrics["counters"]
-            assert counters["fleet.redispatches"] >= 1, counters
-            assert counters["fleet.workers_lost"] >= 1, counters
-            assert counters["fleet.results_corrupt"] >= 1, counters
-
-            # 4. the coordinator survived the chaos and still takes traffic
-            assert server.poll() is None, "serve process died under chaos"
-            status, health = _get(base, "/healthz")
-            assert status == 200 and health["status"] == "ok", health
-            status, ready = _get(base, "/readyz")
-            assert status == 200, (status, ready)
-
-            print(
-                "chaos smoke OK: degraded-with-quorum served "
-                f"(coverage {served['coverage']:.3f}, failed groups "
-                f"{failed_groups}), redispatches "
-                f"{counters['fleet.redispatches']:.0f}, workers lost "
-                f"{counters['fleet.workers_lost']:.0f}, corrupt results "
-                f"rejected {counters['fleet.results_corrupt']:.0f}"
-            )
-            return 0
-        finally:
-            server.terminate()
-            try:
-                server.wait(timeout=60)
-            except subprocess.TimeoutExpired:
-                server.kill()
+        print(
+            "chaos smoke OK: degraded-with-quorum served "
+            f"(coverage {served['coverage']:.3f}, failed groups "
+            f"{failed_groups}), redispatches "
+            f"{counters['fleet.redispatches']:.0f}, workers lost "
+            f"{counters['fleet.workers_lost']:.0f}, corrupt results "
+            f"rejected {counters['fleet.results_corrupt']:.0f}"
+        )
+        return 0
 
 
 if __name__ == "__main__":

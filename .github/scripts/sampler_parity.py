@@ -26,25 +26,21 @@ Run locally with::
 
 from __future__ import annotations
 
-import json
 import sys
-from pathlib import Path
 
-REPO = Path(__file__).resolve().parents[2]
-sys.path.insert(0, str(REPO / "src"))
+from smoke_common import load_golden
 
 from repro.core.pipeline import Zatel, ZatelConfig  # noqa: E402
 from repro.gpu.config import MOBILE_SOC  # noqa: E402
 from repro.scene.library import make_scene  # noqa: E402
 from repro.tracer.tracer import FunctionalTracer, RenderSettings  # noqa: E402
 
-GOLDEN = REPO / "tests" / "data" / "golden_predict.json"
 SCENE = "SPRNG"
 REPLICATE_SAMPLERS = ("ranked_set", "two_phase")
 
 
 def main() -> int:
-    golden = json.loads(GOLDEN.read_text())
+    golden = load_golden()
     meta = golden["metrics"][SCENE]
     settings = golden["meta"]
 

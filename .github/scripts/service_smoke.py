@@ -1,7 +1,7 @@
 """End-to-end smoke test of ``zatel serve``, run by CI's service-smoke job.
 
-Boots the real service as a subprocess, then checks the acceptance
-contract from the outside, over plain HTTP:
+Boots the real service as a subprocess (via :mod:`smoke_common`), then
+checks the acceptance contract from the outside, over plain HTTP:
 
 1. a ``POST /predict`` for the golden workload (SPRNG, 24x24, spp 1,
    seed 0, packet backend, mobile GPU) returns metrics **exactly**
@@ -19,124 +19,58 @@ Run locally with::
 
 from __future__ import annotations
 
-import json
-import os
-import socket
-import subprocess
 import sys
 import tempfile
-import time
-import urllib.error
-import urllib.request
-from pathlib import Path
 
-REPO = Path(__file__).resolve().parents[2]
-GOLDEN = REPO / "tests" / "data" / "golden_predict.json"
-SCENE = "SPRNG"
-
-REQUEST = {
-    "scene": SCENE, "size": 24, "spp": 1, "seed": 0,
-    "backend": "packet", "gpu": "mobile",
-}
-
-
-def _free_port() -> int:
-    with socket.socket() as sock:
-        sock.bind(("127.0.0.1", 0))
-        return sock.getsockname()[1]
-
-
-def _post(base: str, body: dict) -> tuple[int, dict]:
-    request = urllib.request.Request(
-        f"{base}/predict", data=json.dumps(body).encode(), method="POST",
-        headers={"Content-Type": "application/json"},
-    )
-    try:
-        with urllib.request.urlopen(request, timeout=300) as response:
-            return response.status, json.loads(response.read())
-    except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
-
-
-def _get(base: str, path: str) -> dict:
-    with urllib.request.urlopen(f"{base}{path}", timeout=30) as response:
-        return json.loads(response.read())
+from smoke_common import (
+    GOLDEN_REQUEST,
+    SmokeServer,
+    assert_golden_metrics,
+    http_get,
+    http_post,
+)
 
 
 def main() -> int:
-    golden = json.loads(GOLDEN.read_text())
-    expected = golden["metrics"][SCENE]
-    meta = golden["meta"]
-    assert (meta["size"], meta["spp"], meta["seed"], meta["backend"]) == (
-        REQUEST["size"], REQUEST["spp"], REQUEST["seed"], REQUEST["backend"],
-    ), f"smoke request drifted from golden meta {meta}"
+    with tempfile.TemporaryDirectory() as cache_dir, SmokeServer(
+        "service-smoke", ["--cache-dir", cache_dir, "--workers", "1"]
+    ) as server:
+        base = server.base
+        status, health = http_get(base, "/healthz")
+        assert status == 200 and health["status"] == "ok", (status, health)
 
-    port = _free_port()
-    base = f"http://127.0.0.1:{port}"
-    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
-    with tempfile.TemporaryDirectory() as cache_dir:
-        server = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--port", str(port),
-             "--cache-dir", cache_dir, "--workers", "1"],
-            env=env, cwd=REPO,
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        # 1. served metrics are byte-identical to the golden CLI run
+        status, first = http_post(base, "/predict", GOLDEN_REQUEST)
+        assert status == 200, (status, first)
+        assert first["cached"] is False, first
+        assert_golden_metrics(first["metrics"])
+        assert first["degraded"] is False
+
+        _, metrics = http_get(base, "/metrics")
+        hits_before = metrics["counters"]["service.cache_hits"]
+
+        # 2. the repeat is an observable cache hit with equal payload
+        status, second = http_post(base, "/predict", GOLDEN_REQUEST)
+        assert status == 200, (status, second)
+        assert second["cached"] is True, second
+        assert_golden_metrics(second["metrics"])
+        _, metrics = http_get(base, "/metrics")
+        hits_after = metrics["counters"]["service.cache_hits"]
+        assert hits_after == hits_before + 1, (hits_before, hits_after)
+
+        # 3. malformed requests are refused loudly
+        status, error = http_post(
+            base, "/predict", {"scene": "SPRNG", "sizzle": 1}
         )
-        try:
-            for _ in range(150):
-                try:
-                    health = _get(base, "/healthz")
-                    break
-                except (urllib.error.URLError, ConnectionError):
-                    if server.poll() is not None:
-                        print(server.communicate()[0], file=sys.stderr)
-                        raise SystemExit("serve process died during startup")
-                    time.sleep(0.2)
-            else:
-                raise SystemExit("service did not come up within 30s")
-            assert health["status"] == "ok", health
+        assert status == 400, (status, error)
+        _, metrics = http_get(base, "/metrics")
+        assert metrics["counters"]["service.invalid"] >= 1
 
-            # 1. served metrics are byte-identical to the golden CLI run
-            status, first = _post(base, REQUEST)
-            assert status == 200, (status, first)
-            assert first["cached"] is False, first
-            assert first["metrics"] == expected, (
-                "served metrics drifted from tests/data/golden_predict.json:\n"
-                f"served: {json.dumps(first['metrics'], sort_keys=True)}\n"
-                f"golden: {json.dumps(expected, sort_keys=True)}"
-            )
-            assert first["degraded"] is False
-
-            hits_before = _get(base, "/metrics")["counters"][
-                "service.cache_hits"
-            ]
-
-            # 2. the repeat is an observable cache hit with equal payload
-            status, second = _post(base, REQUEST)
-            assert status == 200, (status, second)
-            assert second["cached"] is True, second
-            assert second["metrics"] == expected
-            hits_after = _get(base, "/metrics")["counters"][
-                "service.cache_hits"
-            ]
-            assert hits_after == hits_before + 1, (hits_before, hits_after)
-
-            # 3. malformed requests are refused loudly
-            status, error = _post(base, {"scene": SCENE, "sizzle": 1})
-            assert status == 400, (status, error)
-            invalid = _get(base, "/metrics")["counters"]["service.invalid"]
-            assert invalid >= 1
-
-            print(
-                f"service smoke OK: golden metrics served byte-identical, "
-                f"cache hits {hits_before} -> {hits_after}, 400 on bad input"
-            )
-            return 0
-        finally:
-            server.terminate()
-            try:
-                server.wait(timeout=30)
-            except subprocess.TimeoutExpired:
-                server.kill()
+        print(
+            f"service smoke OK: golden metrics served byte-identical, "
+            f"cache hits {hits_before} -> {hits_after}, 400 on bad input"
+        )
+        return 0
 
 
 if __name__ == "__main__":

@@ -352,6 +352,7 @@ def cmd_serve(args) -> int:
         use_cache=not args.no_cache,
         fleet=fleet,
         fleet_supervisor=supervisor,
+        timeline_interval=getattr(args, "timeline_interval", 1024),
     )
     signal.signal(signal.SIGTERM, lambda signum, frame: service.shutdown())
     try:
@@ -431,7 +432,20 @@ def _print_predict_json(args, workload, gpu, runner, result) -> int:
 
 def cmd_trace(args) -> int:
     """Export a frame trace (.ztrace), or with ``--timeline`` a telemetry
-    timeline trace (.zperf)."""
+    timeline trace (.zperf); ``--serve FILE.zperf`` instead explores an
+    existing trace in the browser dashboard, offline."""
+    if getattr(args, "serve", None):
+        from ..service.dashboard import serve_trace
+
+        if not Path(args.serve).is_file():
+            raise ValueError(f"no such trace file: {args.serve}")
+        serve_trace(args.serve, host=args.host, port=args.port)
+        return 0
+    if args.scene is None:
+        raise ValueError(
+            "a scene name is required (only `trace --serve FILE.zperf` "
+            "runs without one)"
+        )
     if getattr(args, "timeline", False):
         return _cmd_trace_timeline(args)
     from ..tracer import save_frame

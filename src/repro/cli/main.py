@@ -17,9 +17,11 @@ Subcommands cover the workflows a downstream user runs most:
                as one deduplicated DAG with QC gates (``campaign run``),
                locally or against a service (``POST /campaigns``); poll a
                submitted job with ``campaign status``
-``trace``      export a frame trace as a portable ``.ztrace`` file, or —
-               with ``--timeline`` — run the simulator with telemetry on
-               and export a ``.zperf`` timeline trace
+``trace``      export a frame trace as a portable ``.ztrace`` file; with
+               ``--timeline`` run the simulator with telemetry on and
+               export a ``.zperf`` timeline trace; with ``--serve`` host
+               the observability dashboard over an existing ``.zperf``
+               (offline, no service needed)
 ``inspect``    summarize a ``.ztrace`` file
 ``serve``      run the HTTP prediction service (``POST /predict``,
                ``GET /jobs/<id>``, ``GET /healthz``, ``GET /readyz``,
@@ -76,8 +78,20 @@ def build_parser() -> argparse.ArgumentParser:
         "configs", help="show GPU configuration presets"
     ).set_defaults(func=cmd_configs)
 
-    def add_workload_args(p: argparse.ArgumentParser, default_size: int = 96):
-        p.add_argument("scene", help="library scene name (see `repro scenes`)")
+    def add_workload_args(
+        p: argparse.ArgumentParser,
+        default_size: int = 96,
+        scene_optional: bool = False,
+    ):
+        if scene_optional:
+            p.add_argument(
+                "scene", nargs="?", default=None,
+                help="library scene name (see `repro scenes`)",
+            )
+        else:
+            p.add_argument(
+                "scene", help="library scene name (see `repro scenes`)"
+            )
         p.add_argument("--size", type=int, default=default_size,
                        help="image plane side length")
         p.add_argument("--spp", type=int, default=1, help="samples per pixel")
@@ -299,11 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace = subparsers.add_parser(
         "trace",
         help=(
-            "export a frame trace (.ztrace), or with --timeline a "
-            "telemetry timeline trace (.zperf)"
+            "export a frame trace (.ztrace), a telemetry timeline trace "
+            "(.zperf) with --timeline, or explore an existing .zperf in "
+            "the browser with --serve"
         ),
     )
-    add_workload_args(trace)
+    add_workload_args(trace, scene_optional=True)
     trace.add_argument("--out", default=None,
                        help="output .ztrace/.zperf path")
     trace.add_argument(
@@ -324,6 +339,22 @@ def build_parser() -> argparse.ArgumentParser:
             "cycles between telemetry interval snapshots for --timeline "
             "(default 1024)"
         ),
+    )
+    trace.add_argument(
+        "--serve", default=None, metavar="FILE.zperf",
+        help=(
+            "serve the observability dashboard over an existing .zperf "
+            "trace (offline: no scene, no simulation, no service needed); "
+            "open /dashboard on the printed address"
+        ),
+    )
+    trace.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for --serve (default 127.0.0.1)",
+    )
+    trace.add_argument(
+        "--port", type=int, default=0,
+        help="bind port for --serve; 0 picks an ephemeral port (default)",
     )
     trace.set_defaults(func=cmd_trace)
 
@@ -403,6 +434,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "deterministic chaos schedule forwarded to every fleet "
             "worker (see repro.testing.chaos; testing only)"
+        ),
+    )
+    serve.add_argument(
+        "--timeline-interval", type=int, default=1024, metavar="CYCLES",
+        help=(
+            "telemetry snapshot interval served predictions run with, "
+            "feeding GET /dashboard's timeline view (default 1024; 0 "
+            "disables instrumentation — results are identical either way)"
         ),
     )
     serve.set_defaults(func=cmd_serve)

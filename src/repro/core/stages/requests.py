@@ -202,7 +202,13 @@ def spec_zatel_config(spec: PredictSpec):
     )
 
 
-def build_spec_graph(spec: PredictSpec, scene, frame, quorum: int | None = None):
+def build_spec_graph(
+    spec: PredictSpec,
+    scene,
+    frame,
+    quorum: int | None = None,
+    gpu_overrides: dict[str, Any] | None = None,
+):
     """Adapt a spec into the pipeline's stage plan.
 
     Returns ``(predictor, graph, terminal)`` where resolving ``terminal``
@@ -210,12 +216,24 @@ def build_spec_graph(spec: PredictSpec, scene, frame, quorum: int | None = None)
     :class:`~repro.core.pipeline.ZatelResult` — the same graph
     :meth:`Zatel.predict` builds internally, exposed so a service worker
     can thread its own store, policy and counters through execution.
+
+    ``gpu_overrides`` replaces fields on the spec's GPU preset before
+    planning.  Like ``quorum`` it is an *operator* knob, not part of the
+    spec's fingerprint, so it must only carry observability fields
+    (``telemetry_interval``, ``timeline_trace``) that are guaranteed not
+    to change any metric — the service uses it to instrument served
+    predictions for the dashboard without perturbing cached results.
     """
+    from dataclasses import replace
+
     from ...gpu.config import preset
     from ..adaptive import AdaptiveZatel
     from ..pipeline import Zatel
 
+    gpu = preset(spec.gpu)
+    if gpu_overrides:
+        gpu = replace(gpu, **gpu_overrides)
     predictor_class = AdaptiveZatel if spec.adaptive else Zatel
-    predictor = predictor_class(preset(spec.gpu), spec_zatel_config(spec))
+    predictor = predictor_class(gpu, spec_zatel_config(spec))
     graph, terminal = predictor.build_graph(scene, frame, quorum=quorum)
     return predictor, graph, terminal

@@ -34,8 +34,10 @@ from .telemetry import (
     TelemetryRecord,
     TimelineEvent,
     aggregate_metrics,
+    downsample_events,
     export_zperf,
     load_zperf,
+    slice_events,
 )
 from .warp import ComputeOp, StoreOp, TraceOp, WarpState, WarpTask
 
@@ -84,6 +86,7 @@ __all__ = [
     "WarpTask",
     "aggregate_metrics",
     "compile_kernel",
+    "downsample_events",
     "export_zperf",
     "line_of",
     "load_config",
@@ -93,4 +96,5 @@ __all__ = [
     "preset",
     "resolve_gpu",
     "save_config",
+    "slice_events",
 ]

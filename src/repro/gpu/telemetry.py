@@ -68,6 +68,8 @@ __all__ = [
     "ZPERF_VERSION",
     "export_zperf",
     "load_zperf",
+    "slice_events",
+    "downsample_events",
 ]
 
 
@@ -487,6 +489,8 @@ class ServiceStats(StatGroup):
     seq_cache_carried_hits = Counter(
         "validated hits served by cache entries carried from a previous frame"
     )
+    dashboard_hits = Counter("GET /dashboard page loads")
+    api_hits = Counter("dashboard JSON API requests (any /api/* route)")
     queue_peak = MaxGauge("high-water mark of queued + running jobs")
     cache_hit_rate = RatioGauge(
         "cache_hits", "predicts", "fraction of accepted predictions served from cache"
@@ -902,3 +906,86 @@ def load_zperf(path: str | Path) -> dict[str, Any]:
         "events": events,
         "summary": summary,
     }
+
+
+# ----------------------------------------------------------------------
+# timeline window slicing / downsampling (pagination support)
+# ----------------------------------------------------------------------
+
+
+def _window_fields(event) -> tuple[str, str, float, float]:
+    if isinstance(event, dict):
+        return event["component"], event["kind"], event["start"], event["end"]
+    return event.component, event.kind, event.start, event.end
+
+
+def slice_events(
+    events, start: float = 0.0, end: float | None = None
+) -> list[dict]:
+    """Clip timeline events to the ``[start, end)`` cycle range.
+
+    Windows straddling a boundary are truncated at it, not dropped —
+    a paginated client stitching adjacent ranges back together sees
+    exactly the original coverage, with no double counting and no gaps.
+    Windows that end up empty after clipping are omitted.  Accepts
+    :class:`TimelineEvent` instances or ``.zperf`` event dicts; always
+    returns plain dicts sorted by ``(start, end, component, kind)``.
+
+    Raises:
+        ValueError: if ``start`` is negative or ``end <= start``.
+    """
+    if start < 0:
+        raise ValueError("slice start must be >= 0")
+    if end is not None and end <= start:
+        raise ValueError("slice end must be greater than start")
+    out: list[dict] = []
+    for event in events:
+        component, kind, lo, hi = _window_fields(event)
+        lo = max(lo, start)
+        if end is not None:
+            hi = min(hi, end)
+        if hi <= lo:
+            continue
+        out.append(
+            {"component": component, "kind": kind, "start": lo, "end": hi}
+        )
+    out.sort(key=lambda e: (e["start"], e["end"], e["component"], e["kind"]))
+    return out
+
+
+def downsample_events(events, max_per_lane: int) -> list[dict]:
+    """Cap each (component, kind) lane at ``max_per_lane`` windows.
+
+    A lane over the cap is reduced by repeatedly bridging the *smallest*
+    idle gap between consecutive windows (ties break toward the earlier
+    gap), so the windows that disappear are the distinctions a client
+    could least resolve anyway.  Merging only ever grows coverage — the
+    lane's envelope and its busiest stretches survive — and the
+    procedure is deterministic, so paginated requests downsample
+    identically.  Returns plain dicts sorted like :func:`slice_events`.
+
+    Raises:
+        ValueError: if ``max_per_lane`` is not positive.
+    """
+    if max_per_lane <= 0:
+        raise ValueError("max_per_lane must be positive")
+    lanes: dict[tuple[str, str], list[tuple[float, float]]] = {}
+    for event in events:
+        component, kind, lo, hi = _window_fields(event)
+        lanes.setdefault((component, kind), []).append((lo, hi))
+    out: list[dict] = []
+    for (component, kind), windows in lanes.items():
+        windows.sort()
+        while len(windows) > max_per_lane:
+            gaps = [
+                windows[i + 1][0] - windows[i][1]
+                for i in range(len(windows) - 1)
+            ]
+            i = gaps.index(min(gaps))
+            windows[i : i + 2] = [(windows[i][0], windows[i + 1][1])]
+        out.extend(
+            {"component": component, "kind": kind, "start": lo, "end": hi}
+            for lo, hi in windows
+        )
+    out.sort(key=lambda e: (e["start"], e["end"], e["component"], e["kind"]))
+    return out

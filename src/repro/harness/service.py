@@ -91,6 +91,8 @@ class ServiceRunner:
         runner: Runner | None = None,
         policy: ExecutionPolicy | None = None,
         fleet=None,
+        timeline_interval: int = 0,
+        timeline_sink=None,
     ) -> None:
         self.runner = runner if runner is not None else shared_runner()
         #: Execution policy applied to every served prediction (an
@@ -101,6 +103,15 @@ class ServiceRunner:
         #: ``policy``, purely an execution knob — results are
         #: byte-identical to the in-process path when no faults occur.
         self.fleet = fleet
+        #: Telemetry snapshot interval (cycles) served predictions run
+        #: with, feeding the dashboard's timeline view; 0 = off.  An
+        #: observability knob like ``policy``: enabling telemetry never
+        #: changes a prediction's metrics, so it stays out of the
+        #: fingerprint and cached results remain byte-identical.
+        self.timeline_interval = int(timeline_interval)
+        #: ``sink(label, events, total_cycles, deltas)`` called after
+        #: every instrumented prediction (from worker threads).
+        self.timeline_sink = timeline_sink
 
     def fingerprint(self, spec: PredictSpec) -> str:
         """The spec's result-cache / single-flight key."""
@@ -137,8 +148,14 @@ class ServiceRunner:
         frame = runner.frame(workload)
         trace_seconds = time.perf_counter() - start
 
+        gpu_overrides = (
+            {"telemetry_interval": self.timeline_interval, "timeline_trace": True}
+            if self.timeline_interval > 0
+            else None
+        )
         _, graph, terminal = build_spec_graph(
-            spec, scene, frame, quorum=self.policy.quorum
+            spec, scene, frame, quorum=self.policy.quorum,
+            gpu_overrides=gpu_overrides,
         )
         ctx = StageContext(store=runner.store, policy=self.policy, fleet=self.fleet)
         predict_start = time.perf_counter()
@@ -152,6 +169,19 @@ class ServiceRunner:
         if stats is not None:
             stats.observe("trace_seconds", trace_seconds)
             stats.observe("predict_seconds", predict_seconds)
+
+        if self.timeline_sink is not None and gpu_overrides is not None:
+            from ..viz.timeline_model import prediction_deltas, prediction_events
+
+            events, total_cycles = prediction_events(result)
+            if events:
+                self.timeline_sink(
+                    f"{scene_label(spec.scene)} {spec.size}x{spec.size} "
+                    f"{spec.backend}/{spec.gpu}",
+                    events,
+                    total_cycles,
+                    prediction_deltas(result),
+                )
 
         payload = result_payload(
             scene_label(spec.scene), spec.backend, gpu.name, result

@@ -38,7 +38,48 @@ from ..core.stages.campaign import Campaign, parse_samplesheet
 from ..core.stages.requests import PredictSpec
 from ..scene.spec import SceneSpec
 
-__all__ = ["parse_campaign_payload", "parse_predict_payload", "SPEC_FIELDS"]
+__all__ = [
+    "parse_campaign_payload",
+    "parse_predict_payload",
+    "SPEC_FIELDS",
+    "READY_PREFIX",
+    "format_ready_line",
+    "parse_ready_line",
+]
+
+#: First token of the machine-readable startup line every server mode
+#: prints once its socket is bound.  CI smokes launch with ``--port 0``
+#: and read the kernel-chosen port from this line instead of racing to
+#: pre-pick a free one; the format is part of the service contract
+#: (tests pin it), so change it like any other schema.
+READY_PREFIX = "ZATEL_SERVE_READY"
+
+
+def format_ready_line(host: str, port: int) -> str:
+    """The startup line: ``ZATEL_SERVE_READY host=127.0.0.1 port=8700``."""
+    return f"{READY_PREFIX} host={host} port={port}"
+
+
+def parse_ready_line(line: str) -> tuple[str, int] | None:
+    """Parse a ready line back into ``(host, port)``; None if not one.
+
+    Tolerates surrounding whitespace and extra trailing ``key=value``
+    fields (forward compatibility), but rejects lines missing either
+    required field or carrying a non-integer port.
+    """
+    parts = line.strip().split()
+    if not parts or parts[0] != READY_PREFIX:
+        return None
+    fields = dict(
+        part.split("=", 1) for part in parts[1:] if "=" in part
+    )
+    host, port = fields.get("host"), fields.get("port")
+    if not host or port is None:
+        return None
+    try:
+        return host, int(port)
+    except ValueError:
+        return None
 
 #: Body keys forwarded to :class:`PredictSpec`, with their JSON types.
 #: ``scene`` also accepts an object form (recipe/sequence-frame specs).

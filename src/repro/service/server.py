@@ -44,7 +44,12 @@ from typing import Any, Callable
 from ..gpu.telemetry import SERVICE_LATENCY_EDGES, ServiceStats, TelemetryBus
 from ..harness.service import ServiceRunner
 from .cache import ResultCache
-from .protocol import parse_campaign_payload, parse_predict_payload
+from .dashboard import DashboardRouter, RawBody, histogram_views, structure_counters
+from .protocol import (
+    format_ready_line,
+    parse_campaign_payload,
+    parse_predict_payload,
+)
 from .queue import JOB_DONE, JobQueue, QueueClosedError, QueueFullError
 
 __all__ = ["ZatelService"]
@@ -99,6 +104,14 @@ class ZatelService:
         fleet_supervisor: optional :class:`~repro.fleet.supervisor.
             WorkerSupervisor` to stop (before the fleet drains) at
             shutdown.
+        timeline_interval: snapshot interval (cycles) for the telemetry
+            instrumentation served predictions run with so the dashboard
+            has timelines to show; ``0`` disables instrumentation (and
+            ``/api/timeline`` reports no captures).  Enabling telemetry
+            never changes a prediction's metrics, so cached/golden
+            results are unaffected.
+        trace_history: how many recent prediction timelines the
+            dashboard keeps (a bounded ring; oldest evicted first).
     """
 
     def __init__(
@@ -116,12 +129,20 @@ class ZatelService:
         job_history: int = 1024,
         fleet=None,
         fleet_supervisor=None,
+        timeline_interval: int = 1024,
+        trace_history: int = 8,
     ) -> None:
         if workers < 1:
             raise ValueError("service needs at least one worker")
         self.fleet = fleet
         self.fleet_supervisor = fleet_supervisor
-        self.service_runner = ServiceRunner(runner, policy=policy, fleet=fleet)
+        self.service_runner = ServiceRunner(
+            runner,
+            policy=policy,
+            fleet=fleet,
+            timeline_interval=timeline_interval,
+            timeline_sink=self._record_trace,
+        )
         self.host = host
         self.port = port
         self.num_workers = workers
@@ -144,6 +165,11 @@ class ZatelService:
         )
         self.jobs: OrderedDict[str, Any] = OrderedDict()
         self._jobs_lock = threading.Lock()
+        self.trace_history = trace_history
+        self._traces: OrderedDict[str, dict] = OrderedDict()
+        self._traces_lock = threading.Lock()
+        self._trace_counter = 0
+        self.dashboard = DashboardRouter(self, stats=self.stats)
         self._executor_fn = executor_fn or self._execute_job
         self._worker_threads: list[threading.Thread] = []
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -176,6 +202,9 @@ class ZatelService:
             "zatel service listening on http://%s:%d (%d workers, queue %d)",
             self.host, self.port, self.num_workers, self.queue.capacity,
         )
+        # Machine-readable port report: launchers binding --port 0 read
+        # the kernel-chosen port from this line (see protocol.READY_PREFIX).
+        print(format_ready_line(self.host, self.port), flush=True)
         self.started.set()
         try:
             async with server:
@@ -309,7 +338,7 @@ class ZatelService:
     ) -> None:
         try:
             try:
-                method, path, headers, body = await asyncio.wait_for(
+                method, path, query, headers, body = await asyncio.wait_for(
                     self._read_request(reader), timeout=READ_TIMEOUT
                 )
             except asyncio.TimeoutError:
@@ -320,7 +349,7 @@ class ZatelService:
             except (ConnectionError, asyncio.IncompleteReadError):
                 return
             status, payload, extra_headers = await self._route(
-                method, path, body
+                method, path, body, query
             )
             await self._respond(writer, status, payload, extra_headers)
         finally:
@@ -332,7 +361,7 @@ class ZatelService:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, dict[str, str], bytes]:
+    ) -> tuple[str, str, str, dict[str, str], bytes]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         parts = request_line.split()
         if len(parts) != 3:
@@ -361,21 +390,25 @@ class ZatelService:
                     413, f"request body exceeds {MAX_BODY_BYTES} bytes"
                 )
             body = await reader.readexactly(length)
-        path = target.split("?", 1)[0]
-        return method, path, headers, body
+        path, _, query = target.partition("?")
+        return method, path, query, headers, body
 
     async def _respond(
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict | RawBody,
         extra_headers: dict[str, str] | None = None,
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode()
+        if isinstance(payload, RawBody):
+            body, content_type = payload.body, payload.content_type
+        else:
+            body = json.dumps(payload, sort_keys=True).encode()
+            content_type = "application/json"
         reason = _REASONS.get(status, "Unknown")
         lines = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
@@ -393,9 +426,12 @@ class ZatelService:
     # ------------------------------------------------------------------
 
     async def _route(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict, dict[str, str] | None]:
+        self, method: str, path: str, body: bytes, query: str = ""
+    ) -> tuple[int, dict | RawBody, dict[str, str] | None]:
         self.stats.requests += 1
+        if self.dashboard.handles(path):
+            status, payload = self.dashboard.route(method, path, query)
+            return status, payload, None
         if path == "/predict":
             if method != "POST":
                 return 405, {"error": "use POST /predict"}, None
@@ -603,6 +639,129 @@ class ZatelService:
                 if self.fleet is not None
                 else {}
             ),
+        }
+
+    # ------------------------------------------------------------------
+    # dashboard source (consumed by service.dashboard.DashboardRouter)
+    # ------------------------------------------------------------------
+
+    def _record_trace(self, label: str, events, total_cycles, deltas) -> None:
+        """Timeline sink: keep a served prediction's telemetry.
+
+        Called by :class:`ServiceRunner` from worker threads after each
+        instrumented prediction; the ring holds the most recent
+        ``trace_history`` captures for ``/api/timeline``.
+        """
+        with self._traces_lock:
+            self._trace_counter += 1
+            trace_id = f"t{self._trace_counter}"
+            self._traces[trace_id] = {
+                "id": trace_id,
+                "label": label,
+                "cycles": total_cycles,
+                "events": events,
+                "deltas": deltas,
+            }
+            while len(self._traces) > self.trace_history:
+                self._traces.popitem(last=False)
+
+    def timeline_traces(self) -> list[dict]:
+        with self._traces_lock:
+            return [
+                {
+                    "id": trace["id"],
+                    "label": trace["label"],
+                    "cycles": trace["cycles"],
+                    "events": len(trace["events"]),
+                }
+                for trace in self._traces.values()
+            ]
+
+    def timeline_trace(self, trace_id: str | None):
+        with self._traces_lock:
+            if not self._traces:
+                return None
+            if trace_id is None:
+                trace = next(reversed(self._traces.values()))
+            else:
+                trace = self._traces.get(trace_id)
+                if trace is None:
+                    return None
+            return trace["events"], trace["cycles"], trace["deltas"]
+
+    def metrics_view(self) -> dict:
+        """``/api/metrics``: the telemetry bus, structured per component."""
+        flat = self._metrics_payload()
+        return {
+            "mode": "service",
+            "counters": structure_counters(flat["counters"]),
+            "derived": {
+                "cache_hit_rate": self.stats.cache_hit_rate,
+            },
+            "histograms": histogram_views(self.stats.histograms()),
+            "queue": flat["queue"],
+            "store": flat["store"],
+            "uptime_seconds": flat["uptime_seconds"],
+        }
+
+    def fleet_view(self) -> dict | None:
+        """``/api/fleet``: lease states plus the failover counters."""
+        if self.fleet is None:
+            return None
+        view = self.fleet.fleet_view()
+        stats = self.fleet.stats
+        view["counters"] = {
+            "redispatches": stats.redispatches,
+            "workers_ejected": stats.workers_ejected,
+            "workers_lost": stats.workers_lost,
+            "leases_expired": stats.leases_expired,
+            "results_corrupt": stats.results_corrupt,
+        }
+        return view
+
+    def jobs_view(self) -> dict:
+        with self._jobs_lock:
+            described = [job.describe() for job in self.jobs.values()]
+        return {
+            "jobs": described,
+            "tracked": len(described),
+            "queue": {
+                "depth": self.queue.depth,
+                "queued": self.queue.queued,
+                "running": self.queue.running,
+                "capacity": self.queue.capacity,
+            },
+        }
+
+    def campaigns_view(self) -> dict:
+        """``/api/campaigns``: campaign jobs with per-point QC verdicts."""
+        from ..core.stages.campaign import Campaign
+
+        with self._jobs_lock:
+            jobs = [
+                (job, job.result)
+                for job in self.jobs.values()
+                if isinstance(job.spec, Campaign)
+            ]
+        campaigns = []
+        for job, result in jobs:
+            entry = job.describe()
+            if result is not None:
+                entry["campaign"] = result.get("campaign")
+                entry["succeeded"] = result.get("succeeded")
+                entry["points"] = [
+                    {
+                        "point": point.get("point"),
+                        "verdict": point.get("verdict"),
+                        "violations": point.get("violations", []),
+                    }
+                    for point in result.get("points", [])
+                ]
+            campaigns.append(entry)
+        return {
+            "campaigns": campaigns,
+            "executed_points": self.stats.campaign_points,
+            "accepted": self.stats.campaigns,
         }
 
 

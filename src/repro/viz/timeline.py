@@ -5,29 +5,20 @@ Turns a :class:`~repro.gpu.telemetry.TelemetryRecord` (or a parsed
 (component, window-kind) pair, plus per-interval activity sparklines for
 a few headline counters.  Pure text, no dependencies, same spirit as
 :mod:`repro.viz.charts`.
+
+Lane grouping, ordering, occupancy and the per-cell density math all
+live in :mod:`repro.viz.timeline_model`, shared with the dashboard's
+JSON API; this module only turns model output into characters.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 from .charts import sparkline
+from .timeline_model import activity_series, build_lanes, lane_cells
 
 __all__ = ["render_timeline", "render_interval_activity"]
 
 _LANE_LEVELS = " ░▒▓█"
-
-#: Counters summarized per interval by :func:`render_interval_activity`,
-#: as (display label, name prefix, name suffix); a counter named
-#: ``component.statistic`` contributes when it matches both.
-_ACTIVITY_ROWS = (
-    ("instructions", "core.instructions", ""),
-    ("issue slots", "core.issued_warp_instructions", ""),
-    ("L1D misses", "sm", ".l1d.misses"),
-    ("L2 misses", "l2.", ".misses"),
-    ("DRAM requests", "dram.", ".requests"),
-    ("RT steps", "sm", ".traversal_steps"),
-)
 
 
 def _lane_density(
@@ -40,18 +31,10 @@ def _lane_density(
     """
     if total <= 0:
         return " " * width
-    cell = total / width
-    chars = []
-    for i in range(width):
-        lo, hi = i * cell, (i + 1) * cell
-        covered = sum(
-            min(hi, end) - max(lo, start)
-            for start, end in windows
-            if end > lo and start < hi
-        )
-        frac = min(1.0, covered / cell)
-        chars.append(_LANE_LEVELS[min(len(_LANE_LEVELS) - 1, int(frac * len(_LANE_LEVELS)))])
-    return "".join(chars)
+    return "".join(
+        _LANE_LEVELS[min(len(_LANE_LEVELS) - 1, int(frac * len(_LANE_LEVELS)))]
+        for frac in lane_cells(windows, total, width)
+    )
 
 
 def render_timeline(
@@ -68,37 +51,23 @@ def render_timeline(
     explicit "... N more lanes" marker — silent truncation would read as
     an idle GPU.
     """
-    lanes: dict[tuple[str, str], list[tuple[float, float]]] = defaultdict(list)
-    for event in events:
-        if isinstance(event, dict):
-            key = (event["component"], event["kind"])
-            lanes[key].append((event["start"], event["end"]))
-        else:
-            lanes[(event.component, event.kind)].append(
-                (event.start, event.end)
-            )
+    lanes = build_lanes(events)
     if not lanes:
         return "(no timeline events recorded)"
-    occupancy = {
-        key: sum(end - start for start, end in windows)
-        for key, windows in lanes.items()
-    }
-    ordered = sorted(lanes, key=lambda key: -occupancy[key])
-    label_width = max(len(f"{c} {k}") for c, k in ordered[:max_lanes])
+    shown = lanes[:max_lanes]
+    label_width = max(len(lane.label) for lane in shown)
     lines = [
         f"timeline over {total_cycles:.0f} cycles "
         f"({len(lanes)} lanes; shade = occupancy per "
         f"{total_cycles / width:.0f}-cycle cell)"
     ]
-    for component, kind in ordered[:max_lanes]:
-        windows = lanes[(component, kind)]
-        label = f"{component} {kind}".rjust(label_width)
-        busy = occupancy[(component, kind)]
+    for lane in shown:
         lines.append(
-            f"{label} |{_lane_density(windows, total_cycles, width)}| "
-            f"{busy / total_cycles:6.1%}"
+            f"{lane.label.rjust(label_width)} "
+            f"|{_lane_density(lane.windows, total_cycles, width)}| "
+            f"{lane.busy / total_cycles:6.1%}"
         )
-    hidden = len(ordered) - max_lanes
+    hidden = len(lanes) - max_lanes
     if hidden > 0:
         lines.append(f"... {hidden} more lanes (quieter) not shown")
     return "\n".join(lines)
@@ -113,17 +82,10 @@ def render_interval_activity(deltas: list[dict[str, float]]) -> str:
     """
     if not deltas:
         return "(no interval snapshots recorded)"
+    rows = activity_series(deltas)
     lines = [f"per-interval activity ({len(deltas)} intervals)"]
-    label_width = max(len(label) for label, _, _ in _ACTIVITY_ROWS)
-    for label, prefix, suffix in _ACTIVITY_ROWS:
-        series = [
-            sum(
-                value
-                for name, value in row.items()
-                if name.startswith(prefix) and name.endswith(suffix)
-            )
-            for row in deltas
-        ]
+    label_width = max(len(label) for label, _ in rows)
+    for label, series in rows:
         if not any(series):
             continue
         lines.append(

@@ -1,0 +1,222 @@
+"""The timeline *model*: lanes, cell densities, activity series.
+
+One data model feeds every timeline consumer — the terminal renderer
+(:mod:`repro.viz.timeline`) and the dashboard's ``/api/timeline`` JSON
+API (:mod:`repro.service.dashboard`) both build their lanes here, so the
+two surfaces can never disagree about what a ``.zperf`` trace contains.
+The renderer turns cell fractions into shade characters; the API ships
+the same lanes as JSON; neither re-derives occupancy on its own.
+
+Inputs are deliberately loose: ``events`` may be
+:class:`~repro.gpu.telemetry.TimelineEvent` instances *or* plain dicts
+with ``component``/``kind``/``start``/``end`` keys (the rows
+:func:`~repro.gpu.telemetry.load_zperf` returns), so the model works on
+live telemetry records and parsed ``.zperf`` files alike.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+__all__ = [
+    "ACTIVITY_ROWS",
+    "Lane",
+    "build_lanes",
+    "lane_cells",
+    "activity_series",
+    "lanes_payload",
+    "prediction_events",
+    "prediction_deltas",
+]
+
+#: Counters summarized per interval by the activity view, as
+#: (display label, name prefix, name suffix); a counter named
+#: ``component.statistic`` contributes when it matches both.
+ACTIVITY_ROWS = (
+    ("instructions", "core.instructions", ""),
+    ("issue slots", "core.issued_warp_instructions", ""),
+    ("L1D misses", "sm", ".l1d.misses"),
+    ("L2 misses", "l2.", ".misses"),
+    ("DRAM requests", "dram.", ".requests"),
+    ("RT steps", "sm", ".traversal_steps"),
+)
+
+
+@dataclass(frozen=True)
+class Lane:
+    """One (component, kind) occupancy lane of a timeline."""
+
+    component: str
+    kind: str
+    #: Coalesced [start, end) windows, in time order.
+    windows: tuple[tuple[float, float], ...]
+    #: Total occupied cycles (the sum of window durations).
+    busy: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.component} {self.kind}"
+
+
+def _event_fields(event) -> tuple[str, str, float, float]:
+    if isinstance(event, dict):
+        return event["component"], event["kind"], event["start"], event["end"]
+    return event.component, event.kind, event.start, event.end
+
+
+def build_lanes(events) -> list[Lane]:
+    """Group timeline events into lanes, busiest first.
+
+    The sort is stable: lanes with equal occupancy keep the order their
+    first event appeared in — the exact ordering the terminal renderer
+    has always produced, now pinned for every consumer.
+    """
+    windows: dict[tuple[str, str], list[tuple[float, float]]] = defaultdict(list)
+    for event in events:
+        component, kind, start, end = _event_fields(event)
+        windows[(component, kind)].append((start, end))
+    lanes = [
+        Lane(
+            component=component,
+            kind=kind,
+            windows=tuple(lane_windows),
+            busy=sum(end - start for start, end in lane_windows),
+        )
+        for (component, kind), lane_windows in windows.items()
+    ]
+    return sorted(lanes, key=lambda lane: -lane.busy)
+
+
+def lane_cells(
+    windows, total: float, width: int
+) -> list[float]:
+    """One lane's occupancy as ``width`` per-cell covered fractions.
+
+    Each cell spans ``total / width`` cycles; its value is the fraction
+    of the cell covered by the lane's (already coalesced) windows,
+    clamped to [0, 1].  A non-positive ``total`` yields all-zero cells.
+    """
+    if total <= 0:
+        return [0.0] * width
+    cell = total / width
+    cells = []
+    for i in range(width):
+        lo, hi = i * cell, (i + 1) * cell
+        covered = sum(
+            min(hi, end) - max(lo, start)
+            for start, end in windows
+            if end > lo and start < hi
+        )
+        cells.append(min(1.0, covered / cell))
+    return cells
+
+
+def activity_series(deltas) -> list[tuple[str, list[float]]]:
+    """Per-interval totals of the headline counters, one row per
+    :data:`ACTIVITY_ROWS` entry.
+
+    ``deltas`` is :meth:`~repro.gpu.telemetry.TelemetryRecord.deltas`
+    output (or the ``d`` rows of a parsed ``.zperf``).  Every row is
+    returned — including all-zero ones — so renderers keep their own
+    skip/label-width conventions; filter on ``any(series)`` to drop the
+    quiet rows.
+    """
+    rows: list[tuple[str, list[float]]] = []
+    for label, prefix, suffix in ACTIVITY_ROWS:
+        series = [
+            sum(
+                value
+                for name, value in row.items()
+                if name.startswith(prefix) and name.endswith(suffix)
+            )
+            for row in deltas
+        ]
+        rows.append((label, series))
+    return rows
+
+
+def lanes_payload(events, total_cycles: float) -> dict:
+    """The lanes of ``events`` as a JSON-able dict (the API's shape).
+
+    The lane list, ordering and occupancy come from :func:`build_lanes`
+    — the same call the terminal renderer makes — so a dashboard client
+    and a terminal session looking at the same trace see the same lanes
+    in the same order with the same busy fractions.
+    """
+    lanes = build_lanes(events)
+    return {
+        "total_cycles": total_cycles,
+        "lane_count": len(lanes),
+        "lanes": [
+            {
+                "component": lane.component,
+                "kind": lane.kind,
+                "busy": lane.busy,
+                "busy_fraction": (
+                    lane.busy / total_cycles if total_cycles > 0 else 0.0
+                ),
+                "windows": [[start, end] for start, end in lane.windows],
+            }
+            for lane in lanes
+        ],
+    }
+
+
+def prediction_events(result) -> tuple[list[dict], float]:
+    """Flatten a prediction's per-group telemetry into one event list.
+
+    Each surviving group of a :class:`~repro.core.pipeline.ZatelResult`
+    simulated independently from cycle 0, so their timelines are
+    parallel universes, not one shared clock.  Lanes are therefore
+    prefixed with the group index (``g3.sm0 issue_stall``) — the
+    per-shard view "Parallelizing a modern GPU simulator" argues for —
+    and the returned cycle count is the slowest group's, so every lane
+    fits one axis.
+
+    Returns ``(events, total_cycles)``; groups whose producing config
+    left telemetry off contribute nothing.
+    """
+    events: list[dict] = []
+    total_cycles = 0.0
+    for group in result.groups:
+        record = getattr(group.stats, "telemetry", None)
+        if record is None:
+            continue
+        total_cycles = max(total_cycles, float(group.stats.cycles))
+        for event in record.events:
+            events.append(
+                {
+                    "component": f"g{group.index}.{event.component}",
+                    "kind": event.kind,
+                    "start": event.start,
+                    "end": event.end,
+                }
+            )
+    events.sort(
+        key=lambda e: (e["start"], e["end"], e["component"], e["kind"])
+    )
+    return events, total_cycles
+
+
+def prediction_deltas(result) -> list[dict[str, float]]:
+    """Per-interval counter increments summed over a prediction's groups.
+
+    Groups snapshot on the same cycle interval but run for different
+    lengths; row ``i`` sums every group's ``i``-th interval delta, so
+    the tail rows cover only the groups still running then.  Counter
+    names keep their in-group form (``core.instructions``), matching
+    what :data:`ACTIVITY_ROWS` expects.
+    """
+    rows: list[dict[str, float]] = []
+    for group in result.groups:
+        record = getattr(group.stats, "telemetry", None)
+        if record is None:
+            continue
+        for index, delta in enumerate(record.deltas()):
+            if index >= len(rows):
+                rows.append({})
+            row = rows[index]
+            for name, value in delta.items():
+                row[name] = row.get(name, 0) + value
+    return rows

@@ -1,0 +1,333 @@
+"""Tests for the shared timeline model (repro.viz.timeline_model) and
+the telemetry window slicing/downsampling the dashboard API builds on.
+
+The load-bearing contract: the terminal renderer and the dashboard's
+``/api/timeline`` consume the *same* lane model, so the committed
+``.zperf`` fixture must render byte-identically through the refactored
+path, and the JSON payload must expose exactly the lanes the renderer
+draws, in the same order.
+"""
+
+import json
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.gpu import load_zperf
+from repro.gpu.telemetry import downsample_events, slice_events
+from repro.viz.timeline import render_interval_activity, render_timeline
+from repro.viz.timeline_model import (
+    ACTIVITY_ROWS,
+    Lane,
+    activity_series,
+    build_lanes,
+    lane_cells,
+    lanes_payload,
+    prediction_deltas,
+    prediction_events,
+)
+
+DATA = Path(__file__).parent / "data"
+ZPERF_FIXTURE = DATA / "sprng_24.zperf"
+RENDER_FIXTURE = DATA / "sprng_24_timeline.txt"
+
+
+def _window(component, kind, start, end):
+    return {"component": component, "kind": kind, "start": start, "end": end}
+
+
+# ----------------------------------------------------------------------
+# byte identity: the refactor must not have moved the terminal renderer
+# ----------------------------------------------------------------------
+
+
+def test_fixture_renders_byte_identical():
+    """The committed SPRNG trace renders byte-for-byte as committed.
+
+    This pins the whole model: lane grouping, busiest-first ordering,
+    stable ties, per-cell shade math, label alignment, the activity
+    sparklines — any drift in timeline_model shows up here.
+    """
+    data = load_zperf(ZPERF_FIXTURE)
+    text = (
+        render_timeline(data["events"], data["header"]["cycles"])
+        + "\n\n"
+        + render_interval_activity([row["d"] for row in data["intervals"]])
+        + "\n"
+    )
+    assert text == RENDER_FIXTURE.read_text()
+
+
+def test_api_lanes_match_rendered_lanes():
+    """The JSON payload lists the same lanes, same order, as the render."""
+    data = load_zperf(ZPERF_FIXTURE)
+    total = data["header"]["cycles"]
+    payload = lanes_payload(data["events"], total)
+    rendered = render_timeline(data["events"], total, max_lanes=10**9)
+    rendered_labels = [
+        line.split("|")[0].strip()
+        for line in rendered.splitlines()[1:]
+    ]
+    api_labels = [
+        f"{lane['component']} {lane['kind']}" for lane in payload["lanes"]
+    ]
+    assert api_labels == rendered_labels
+
+
+# ----------------------------------------------------------------------
+# the model proper
+# ----------------------------------------------------------------------
+
+
+def test_build_lanes_orders_busiest_first_with_stable_ties():
+    events = [
+        _window("b", "busy", 0.0, 1.0),
+        _window("a", "busy", 0.0, 5.0),
+        _window("c", "busy", 1.0, 2.0),  # ties with b; b appeared first
+    ]
+    lanes = build_lanes(events)
+    assert [lane.component for lane in lanes] == ["a", "b", "c"]
+    assert lanes[0].busy == 5.0
+    assert lanes[0].label == "a busy"
+
+
+def test_build_lanes_accepts_objects_and_dicts():
+    obj = SimpleNamespace(component="sm0", kind="busy", start=0.0, end=2.0)
+    lanes = build_lanes([obj, _window("sm0", "busy", 3.0, 4.0)])
+    assert len(lanes) == 1
+    assert lanes[0].windows == ((0.0, 2.0), (3.0, 4.0))
+    assert lanes[0].busy == 3.0
+
+
+def test_lane_cells_empty_and_degenerate_totals():
+    assert lane_cells((), 100.0, 4) == [0.0, 0.0, 0.0, 0.0]
+    assert lane_cells(((0.0, 1.0),), 0.0, 3) == [0.0, 0.0, 0.0]
+    assert lane_cells(((0.0, 1.0),), -1.0, 2) == [0.0, 0.0]
+
+
+def test_lane_cells_covers_fractions_and_clamps():
+    # one window covering the first half exactly: full, full, empty, empty
+    assert lane_cells(((0.0, 50.0),), 100.0, 4) == [1.0, 1.0, 0.0, 0.0]
+    # overlapping windows cannot push a cell past 1.0
+    cells = lane_cells(((0.0, 10.0), (0.0, 10.0)), 10.0, 1)
+    assert cells == [1.0]
+
+
+def test_activity_series_returns_every_row_including_zero():
+    deltas = [{"core.instructions": 10}, {"core.instructions": 5}]
+    rows = activity_series(deltas)
+    assert [label for label, _ in rows] == [label for label, _, _ in ACTIVITY_ROWS]
+    by_label = dict(rows)
+    assert by_label["instructions"] == [10, 5]
+    assert by_label["DRAM requests"] == [0, 0]
+
+
+def test_lanes_payload_json_round_trip():
+    events = [
+        _window("sm0", "busy", 0.0, 4.0),
+        _window("sm0", "busy", 6.0, 8.0),
+        _window("dram.0", "wait", 1.0, 2.0),
+    ]
+    payload = lanes_payload(events, 10.0)
+    assert payload == json.loads(json.dumps(payload))
+    assert payload["total_cycles"] == 10.0
+    assert payload["lane_count"] == 2
+    first = payload["lanes"][0]
+    assert first["component"] == "sm0"
+    assert first["windows"] == [[0.0, 4.0], [6.0, 8.0]]
+    assert first["busy"] == 6.0
+    assert first["busy_fraction"] == pytest.approx(0.6)
+
+
+def test_lanes_payload_empty_trace():
+    payload = lanes_payload([], 0.0)
+    assert payload["lanes"] == []
+    assert payload["lane_count"] == 0
+
+
+def test_lane_is_frozen():
+    lane = Lane("sm0", "busy", ((0.0, 1.0),), 1.0)
+    with pytest.raises(Exception):
+        lane.busy = 2.0
+
+
+# ----------------------------------------------------------------------
+# slicing (the pagination substrate)
+# ----------------------------------------------------------------------
+
+
+def test_slice_events_empty_trace():
+    assert slice_events([]) == []
+    assert slice_events([], start=5.0, end=10.0) == []
+
+
+def test_slice_events_clips_windows_at_range_edges():
+    events = [_window("sm0", "busy", 0.0, 100.0)]
+    sliced = slice_events(events, start=25.0, end=75.0)
+    assert len(sliced) == 1
+    assert (sliced[0]["start"], sliced[0]["end"]) == (25.0, 75.0)
+    # stitching adjacent pages reconstructs the original occupancy
+    left = slice_events(events, start=0.0, end=50.0)
+    right = slice_events(events, start=50.0, end=100.0)
+    assert left[0]["end"] == right[0]["start"] == 50.0
+    total = (left[0]["end"] - left[0]["start"]) + (
+        right[0]["end"] - right[0]["start"]
+    )
+    assert total == 100.0
+
+
+def test_slice_events_single_window_inside_range_unchanged():
+    events = [_window("sm0", "busy", 10.0, 20.0)]
+    assert slice_events(events, start=0.0, end=646.0) == events
+
+
+def test_slice_events_range_past_end_of_trace():
+    events = [_window("sm0", "busy", 0.0, 10.0)]
+    assert slice_events(events, start=10.0) == []
+    assert slice_events(events, start=99.0, end=200.0) == []
+
+
+def test_slice_events_drops_zero_width_results():
+    events = [_window("sm0", "busy", 0.0, 10.0)]
+    # window touches the range boundary only: nothing to show
+    assert slice_events(events, start=10.0, end=20.0) == []
+
+
+def test_slice_events_sorts_output():
+    events = [
+        _window("z", "busy", 5.0, 6.0),
+        _window("a", "busy", 0.0, 1.0),
+        _window("a", "busy", 5.0, 6.0),
+    ]
+    sliced = slice_events(events)
+    keys = [(e["start"], e["end"], e["component"], e["kind"]) for e in sliced]
+    assert keys == sorted(keys)
+
+
+def test_slice_events_rejects_bad_ranges():
+    with pytest.raises(ValueError):
+        slice_events([], start=-1.0)
+    with pytest.raises(ValueError):
+        slice_events([], start=10.0, end=10.0)
+    with pytest.raises(ValueError):
+        slice_events([], start=10.0, end=5.0)
+
+
+# ----------------------------------------------------------------------
+# downsampling
+# ----------------------------------------------------------------------
+
+
+def test_downsample_noop_when_under_budget():
+    events = [
+        _window("sm0", "busy", 0.0, 1.0),
+        _window("sm0", "busy", 2.0, 3.0),
+    ]
+    assert downsample_events(events, 2) == slice_events(events)
+
+
+def test_downsample_merges_smallest_gap_first():
+    events = [
+        _window("sm0", "busy", 0.0, 1.0),
+        _window("sm0", "busy", 1.5, 2.0),   # gap of 0.5 to previous
+        _window("sm0", "busy", 10.0, 11.0),  # gap of 8.0
+    ]
+    merged = downsample_events(events, 2)
+    spans = [(e["start"], e["end"]) for e in merged]
+    assert spans == [(0.0, 2.0), (10.0, 11.0)]
+    # down to one window: everything merges into the envelope
+    merged = downsample_events(events, 1)
+    assert [(e["start"], e["end"]) for e in merged] == [(0.0, 11.0)]
+
+
+def test_downsample_tie_breaks_on_earlier_gap():
+    events = [
+        _window("sm0", "busy", 0.0, 1.0),
+        _window("sm0", "busy", 2.0, 3.0),  # gap 1.0
+        _window("sm0", "busy", 4.0, 5.0),  # gap 1.0 (tie; earlier wins)
+    ]
+    merged = downsample_events(events, 2)
+    assert [(e["start"], e["end"]) for e in merged] == [(0.0, 3.0), (4.0, 5.0)]
+
+
+def test_downsample_is_per_lane():
+    events = [
+        _window("sm0", "busy", 0.0, 1.0),
+        _window("sm0", "busy", 2.0, 3.0),
+        _window("sm1", "busy", 0.0, 1.0),
+        _window("sm1", "busy", 2.0, 3.0),
+    ]
+    merged = downsample_events(events, 1)
+    assert len(merged) == 2
+    assert {e["component"] for e in merged} == {"sm0", "sm1"}
+    assert all((e["start"], e["end"]) == (0.0, 3.0) for e in merged)
+
+
+def test_downsample_rejects_nonpositive_budget():
+    with pytest.raises(ValueError):
+        downsample_events([], 0)
+    with pytest.raises(ValueError):
+        downsample_events([], -3)
+
+
+def test_downsample_fixture_keeps_lanes_and_bounds():
+    data = load_zperf(ZPERF_FIXTURE)
+    before = build_lanes(data["events"])
+    after_events = downsample_events(data["events"], 3)
+    after = build_lanes(after_events)
+    assert {lane.label for lane in after} == {lane.label for lane in before}
+    assert all(len(lane.windows) <= 3 for lane in after)
+    for lane in after:
+        starts = [start for start, _ in lane.windows]
+        assert starts == sorted(starts)
+
+
+# ----------------------------------------------------------------------
+# prediction flattening (the live service's trace capture)
+# ----------------------------------------------------------------------
+
+
+def _fake_group(index, cycles, events, deltas):
+    record = SimpleNamespace(events=events, deltas=lambda: deltas)
+    stats = SimpleNamespace(telemetry=record, cycles=cycles)
+    return SimpleNamespace(index=index, stats=stats)
+
+
+def test_prediction_events_prefixes_groups_and_takes_slowest_clock():
+    groups = [
+        _fake_group(
+            0, 100.0,
+            [SimpleNamespace(component="sm0", kind="busy", start=0.0, end=50.0)],
+            [],
+        ),
+        _fake_group(
+            2, 250.0,
+            [SimpleNamespace(component="sm0", kind="busy", start=10.0, end=60.0)],
+            [],
+        ),
+    ]
+    events, total = prediction_events(SimpleNamespace(groups=groups))
+    assert total == 250.0
+    assert [e["component"] for e in events] == ["g0.sm0", "g2.sm0"]
+    keys = [(e["start"], e["end"], e["component"], e["kind"]) for e in events]
+    assert keys == sorted(keys)
+
+
+def test_prediction_events_skips_groups_without_telemetry():
+    silent = SimpleNamespace(
+        index=1, stats=SimpleNamespace(telemetry=None, cycles=999.0)
+    )
+    events, total = prediction_events(SimpleNamespace(groups=[silent]))
+    assert events == []
+    assert total == 0.0
+
+
+def test_prediction_deltas_sums_groups_elementwise():
+    groups = [
+        _fake_group(0, 10.0, [], [{"core.instructions": 5}, {"core.instructions": 1}]),
+        _fake_group(1, 20.0, [], [{"core.instructions": 7}]),
+    ]
+    rows = prediction_deltas(SimpleNamespace(groups=groups))
+    # row 0 sums both groups; row 1 covers only the longer-running group
+    assert rows == [{"core.instructions": 12}, {"core.instructions": 1}]
